@@ -1,0 +1,78 @@
+"""Figure 4: HPIO write bandwidth — new+struct vs new+vect vs old+vect.
+
+Paper shape being reproduced (64 procs, noncontig memory and file):
+
+* the old implementation is the fastest or tied nearly everywhere;
+* the new implementation with the succinct ("struct") filetype is
+  comparable in about half the cases;
+* the new implementation with the fully enumerated ("vect") filetype is
+  consistently the slowest — the O(M·A) datatype processing cost;
+* differences shrink as the region size grows (I/O time dominates) and
+  are most pronounced at 8 aggregators (double buffering per byte).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from conftest import attach_series
+from repro.bench.figures import bench_scale, fig4_experiment
+from repro.bench.harness import run_hpio_write
+from repro.bench.reporting import format_series, series_from_results
+from repro.hpio.patterns import HPIOPattern
+from repro.mpi import Hints
+
+
+@pytest.fixture(scope="module")
+def fig4_results():
+    return fig4_experiment()
+
+
+def test_fig4_series(benchmark, fig4_results):
+    """Print the Figure 4 table and benchmark one representative cell."""
+    by_aggs = defaultdict(list)
+    for r in fig4_results:
+        by_aggs[r.params["aggs"]].append(r)
+    print()
+    for aggs in sorted(by_aggs):
+        series = series_from_results(by_aggs[aggs], x_key="region", series_key="method")
+        print(format_series(
+            f"Figure 4 — HPIO write, {by_aggs[aggs][0].nprocs} procs, {aggs} aggregators "
+            f"(region size in bytes; scale={bench_scale()})",
+            series,
+            x_label="region B",
+        ))
+        print()
+    attach_series(benchmark, fig4_results)
+
+    pattern = HPIOPattern(nprocs=16, region_size=64, region_count=128, region_spacing=128)
+    benchmark.pedantic(
+        lambda: run_hpio_write(
+            pattern, impl="new", representation="succinct", hints=Hints(cb_nodes=8)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig4_shape_old_fastest_on_average(fig4_results):
+    """The paper's headline: the new code does not consistently match the
+    old; averaged over the grid the old implementation wins."""
+    means = defaultdict(list)
+    for r in fig4_results:
+        means[r.params["method"]].append(r.bandwidth_mbs)
+    avg = {m: sum(v) / len(v) for m, v in means.items()}
+    assert avg["old+vect"] >= avg["new+struct"] * 0.98
+    assert avg["new+struct"] > avg["new+vect"]
+
+
+def test_fig4_shape_struct_beats_vect_everywhere(fig4_results):
+    """Succinct datatypes beat enumerated ones cell by cell (tile
+    skipping plus smaller metadata)."""
+    cells = defaultdict(dict)
+    for r in fig4_results:
+        cells[(r.params["aggs"], r.params["region"])][r.params["method"]] = r.bandwidth_mbs
+    for key, methods in cells.items():
+        assert methods["new+struct"] >= methods["new+vect"], key

@@ -1,0 +1,102 @@
+"""Figure 5: conditional data sieving — datasieve vs naive per flush.
+
+Paper shape being reproduced (collective write, file size fixed per
+panel, datatype extent fixed per panel, region size swept):
+
+* for small filetype extents (1 KB, 8 KB) data sieving wins — the
+  window pre-read drags in few gap bytes and per-call overheads
+  dominate the naive path;
+* for large extents (64 KB) naive I/O wins — sieving reads and rewrites
+  mostly gaps;
+* the crossover sits around a 16 KB extent (the threshold the
+  ``ds_threshold_extent`` hint encodes);
+* the naive curve spikes where regions align with the 4 KB page size,
+  and both methods jump at 100% (the contiguous fast path).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from conftest import attach_series
+from repro.bench.figures import bench_scale, fig5_experiment
+from repro.bench.harness import run_hpio_write
+from repro.bench.reporting import format_series, series_from_results
+from repro.hpio.patterns import HPIOPattern
+from repro.mpi import Hints
+
+
+@pytest.fixture(scope="module")
+def fig5_results():
+    return fig5_experiment()
+
+
+def test_fig5_series(benchmark, fig5_results):
+    by_extent = defaultdict(list)
+    for r in fig5_results:
+        by_extent[r.params["extent"]].append(r)
+    print()
+    for extent in sorted(by_extent):
+        series = series_from_results(by_extent[extent], x_key="region", series_key="method")
+        print(format_series(
+            f"Figure 5 — conditional data sieving, {extent // 1024} KB datatype extent "
+            f"(region size in bytes; scale={bench_scale()})",
+            series,
+            x_label="region B",
+        ))
+        print()
+    attach_series(benchmark, fig5_results)
+
+    pattern = HPIOPattern(nprocs=8, region_size=512, region_count=256,
+                          region_spacing=512, mem_contig=True)
+    benchmark.pedantic(
+        lambda: run_hpio_write(
+            pattern, impl="new", representation="succinct",
+            hints=Hints(cb_nodes=4, io_method="conditional"),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def _cells(results):
+    cells = defaultdict(dict)
+    for r in results:
+        cells[(r.params["extent"], r.params["frac"])][r.params["method"]] = r.bandwidth_mbs
+    return cells
+
+
+def test_fig5_small_extent_sieve_wins(fig5_results):
+    """At a 1 KB extent data sieving wins at every sampled fraction."""
+    for (extent, frac), methods in _cells(fig5_results).items():
+        if extent == 1024 and frac < 1.0:
+            assert methods["datasieve"] > methods["naive"], (extent, frac)
+
+
+def test_fig5_large_extent_naive_wins(fig5_results):
+    """At a 64 KB extent naive I/O wins on most of the sweep (the paper's
+    crossover is below this extent)."""
+    wins = 0
+    total = 0
+    for (extent, frac), methods in _cells(fig5_results).items():
+        if extent == 65536 and frac < 1.0:
+            total += 1
+            if methods["naive"] > methods["datasieve"]:
+                wins += 1
+    assert total > 0
+    assert wins >= (total + 1) // 2, f"naive won only {wins}/{total} cells at 64 KB"
+
+
+def test_fig5_conditional_tracks_the_winner(fig5_results):
+    """The conditional hint's threshold (16 KB) picks the right method at
+    the extremes of the sweep."""
+    from repro.io.selection import choose_method
+    from repro.datatypes.segments import SegmentBatch
+    import numpy as np
+
+    hints = Hints(io_method="conditional")
+    fake = SegmentBatch(np.array([0, 10]), np.array([4, 4]), np.array([0, 4]))
+    assert choose_method(hints, 1024, fake) == "datasieve"
+    assert choose_method(hints, 65536, fake) == "naive"

@@ -1,0 +1,126 @@
+"""Microbenchmarks of the substrates (wall-clock, via pytest-benchmark).
+
+These time the *simulator's own* hot paths — datatype flattening, cursor
+intersection, packing, page-store I/O, and the engine's message rate —
+so regressions in the reproduction's wall-clock cost are caught
+independently of the simulated-bandwidth figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CostModel
+from repro.datatypes import BYTE, contiguous, resized, vector
+from repro.datatypes.packing import expand_indices, gather_bytes
+from repro.datatypes.segments import FlatCursor
+from repro.fs import FSClient, SimFileSystem
+from repro.mpi import Communicator
+from repro.sim import Simulator
+
+
+def test_flatten_vector_4096(benchmark):
+    def build():
+        return vector(4096, 64, 192, BYTE).flatten()
+
+    flat = benchmark(build)
+    assert flat.num_segments == 4096
+
+
+def test_cursor_full_scan(benchmark):
+    flat = resized(contiguous(64, BYTE), 0, 192).flatten()
+    total = 64 * 4096
+
+    def scan():
+        cur = FlatCursor(flat, 0, total)
+        return cur.all_segments()
+
+    batch = benchmark(scan)
+    assert batch.total_bytes == total
+
+
+def test_cursor_interleaved_queries(benchmark):
+    flat = resized(contiguous(64, BYTE), 0, 192 * 8).flatten()
+    total = 64 * 2048
+
+    def run():
+        cur = FlatCursor(flat, 0, total)
+        got = 0
+        for lo in range(0, 192 * 8 * 2048, 64 * 1024):
+            got += cur.intersect(lo, lo + 64 * 1024).total_bytes
+        return got
+
+    assert benchmark(run) == total
+
+
+def test_gather_small_segments(benchmark):
+    buf = np.arange(1 << 20, dtype=np.int64).astype(np.uint8)
+    flat = resized(contiguous(32, BYTE), 0, 128).flatten()
+    total = 32 * 4096
+
+    out = benchmark(lambda: gather_bytes(buf, flat, 0, total))
+    assert out.size == total
+
+
+def test_expand_indices_many_runs(benchmark):
+    starts = np.arange(0, 10**6, 100, dtype=np.int64)
+    lens = np.full(starts.size, 10, dtype=np.int64)
+    idx = benchmark(lambda: expand_indices(starts, lens))
+    assert idx.size == starts.size * 10
+
+
+def test_pagestore_strided_write(benchmark):
+    cost = CostModel()
+    data = np.zeros(4096, dtype=np.uint8)
+
+    def run():
+        fs = SimFileSystem(cost)
+        sim = Simulator(1)
+
+        def main(ctx):
+            f = FSClient(fs, ctx).open("/m", cache_mode="off")
+            for i in range(64):
+                f.write(i * 8192, data)
+
+        sim.run(main)
+        return fs.file_size("/m")
+
+    assert benchmark(run) > 0
+
+
+def test_engine_message_rate(benchmark):
+    """Round-trip messages through the virtual-time scheduler."""
+
+    def run():
+        sim = Simulator(2)
+
+        def main(ctx):
+            comm = Communicator(ctx)
+            if ctx.rank == 0:
+                for i in range(200):
+                    comm.send(i, dest=1)
+                return None
+            return sum(comm.recv(source=0) for _ in range(200))
+
+        return sim.run(main)[1]
+
+    assert benchmark(run) == sum(range(200))
+
+
+def test_collective_write_wall_time(benchmark):
+    """Wall-clock cost of one full 16-rank collective write."""
+    from repro.bench.harness import run_hpio_write
+    from repro.hpio.patterns import HPIOPattern
+    from repro.mpi import Hints
+
+    pattern = HPIOPattern(nprocs=16, region_size=64, region_count=256, region_spacing=128)
+
+    result = benchmark.pedantic(
+        lambda: run_hpio_write(
+            pattern, impl="new", representation="succinct", hints=Hints(cb_nodes=8)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result is None or result.verified

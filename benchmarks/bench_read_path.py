@@ -1,0 +1,80 @@
+"""Collective READ path comparison (extension beyond the paper's plots).
+
+The paper evaluates writes; the implementations' read paths mirror them
+(aggregators sieve-read their realms, then distribute).  This bench
+confirms the same method ordering holds for reads and that the
+conditional flush-method choice benefits reads too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_series
+from repro.bench.harness import run_hpio_read
+from repro.bench.reporting import format_series, series_from_results
+from repro.hpio.patterns import HPIOPattern
+from repro.mpi import Hints
+
+REGIONS = [16, 128, 1024]
+NPROCS = 16
+AGGS = 8
+
+METHODS = [
+    ("new+struct", "new", "succinct"),
+    ("new+vect", "new", "enumerated"),
+    ("old+vect", "old", "succinct"),
+]
+
+
+@pytest.fixture(scope="module")
+def read_results():
+    out = []
+    for region in REGIONS:
+        pattern = HPIOPattern(
+            nprocs=NPROCS, region_size=region, region_count=256, region_spacing=128
+        )
+        for label, impl, rep in METHODS:
+            r = run_hpio_read(
+                pattern,
+                impl=impl,
+                representation=rep,
+                hints=Hints(cb_nodes=AGGS),
+                label=f"read {label} region={region}",
+            )
+            r.params.update({"method": label, "region": region})
+            out.append(r)
+    return out
+
+
+def test_read_series(benchmark, read_results):
+    series = series_from_results(read_results, x_key="region", series_key="method")
+    print()
+    print(format_series(
+        f"Collective read — HPIO, {NPROCS} procs, {AGGS} aggregators",
+        series,
+        x_label="region B",
+    ))
+    print()
+    attach_series(benchmark, read_results)
+
+    pattern = HPIOPattern(nprocs=8, region_size=64, region_count=128, region_spacing=128)
+    benchmark.pedantic(
+        lambda: run_hpio_read(pattern, impl="new", hints=Hints(cb_nodes=4)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_read_all_cells_verified(read_results):
+    assert all(r.verified for r in read_results)
+
+
+def test_read_ordering_matches_write_side(read_results):
+    """struct >= vect for reads too: the datatype-processing trade is
+    direction-independent."""
+    cells = {}
+    for r in read_results:
+        cells[(r.params["region"], r.params["method"])] = r.bandwidth_mbs
+    for region in REGIONS:
+        assert cells[(region, "new+struct")] >= cells[(region, "new+vect")], region

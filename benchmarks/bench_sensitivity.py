@@ -1,0 +1,128 @@
+"""Cost-model sensitivity studies.
+
+The reproduction's claims should not hinge on one lucky parameter
+choice.  These benches vary the calibrated constants and check that the
+paper's qualitative results (orderings and crossovers) are stable:
+
+* the Figure 5 datasieve/naive crossover must *move with* the per-call
+  overhead (more expensive calls favour sieving at larger extents) but
+  exist across a wide range;
+* the Figure 4 method ordering must survive a slower/faster CPU model;
+* the page-RMW penalty must be what separates aligned from unaligned
+  naive writes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_series
+from repro.bench.harness import run_hpio_write
+from repro.bench.reporting import format_table
+from repro.config import DEFAULT_COST_MODEL
+from repro.hpio.patterns import HPIOPattern
+from repro.mpi import Hints
+
+
+def _fig5_cell(extent, frac, method, cost, nprocs=8):
+    region = max((int(extent * frac) // 32) * 32, 32)
+    count = max((8 << 20) // extent // nprocs, 1)
+    pattern = HPIOPattern(
+        nprocs=nprocs,
+        region_size=region,
+        region_count=count,
+        region_spacing=extent - region,
+        mem_contig=True,
+    )
+    return run_hpio_write(
+        pattern,
+        impl="new",
+        representation="succinct",
+        hints=Hints(cb_nodes=4, io_method=method),
+        cost=cost,
+    ).bandwidth_mbs
+
+
+def test_crossover_tracks_call_overhead(benchmark):
+    """Doubling the per-call overheads pushes the sieve/naive crossover
+    to larger extents; halving them pulls it down — but the crossover
+    exists for all three cost models."""
+    rows = []
+    crossovers = {}
+    for label, scale in (("half", 0.5), ("default", 1.0), ("double", 2.0)):
+        cost = DEFAULT_COST_MODEL.replace(
+            io_call_overhead=DEFAULT_COST_MODEL.io_call_overhead * scale,
+            ost_op_latency=DEFAULT_COST_MODEL.ost_op_latency * scale,
+        )
+        first_naive_win = None
+        for extent in (1024, 4096, 16384, 65536, 262144):
+            ds = _fig5_cell(extent, 0.5, "datasieve", cost)
+            nv = _fig5_cell(extent, 0.5, "naive", cost)
+            rows.append({"costs": label, "extent": extent, "datasieve": ds, "naive": nv})
+            if first_naive_win is None and nv > ds:
+                first_naive_win = extent
+        crossovers[label] = first_naive_win
+    print()
+    print(format_table("Sensitivity — crossover vs per-call overhead", rows))
+    print(f"first extent where naive wins: {crossovers}")
+    assert all(v is not None for v in crossovers.values())
+    assert crossovers["half"] <= crossovers["default"] <= crossovers["double"]
+    benchmark.pedantic(
+        lambda: _fig5_cell(16384, 0.5, "naive", DEFAULT_COST_MODEL),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig4_ordering_stable_under_cpu_scale(benchmark):
+    """The old >= struct >= vect ordering holds when datatype-processing
+    costs are scaled 4x either way."""
+    pattern = HPIOPattern(nprocs=16, region_size=32, region_count=512, region_spacing=128)
+    rows = []
+    for label, scale in (("cpu/4", 0.25), ("default", 1.0), ("cpu*4", 4.0)):
+        cost = DEFAULT_COST_MODEL.replace(
+            cpu_per_flat_pair=DEFAULT_COST_MODEL.cpu_per_flat_pair * scale,
+            cpu_tile_skip=DEFAULT_COST_MODEL.cpu_tile_skip * scale,
+        )
+        rates = {}
+        for m, impl, rep in (
+            ("old", "old", "succinct"),
+            ("struct", "new", "succinct"),
+            ("vect", "new", "enumerated"),
+        ):
+            rates[m] = run_hpio_write(
+                pattern, impl=impl, representation=rep,
+                hints=Hints(cb_nodes=8), cost=cost,
+            ).bandwidth_mbs
+        rows.append({"cpu": label, **{k: v for k, v in rates.items()}})
+        assert rates["old"] >= rates["struct"] * 0.97, (label, rates)
+        assert rates["struct"] >= rates["vect"], (label, rates)
+    print()
+    print(format_table("Sensitivity — Figure 4 ordering vs CPU cost scale", rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_rmw_penalty_drives_alignment_gap(benchmark):
+    """With the page-RMW penalty zeroed, page-aligned and unaligned
+    naive writes converge; with it, aligned regions win."""
+    def naive_rate(region, cost):
+        pattern = HPIOPattern(
+            nprocs=8, region_size=region, region_count=128,
+            region_spacing=8192 - region, mem_contig=True,
+        )
+        return run_hpio_write(
+            pattern, impl="new", representation="succinct",
+            hints=Hints(cb_nodes=4, io_method="naive", cache_mode="off"),
+            cost=cost,
+        ).bandwidth_mbs
+
+    aligned, unaligned = 4096, 4064
+    with_pen = DEFAULT_COST_MODEL
+    no_pen = DEFAULT_COST_MODEL.replace(page_rmw_penalty=0.0)
+    gap_with = naive_rate(aligned, with_pen) / naive_rate(unaligned, with_pen)
+    gap_without = naive_rate(aligned, no_pen) / naive_rate(unaligned, no_pen)
+    print()
+    print(f"aligned/unaligned naive ratio: with penalty {gap_with:.3f}, without {gap_without:.3f}")
+    assert gap_with > gap_without
+    assert gap_with > 1.05  # the 4 KB alignment spike mechanism
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+"""Shared helpers for the paper-figure benchmarks.
+
+Each ``bench_*`` file regenerates one figure of the paper's evaluation:
+the full series is computed once per session (simulated bandwidth — the
+reproduction target) and printed as a table; pytest-benchmark separately
+times a representative simulation cell so the harness's wall-clock cost
+is tracked too.
+
+Scale via ``REPRO_BENCH_SCALE`` = quick | standard (default) | full.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_series(benchmark, results) -> None:
+    """Record the figure's series on the benchmark for the JSON output."""
+    benchmark.extra_info["series"] = [
+        {
+            "label": r.label,
+            "params": {k: v for k, v in r.params.items()},
+            "bandwidth_mbs": round(r.bandwidth_mbs, 3),
+            "total_bytes": r.total_bytes,
+            "sim_seconds": r.sim_seconds,
+        }
+        for r in results
+    ]
+
+
+@pytest.fixture(scope="session")
+def print_header():
+    shown = set()
+
+    def _show(title: str) -> None:
+        if title not in shown:
+            shown.add(title)
+            print()
+    return _show

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation figures without pytest.
+
+Usage::
+
+    python benchmarks/run_figures.py fig4 fig5 fig7 ablations
+    REPRO_BENCH_SCALE=full python benchmarks/run_figures.py all
+
+Prints each figure's series as aligned tables of simulated MB/s.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import defaultdict
+
+from repro.bench.figures import (
+    ablation_balanced_realms,
+    ablation_cb_size,
+    ablation_exchange,
+    ablation_heap,
+    bench_scale,
+    fig4_experiment,
+    fig5_experiment,
+    fig7_experiment,
+)
+from repro.bench.reporting import format_series, format_table, series_from_results
+
+
+def show_fig4() -> None:
+    results = fig4_experiment()
+    by_aggs = defaultdict(list)
+    for r in results:
+        by_aggs[r.params["aggs"]].append(r)
+    for aggs in sorted(by_aggs):
+        print(format_series(
+            f"Figure 4 — HPIO write, {by_aggs[aggs][0].nprocs} procs, {aggs} aggregators",
+            series_from_results(by_aggs[aggs], x_key="region", series_key="method"),
+            x_label="region B",
+        ))
+        print()
+
+
+def show_fig5() -> None:
+    results = fig5_experiment()
+    by_extent = defaultdict(list)
+    for r in results:
+        by_extent[r.params["extent"]].append(r)
+    for extent in sorted(by_extent):
+        print(format_series(
+            f"Figure 5 — conditional data sieving, {extent // 1024} KB extent",
+            series_from_results(by_extent[extent], x_key="region", series_key="method"),
+            x_label="region B",
+        ))
+        print()
+
+
+def show_fig7() -> None:
+    results = fig7_experiment()
+    print(format_series(
+        "Figure 7 — PFRs & file realm alignment",
+        series_from_results(results, x_key="clients", series_key="config"),
+        x_label="clients",
+    ))
+    print()
+
+
+def show_ablations() -> None:
+    for title, fn, keys in (
+        ("Ablation — heap progress tracking (§5.3)", ablation_heap, ["use_heap"]),
+        ("Ablation — exchange backend (§5.4)", ablation_exchange, ["network", "exchange"]),
+        ("Ablation — collective buffer size (§4)", ablation_cb_size, ["cb_kb", "rounds"]),
+        ("Ablation — realm load balancing (§5.2/§7)", ablation_balanced_realms, ["strategy"]),
+    ):
+        results = fn()
+        rows = [
+            {**{k: r.params.get(k) for k in keys}, "MB/s": r.bandwidth_mbs}
+            for r in results
+        ]
+        print(format_table(title, rows))
+        print()
+
+
+def main(argv: list[str]) -> int:
+    wanted = [a.lower() for a in argv] or ["all"]
+    if "all" in wanted:
+        wanted = ["fig4", "fig5", "fig7", "ablations"]
+    print(f"scale = {bench_scale()} (set REPRO_BENCH_SCALE=quick|standard|full)\n")
+    runners = {
+        "fig4": show_fig4,
+        "fig5": show_fig5,
+        "fig7": show_fig7,
+        "ablations": show_ablations,
+    }
+    for name in wanted:
+        if name not in runners:
+            print(f"unknown figure {name!r}; options: {sorted(runners)}")
+            return 2
+        t0 = time.time()
+        runners[name]()
+        print(f"[{name} done in {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Checkpointing a block-cyclic distributed matrix with darray views.
+
+A 2-D global array is distributed over a 2x2 process grid —
+block-distributed rows, cyclic(2) columns (the ScaLAPACK-style layout).
+Each rank hands ``set_view`` the darray filetype for its share and the
+collective write assembles the canonical row-major global array on
+disk; a collective read restores it.  No rank ever computes a file
+offset by hand.
+
+Run:  python examples/darray_checkpoint.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CollectiveFile, Communicator, SimFileSystem, Simulator, BYTE
+from repro.datatypes import DISTRIBUTE_BLOCK, DISTRIBUTE_CYCLIC, darray
+from repro.datatypes.packing import gather_segments
+from repro.datatypes.segments import FlatCursor
+
+ROWS, COLS = 16, 24
+PSIZES = [2, 2]
+NPROCS = 4
+
+
+def my_filetype(rank):
+    return darray(
+        [ROWS, COLS],
+        [DISTRIBUTE_BLOCK, DISTRIBUTE_CYCLIC],
+        [0, 2],  # default row blocks; column blocks of 2
+        PSIZES,
+        rank,
+        BYTE,
+    )
+
+
+def main(ctx):
+    comm = Communicator(ctx)
+    f = CollectiveFile(ctx, comm, fs, "/matrix.ckpt")
+    ft = my_filetype(comm.rank)
+    f.set_view(disp=0, filetype=ft)
+
+    # Local share: every element tagged with its owner (rank+1).
+    local = np.full(ft.size, comm.rank + 1, dtype=np.uint8)
+    f.write_all(local)
+
+    # Restore into a fresh buffer and verify locally (rewind the
+    # individual file pointer first).
+    f.seek(0)
+    restored = np.zeros_like(local)
+    f.read_all(restored)
+    assert np.array_equal(restored, local), f"rank {comm.rank} restore mismatch"
+    f.close()
+    return ft.size
+
+
+if __name__ == "__main__":
+    fs = SimFileSystem()
+    shares = Simulator(NPROCS).run(main)
+    assert sum(shares) == ROWS * COLS
+
+    # The file is the canonical global array: check the ownership map.
+    img = fs.raw_bytes("/matrix.ckpt", 0, ROWS * COLS).reshape(ROWS, COLS)
+    expect = np.zeros((ROWS, COLS), dtype=np.uint8)
+    for rank in range(NPROCS):
+        ft = my_filetype(rank)
+        batch = FlatCursor(ft.flatten(), 0, ft.size).all_segments()
+        for fo, ln in zip(batch.file_offsets.tolist(), batch.lengths.tolist()):
+            expect.ravel()[fo : fo + ln] = rank + 1
+    assert np.array_equal(img, expect)
+
+    print(f"{ROWS}x{COLS} global array, 2x2 grid, block rows x cyclic(2) columns")
+    print("ownership map on disk (one digit per element):")
+    for row in img[: min(ROWS, 8)]:
+        print("  " + "".join(str(v) for v in row))
+    if ROWS > 8:
+        print(f"  ... ({ROWS - 8} more rows)")
+    print("\ncheckpoint written, restored, and verified collectively.")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""HPIO scaling study: old vs new implementation, struct vs vector types.
+
+A miniature of the paper's Figure 4 experiment.  All three method
+combinations write the identical non-contiguous (memory and file)
+HPIO pattern; the table shows simulated bandwidth plus the datatype-
+processing counters that explain the differences:
+
+* ``old+vect``  — flattens everything up front: O(M) pairs total;
+* ``new+struct``— ships the succinct filetype and skips whole tiles;
+* ``new+vect``  — ships the fully enumerated filetype: the per-
+  aggregator linear scans cost O(M·A) pair evaluations.
+
+Run:  python examples/hpio_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_hpio_write
+from repro.hpio.patterns import HPIOPattern
+from repro.mpi import Hints
+
+NPROCS = 16
+REGION_SIZES = [16, 128, 1024]
+COUNT = 256
+AGGS = 8
+
+METHODS = [
+    ("new+struct", "new", "succinct"),
+    ("new+vect", "new", "enumerated"),
+    ("old+vect", "old", "succinct"),
+]
+
+if __name__ == "__main__":
+    header = (
+        f"{'region':>8} {'method':>12} {'MB/s':>9} {'pairs eval':>11} "
+        f"{'tiles skip':>11} {'meta KB':>8}"
+    )
+    print(f"HPIO: {NPROCS} procs, {COUNT} regions/proc, 128 B spacing, {AGGS} aggregators")
+    print(header)
+    print("-" * len(header))
+    for region in REGION_SIZES:
+        pattern = HPIOPattern(
+            nprocs=NPROCS,
+            region_size=region,
+            region_count=COUNT,
+            region_spacing=128,
+            mem_contig=False,
+            file_contig=False,
+        )
+        for label, impl, rep in METHODS:
+            r = run_hpio_write(
+                pattern,
+                impl=impl,
+                representation=rep,
+                hints=Hints(cb_nodes=AGGS),
+                label=label,
+            )
+            assert r.verified, f"corrupt data from {label}"
+            print(
+                f"{region:>8} {label:>12} {r.bandwidth_mbs:>9.2f} "
+                f"{r.counters['client_pairs_total']:>11} "
+                f"{r.counters['client_tiles_skipped_total']:>11} "
+                f"{r.counters['meta_bytes_total'] / 1024:>8.1f}"
+            )
+        print()
+    print(
+        "new+vect evaluates ~A times more pairs than new+struct (no tile\n"
+        "skipping) and ships A times more access metadata; the old code's\n"
+        "single flatten pass stays cheapest, which is the paper's headline\n"
+        "performance observation."
+    )

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Persistent file realms for a netCDF-like time-series checkpoint.
+
+Reproduces the scenario of the paper's Figure 6/7 at example scale: a
+write-only application appends one time slice per collective call, all
+time steps of a data point stored together.  With an *incoherent*
+client write-back cache this is only safe if every file byte has a
+single owner for the file's lifetime — which is exactly what persistent
+file realms guarantee.  The example runs the same workload with and
+without PFRs and shows:
+
+* both produce the correct file (the non-PFR run stays correct because
+  the implementation conservatively flushes/invalidates around every
+  collective call);
+* the PFR run needs far fewer server operations and finishes sooner.
+
+Run:  python examples/pfr_checkpoint.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CollectiveFile, Communicator, Hints, SimFileSystem, Simulator
+from repro.config import DEFAULT_COST_MODEL
+from repro.hpio.timeseries import TimeSeriesPattern
+
+NPROCS = 8
+TS = TimeSeriesPattern(
+    nprocs=NPROCS, element_size=32, elems_per_point=20, points=256, timesteps=8
+)
+
+
+def run(pfr: bool):
+    fs = SimFileSystem(
+        DEFAULT_COST_MODEL, lock_granularity=DEFAULT_COST_MODEL.stripe_size
+    )
+    hints = Hints(
+        cb_nodes=NPROCS // 2,
+        cache_mode="incoherent",
+        persistent_file_realms=pfr,
+        realm_alignment=DEFAULT_COST_MODEL.stripe_size,
+        io_method="datasieve",
+    )
+
+    def main(ctx):
+        comm = Communicator(ctx)
+        f = CollectiveFile(ctx, comm, fs, "/checkpoint.nc", hints=hints)
+        for step in range(TS.timesteps):
+            f.set_view(disp=0, filetype=TS.filetype(comm.rank, step))
+            f.write_all(TS.step_buffer(comm.rank, step))
+        f.close()
+        return ctx.now
+
+    sim = Simulator(NPROCS)
+    times = sim.run(main)
+    return fs, max(times)
+
+
+def expected_image() -> np.ndarray:
+    from repro.datatypes.packing import scatter_segments
+    from repro.datatypes.segments import FlatCursor
+
+    out = np.zeros(TS.file_bytes, dtype=np.uint8)
+    for step in range(TS.timesteps):
+        for rank in range(NPROCS):
+            total = TS.bytes_per_rank_per_step(rank) * TS.points
+            batch = FlatCursor(TS.filetype(rank, step).flatten(), 0, total).all_segments()
+            scatter_segments(out, batch, TS.step_buffer(rank, step))
+    return out
+
+
+if __name__ == "__main__":
+    oracle = expected_image()
+    print(TS.describe())
+    for pfr in (False, True):
+        fs, makespan = run(pfr)
+        got = fs.raw_bytes("/checkpoint.nc", 0, TS.file_bytes)
+        ok = np.array_equal(got, oracle)
+        s = fs.stats("/checkpoint.nc")
+        mb = TS.bytes_per_step * TS.timesteps / (1 << 20)
+        print(
+            f"  PFR={'on ' if pfr else 'off'}: data {'OK' if ok else 'CORRUPT'}, "
+            f"{mb / makespan:6.2f} MB/s, server writes={s.server_writes}, "
+            f"reads={s.server_reads}, lock revocations={s.lock_revocations}"
+        )
+        assert ok
+    print(
+        "\nPFRs keep realm ownership fixed across calls, so the incoherent"
+        "\nwrite-back cache can batch an entire checkpoint before flushing."
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Quickstart: collective write and read-back on a simulated cluster.
+
+Four ranks share one file.  Each rank's file view interleaves 64-byte
+regions round-robin (rank r owns region r, r+4, r+8, ...).  A single
+``write_all`` moves everyone's data through the two-phase engine; a
+``read_all`` gets it back; the script verifies both against the file
+server's raw bytes and prints where the simulated time went.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BYTE,
+    CollectiveFile,
+    Communicator,
+    Hints,
+    SimFileSystem,
+    Simulator,
+    Tracer,
+    contiguous,
+    resized,
+)
+
+NPROCS = 4
+REGION = 64
+COUNT = 16  # regions per rank
+
+
+def main(ctx):
+    comm = Communicator(ctx)
+    rank = comm.rank
+
+    hints = Hints(
+        cb_nodes=2,               # two of the four ranks aggregate
+        io_method="conditional",  # pick datasieve/naive per flush
+    )
+    f = CollectiveFile(ctx, comm, fs, "/quickstart.dat", hints=hints)
+
+    # File view: this rank's regions, every NPROCS * REGION bytes.
+    tile = resized(contiguous(REGION, BYTE), 0, REGION * NPROCS)
+    f.set_view(disp=rank * REGION, filetype=tile)
+
+    # Write: rank r fills its regions with the byte value r+1.
+    data = np.full(REGION * COUNT, rank + 1, dtype=np.uint8)
+    f.write_all(data)
+
+    # Read back through the same view (the individual file pointer
+    # advanced past the data, so rewind first — MPI semantics).
+    f.seek(0)
+    back = np.zeros_like(data)
+    f.read_all(back)
+    assert np.array_equal(back, data), f"rank {rank}: read-back mismatch"
+
+    stats = f.stats
+    f.close()
+    return {
+        "rank": rank,
+        "rounds": stats.rounds,
+        "bytes_exchanged": stats.bytes_exchanged,
+        "flush_methods": stats.flush_methods,
+        "finished_at_ms": ctx.now * 1e3,
+    }
+
+
+if __name__ == "__main__":
+    tracer = Tracer()
+    fs = SimFileSystem()
+    sim = Simulator(NPROCS, tracer=tracer)
+    results = sim.run(main)
+
+    # Verify the interleaving on the server's raw bytes.
+    image = fs.raw_bytes("/quickstart.dat", 0, REGION * NPROCS * COUNT)
+    for i in range(NPROCS * COUNT):
+        owner = i % NPROCS
+        region = image[i * REGION : (i + 1) * REGION]
+        assert (region == owner + 1).all(), f"region {i} corrupted"
+
+    print("collective write + read-back verified on the server")
+    for r in results:
+        print(
+            f"  rank {r['rank']}: {r['rounds']} two-phase rounds, "
+            f"{r['bytes_exchanged']} bytes exchanged, "
+            f"flushes={r['flush_methods']}, done at {r['finished_at_ms']:.3f} ms"
+        )
+    print("\nsimulated time by activity:")
+    for state, seconds in sorted(tracer.time_by_state().items(), key=lambda kv: -kv[1]):
+        print(f"  {state:<12} {seconds * 1e3:8.3f} ms")

@@ -1,0 +1,125 @@
+"""repro — reproduction of "A New Flexible MPI Collective I/O
+Implementation" (Coloma et al., IEEE Cluster 2006).
+
+A deterministic, simulation-backed implementation of the paper's
+flexible two-phase collective I/O framework and every substrate it
+needs: an MPI subset with derived datatypes, a Lustre-like striped file
+system with extent locks and client caches, an ADIO-style independent
+I/O layer, and both the new flexible and the original ROMIO-style
+collective implementations.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        Simulator, Communicator, SimFileSystem, CollectiveFile, Hints,
+        BYTE, contiguous, resized,
+    )
+
+    fs = SimFileSystem()
+
+    def main(ctx):
+        comm = Communicator(ctx)
+        hints = Hints(io_method="conditional")
+        f = CollectiveFile(ctx, comm, fs, "/data", hints=hints)
+        region, nprocs = 64, comm.size
+        tile = resized(contiguous(region, BYTE), 0, region * nprocs)
+        f.set_view(disp=comm.rank * region, filetype=tile)
+        buf = np.full(region * 16, comm.rank, dtype=np.uint8)
+        f.write_all(buf)
+        f.close()
+
+    Simulator(4).run(main)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.core import CollectiveFile, CollStats, FileView
+from repro.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT64,
+    SHORT,
+    Datatype,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from repro.errors import (
+    CollectiveIOError,
+    DatatypeError,
+    FileSystemError,
+    HintError,
+    MPIError,
+    ReproError,
+    SimDeadlock,
+    SimulationError,
+)
+from repro.fs import FSClient, SimFileSystem
+from repro.io import AdioFile
+from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, Hints
+from repro.sim import RankContext, Simulator, Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engine
+    "Simulator",
+    "RankContext",
+    "Tracer",
+    # config
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    # mpi
+    "Communicator",
+    "Hints",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    # datatypes
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "INT64",
+    "FLOAT",
+    "DOUBLE",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "struct",
+    "subarray",
+    "resized",
+    # fs / io
+    "SimFileSystem",
+    "FSClient",
+    "AdioFile",
+    # core
+    "CollectiveFile",
+    "CollStats",
+    "FileView",
+    # errors
+    "ReproError",
+    "SimulationError",
+    "SimDeadlock",
+    "MPIError",
+    "DatatypeError",
+    "FileSystemError",
+    "CollectiveIOError",
+    "HintError",
+]

@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro [selfcheck|demo|info]``.
+
+* ``selfcheck`` (default) — run a fast end-to-end verification: a
+  collective write/read cycle on a 4-rank simulated cluster under both
+  implementations and every flush method, checked against oracles.
+* ``demo`` — the quickstart scenario with a printed activity timeline.
+* ``info`` — version, default cost model, and known hints.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def selfcheck() -> int:
+    from repro import (
+        BYTE,
+        CollectiveFile,
+        Communicator,
+        Hints,
+        SimFileSystem,
+        Simulator,
+        contiguous,
+        resized,
+    )
+
+    nprocs, region, count = 4, 64, 16
+    failures = 0
+    for impl in ("new", "old"):
+        for method in ("datasieve", "naive", "listio", "conditional"):
+            fs = SimFileSystem()
+            hints = Hints(coll_impl=impl, io_method=method, cb_nodes=2)
+
+            def main(ctx):
+                comm = Communicator(ctx)
+                f = CollectiveFile(ctx, comm, fs, "/check", hints=hints)
+                tile = resized(contiguous(region, BYTE), 0, region * nprocs)
+                f.set_view(disp=comm.rank * region, filetype=tile)
+                data = (np.arange(region * count, dtype=np.int64) * (comm.rank + 1) % 251).astype(np.uint8)
+                f.write_all(data)
+                f.seek(0)
+                out = np.zeros_like(data)
+                f.read_all(out)
+                f.close()
+                return bool(np.array_equal(out, data))
+
+            ok = all(Simulator(nprocs).run(main))
+            status = "ok" if ok else "FAILED"
+            print(f"  {impl:>3} + {method:<12} {status}")
+            failures += 0 if ok else 1
+    if failures:
+        print(f"selfcheck: {failures} combinations FAILED")
+        return 1
+    print("selfcheck: all combinations verified")
+    return 0
+
+
+def demo() -> int:
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found (installed without examples)")
+    return 1
+
+
+def info() -> int:
+    import dataclasses
+
+    from repro import DEFAULT_COST_MODEL, __version__
+    from repro.mpi import Hints
+
+    print(f"repro {__version__} — flexible MPI collective I/O reproduction")
+    print("\ndefault cost model:")
+    for field in dataclasses.fields(DEFAULT_COST_MODEL):
+        print(f"  {field.name:<24} {getattr(DEFAULT_COST_MODEL, field.name)}")
+    print("\nknown hints (default values):")
+    for key in Hints.known_keys():
+        print(f"  {key:<24} {Hints.default(key)!r}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    cmd = argv[0] if argv else "selfcheck"
+    commands = {"selfcheck": selfcheck, "demo": demo, "info": info}
+    if cmd not in commands:
+        print(f"usage: python -m repro [{'|'.join(commands)}]")
+        return 2
+    return commands[cmd]()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

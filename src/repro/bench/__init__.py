@@ -1,0 +1,19 @@
+"""Benchmark harness reproducing the paper's evaluation (§6).
+
+* :mod:`~repro.bench.harness` — generic timed collective-I/O runs on a
+  fresh simulated cluster, returning simulated bandwidth and counters;
+* :mod:`~repro.bench.figures` — one experiment definition per paper
+  figure (4, 5, 7) plus ablations;
+* :mod:`~repro.bench.reporting` — plain-text series/table rendering.
+"""
+
+from repro.bench.harness import BenchResult, run_hpio_write, run_timeseries
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "BenchResult",
+    "run_hpio_write",
+    "run_timeseries",
+    "format_series",
+    "format_table",
+]

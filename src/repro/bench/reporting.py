@@ -1,0 +1,67 @@
+"""Plain-text rendering of benchmark series (the paper's plots as tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import BenchResult
+
+__all__ = ["format_series", "format_table", "series_from_results"]
+
+
+def series_from_results(
+    results: Sequence[BenchResult], x_key: str, series_key: str
+) -> Dict[object, Dict[object, float]]:
+    """Pivot results into {series_label: {x_value: bandwidth}}."""
+    out: Dict[object, Dict[object, float]] = {}
+    for r in results:
+        series = r.params.get(series_key, r.label)
+        x = r.params.get(x_key)
+        out.setdefault(series, {})[x] = r.bandwidth_mbs
+    return out
+
+
+def format_series(
+    title: str,
+    series: Dict[object, Dict[object, float]],
+    *,
+    x_label: str = "x",
+    unit: str = "MB/s",
+) -> str:
+    """Render {series: {x: y}} as an aligned table (x down, series across)."""
+    xs: List[object] = sorted({x for ys in series.values() for x in ys})
+    names = list(series)
+    widths = [max(10, len(str(n)) + 2) for n in names]
+    lines = [title, "-" * len(title)]
+    header = f"{x_label:>12} " + " ".join(
+        f"{str(n):>{w}}" for n, w in zip(names, widths)
+    )
+    lines.append(header + f"   [{unit}]")
+    for x in xs:
+        row = f"{str(x):>12} "
+        for n, w in zip(names, widths):
+            y = series[n].get(x)
+            row += f"{y:>{w}.2f} " if y is not None else " " * (w + 1)
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def format_table(title: str, rows: Sequence[Dict[str, object]]) -> str:
+    """Render a list of {column: value} dicts as an aligned table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    cols = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in cols
+    }
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(f"{c:>{widths[c]}}" for c in cols))
+    for r in rows:
+        lines.append("  ".join(f"{_fmt(r.get(c)):>{widths[c]}}" for c in cols))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)

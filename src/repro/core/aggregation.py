@@ -1,0 +1,39 @@
+"""I/O aggregator selection.
+
+Which processes act as aggregators is "left up to the implementation,
+which in turn may choose to defer to the user" — here the ``cb_nodes``
+hint.  Aggregators are spread evenly across the rank space (the ROMIO
+default when one process per node is chosen), which keeps them spread
+across the machine's nodes in the common block rank-placement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveIOError
+
+__all__ = ["select_aggregators"]
+
+
+def select_aggregators(size: int, cb_nodes: int, layout: str = "spread") -> list[int]:
+    """Ranks acting as aggregators.
+
+    ``cb_nodes == 0`` (the hint default) means every process
+    aggregates; otherwise ``cb_nodes`` ranks are picked by ``layout``:
+
+    * ``"spread"`` — evenly spaced across the rank space (ROMIO's
+      default choice of one process per node under block placement);
+    * ``"packed"`` — the first ``cb_nodes`` ranks (what a
+      ``cb_config_list`` pinning aggregators to the first nodes does).
+    """
+    if size <= 0:
+        raise CollectiveIOError(f"communicator size must be positive, got {size}")
+    if cb_nodes < 0:
+        raise CollectiveIOError(f"cb_nodes must be non-negative, got {cb_nodes}")
+    if layout not in ("spread", "packed"):
+        raise CollectiveIOError(f"unknown aggregator layout {layout!r}")
+    naggs = size if cb_nodes == 0 else min(cb_nodes, size)
+    if naggs == size:
+        return list(range(size))
+    if layout == "packed":
+        return list(range(naggs))
+    return sorted({(i * size) // naggs for i in range(naggs)})

@@ -1,0 +1,67 @@
+"""Shared state handed to the two-phase drivers, and per-file statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import CostModel
+from repro.core.file_view import FileView
+from repro.core.pfr import PFRState
+from repro.io.adio import AdioFile
+from repro.mpi.comm import Communicator
+from repro.mpi.hints import Hints
+from repro.sim.engine import RankContext
+
+__all__ = ["CollStats", "CollEnv"]
+
+
+@dataclass
+class CollStats:
+    """Cumulative counters for one open collective file (one rank's view).
+
+    These are the numbers MPE logging surfaced for the paper's analysis:
+    where the datatype-processing time went, how much data and metadata
+    moved, which flush methods ran."""
+
+    collective_writes: int = 0
+    collective_reads: int = 0
+    rounds: int = 0
+    #: offset/length pairs evaluated while routing my access to realms.
+    client_pairs: int = 0
+    #: filetype tiles skipped wholesale (the succinct-datatype win).
+    client_tiles_skipped: int = 0
+    #: pairs evaluated on this rank acting as an aggregator.
+    agg_pairs: int = 0
+    agg_tiles_skipped: int = 0
+    #: user-data bytes this rank sent during exchange phases.
+    bytes_exchanged: int = 0
+    #: access-description bytes this rank sent (flattened filetypes or
+    #: offset/length lists).
+    meta_bytes: int = 0
+    #: collective-buffer flush method usage.
+    flush_methods: Dict[str, int] = field(default_factory=dict)
+    #: cache pages flushed by realm-coherence syncs (non-PFR epilogues).
+    coherence_flush_pages: int = 0
+
+    def note_flush(self, method: str) -> None:
+        self.flush_methods[method] = self.flush_methods.get(method, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        d = self.__dict__.copy()
+        d["flush_methods"] = dict(self.flush_methods)
+        return d
+
+
+@dataclass
+class CollEnv:
+    """Everything a two-phase driver needs for one collective call."""
+
+    ctx: RankContext
+    comm: Communicator
+    cost: CostModel
+    hints: Hints
+    adio: AdioFile
+    view: FileView
+    stats: CollStats
+    pfr: Optional[PFRState] = None

@@ -1,0 +1,349 @@
+"""MPI_File-like collective file handle.
+
+One :class:`CollectiveFile` per rank per open file.  All ``*_all``
+operations are collective: every rank of the communicator must call
+them in the same order (a mismatch deadlocks, which the engine turns
+into a :class:`~repro.errors.SimDeadlock` with a rank dump).
+
+Cache-coherence protocol (the PFR story, §6.4): when the client cache
+is *incoherent* and persistent file realms are **off**, realm
+assignments may move between calls, so different aggregators may touch
+the same bytes across calls.  The handle then conservatively
+
+* invalidates the local cache before each collective call, and
+* syncs (flushes dirty pages) after each collective write,
+
+which is what keeps the file system state correct — and what makes the
+non-PFR configurations slow in Figure 7.  With PFRs on, realms never
+move, every byte has a single owner for the file's lifetime, and both
+steps are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.core.env import CollEnv, CollStats
+from repro.core.file_view import FileView
+from repro.core.pfr import PFRState
+from repro.core.two_phase_new import read_all_new, write_all_new
+from repro.core.two_phase_old import read_all_old, write_all_old
+from repro.datatypes.base import BYTE, Datatype
+from repro.datatypes.flatten import FlatType
+from repro.errors import CollectiveIOError
+from repro.fs.client import FSClient
+from repro.fs.filesystem import SimFileSystem
+from repro.io.adio import AdioFile
+from repro.mpi.comm import Communicator
+from repro.mpi.hints import Hints
+from repro.sim.engine import RankContext
+
+__all__ = ["CollectiveFile", "CollStats"]
+
+
+class CollectiveFile:
+    """Collectively opened file with two-phase read/write."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        comm: Communicator,
+        fs: SimFileSystem,
+        path: str,
+        hints: Optional[Hints] = None,
+        cost: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.ctx = ctx
+        self.comm = comm
+        self.fs = fs
+        self.path = path
+        self.hints = hints if hints is not None else Hints()
+        self.cost = cost
+        client = FSClient(fs, ctx)
+        self.local = client.open(
+            path,
+            cache_mode=self.hints["cache_mode"],
+            cache_capacity_pages=self.hints["cache_pages"],
+        )
+        self.adio = AdioFile(self.local, ds_buffer_size=self.hints["ds_buffer_size"])
+        self.view = FileView(0, BYTE, BYTE)
+        self.stats = CollStats()
+        self.pfr = PFRState()
+        #: Individual file pointer, counted in etypes (MPI semantics:
+        #: advanced by pointer-relative operations, reset by set_view).
+        self._pointer = 0
+        self._open = True
+        # Opening is collective in MPI; synchronize so later collective
+        # calls start aligned.
+        comm.barrier()
+
+    # -- views --------------------------------------------------------------
+    def set_view(
+        self, disp: int = 0, etype: Datatype = BYTE, filetype: Optional[Datatype] = None
+    ) -> None:
+        """Collective MPI_File_set_view analogue.
+
+        Resets the individual file pointer to zero, per MPI."""
+        self._require_open()
+        self.view = FileView(disp, etype, filetype)
+        self._pointer = 0
+        self.comm.barrier()
+
+    # -- individual file pointer ------------------------------------------------
+    SEEK_SET = 0
+    SEEK_CUR = 1
+
+    def seek(self, offset_etypes: int, whence: int = SEEK_SET) -> None:
+        """Move the individual file pointer (MPI_File_seek), counted in
+        etypes relative to the view."""
+        self._require_open()
+        if whence == self.SEEK_SET:
+            target = offset_etypes
+        elif whence == self.SEEK_CUR:
+            target = self._pointer + offset_etypes
+        else:
+            raise CollectiveIOError(f"unknown whence {whence!r}")
+        if target < 0:
+            raise CollectiveIOError(f"file pointer cannot go negative ({target})")
+        self._pointer = target
+
+    def get_position(self) -> int:
+        """Current individual file pointer, in etypes (MPI_File_get_position)."""
+        return self._pointer
+
+    # -- helpers --------------------------------------------------------------
+    def _require_open(self) -> None:
+        if not self._open:
+            raise CollectiveIOError(f"collective file {self.path!r} is closed")
+
+    def _resolve_access(
+        self, buf: np.ndarray, memtype: Optional[Datatype], count: int
+    ) -> tuple[FlatType, int]:
+        buf = np.asarray(buf)
+        if buf.dtype != np.uint8 or buf.ndim != 1:
+            raise CollectiveIOError("buffers must be 1-D numpy uint8 arrays")
+        if count < 0:
+            raise CollectiveIOError(f"count must be non-negative, got {count}")
+        if memtype is None:
+            # Whole buffer, contiguous.
+            if count != 1:
+                raise CollectiveIOError("count requires an explicit memtype")
+            memflat = FlatType([0], [buf.size], buf.size) if buf.size else FlatType([], [], 0)
+            if buf.size % self.view.etype.size != 0:
+                raise CollectiveIOError(
+                    f"access of {buf.size} bytes is not a whole number of etypes "
+                    f"({self.view.etype.size} bytes)"
+                )
+            return memflat, buf.size
+        memflat = memtype.flatten()
+        total = memflat.size * count
+        if count > 0 and memflat.size > 0:
+            needed = (count - 1) * memflat.extent + memflat.span_hi
+            if needed > buf.size:
+                raise CollectiveIOError(
+                    f"buffer of {buf.size} bytes too small for {count} x "
+                    f"{memtype.name} (needs {needed})"
+                )
+        if total > 0 and total % self.view.etype.size != 0:
+            raise CollectiveIOError(
+                f"access of {total} bytes is not a whole number of etypes "
+                f"({self.view.etype.size} bytes)"
+            )
+        # Tile the memory type to cover the full access.
+        if count > 1:
+            memflat = memflat.replicate(count)
+        return memflat, total
+
+    def _env(self) -> CollEnv:
+        return CollEnv(
+            ctx=self.ctx,
+            comm=self.comm,
+            cost=self.cost,
+            hints=self.hints,
+            adio=self.adio,
+            view=self.view,
+            stats=self.stats,
+            pfr=self.pfr,
+        )
+
+    @property
+    def _needs_realm_coherence(self) -> bool:
+        return (
+            self.hints["cache_mode"] == "incoherent"
+            and not self.hints["persistent_file_realms"]
+        )
+
+    def _prologue(self) -> None:
+        if self._needs_realm_coherence:
+            # Realms may have moved since the last call: drop cached
+            # pages so reads cannot see bytes another aggregator owns now.
+            self.local.invalidate()
+
+    def _epilogue_write(self) -> None:
+        if self._needs_realm_coherence:
+            flushed = self.local.sync()
+            self.local.invalidate()
+            self.stats.coherence_flush_pages += flushed
+
+    # -- collective operations ---------------------------------------------------
+    def _collective_op(
+        self,
+        buf: np.ndarray,
+        memtype: Optional[Datatype],
+        count: int,
+        *,
+        write: bool,
+        data_lo: Optional[int] = None,
+    ) -> None:
+        """Shared body of the *_all operations.
+
+        ``data_lo`` is the starting data-stream byte; ``None`` means the
+        individual file pointer (which then advances, per MPI)."""
+        self._require_open()
+        memflat, total = self._resolve_access(buf, memtype, count)
+        use_pointer = data_lo is None
+        start = self._pointer * self.view.etype.size if use_pointer else data_lo
+        self._prologue()
+        env = self._env()
+        buf8 = np.asarray(buf, dtype=np.uint8)
+        op_name = "write_all" if write else "read_all"
+        with self.ctx.trace(op_name):
+            if write:
+                driver = write_all_old if self.hints["coll_impl"] == "old" else write_all_new
+            else:
+                driver = read_all_old if self.hints["coll_impl"] == "old" else read_all_new
+            driver(env, buf8, memflat, total, start)
+        if write:
+            self._epilogue_write()
+        if use_pointer:
+            self._pointer += total // self.view.etype.size
+
+    def write_all(
+        self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1
+    ) -> None:
+        """Collective write at the individual file pointer
+        (MPI_File_write_all); the pointer advances past the data."""
+        self._collective_op(buf, memtype, count, write=True)
+
+    def read_all(
+        self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1
+    ) -> None:
+        """Collective read at the individual file pointer
+        (MPI_File_read_all); the pointer advances past the data."""
+        self._collective_op(buf, memtype, count, write=False)
+
+    def write_at_all(
+        self,
+        offset_etypes: int,
+        buf: np.ndarray,
+        memtype: Optional[Datatype] = None,
+        count: int = 1,
+    ) -> None:
+        """Collective write at an explicit offset (MPI_File_write_at_all).
+
+        ``offset_etypes`` counts etypes into the view's accessible data
+        stream.  Any offset is allowed (including mid-filetype); the
+        individual file pointer does not move, per MPI."""
+        if offset_etypes < 0:
+            raise CollectiveIOError(f"offset must be non-negative, got {offset_etypes}")
+        self._collective_op(
+            buf, memtype, count, write=True,
+            data_lo=offset_etypes * self.view.etype.size,
+        )
+
+    def read_at_all(
+        self,
+        offset_etypes: int,
+        buf: np.ndarray,
+        memtype: Optional[Datatype] = None,
+        count: int = 1,
+    ) -> None:
+        """Collective read at an explicit offset (MPI_File_read_at_all)."""
+        if offset_etypes < 0:
+            raise CollectiveIOError(f"offset must be non-negative, got {offset_etypes}")
+        self._collective_op(
+            buf, memtype, count, write=False,
+            data_lo=offset_etypes * self.view.etype.size,
+        )
+
+    # -- independent I/O ---------------------------------------------------------
+    def write_ind(self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1) -> None:
+        """Independent write through the view (MPI_File_write): no
+        cooperation with other ranks, straight through the independent
+        I/O layer with the hinted method (§5.1's reused code path)."""
+        self._independent_op(buf, memtype, count, write=True)
+
+    def read_ind(self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1) -> None:
+        """Independent read through the view (MPI_File_read)."""
+        self._independent_op(buf, memtype, count, write=False)
+
+    def _independent_op(
+        self, buf: np.ndarray, memtype: Optional[Datatype], count: int, *, write: bool
+    ) -> None:
+        from repro.datatypes.packing import gather_segments, scatter_segments
+        from repro.datatypes.segments import data_to_file_segments
+        from repro.io.selection import choose_method
+
+        self._require_open()
+        memflat, total = self._resolve_access(buf, memtype, count)
+        if total == 0:
+            return
+        buf = np.asarray(buf, dtype=np.uint8)
+        start = self._pointer * self.view.etype.size
+        batch = self.view.cursor(start + total, start).all_segments()
+        # Rebase data offsets so they index the packed data stream.
+        batch = type(batch)(
+            batch.file_offsets,
+            batch.lengths,
+            batch.data_offsets - start,
+            batch.pairs_evaluated,
+            batch.tiles_skipped,
+        )
+        self.ctx.charge(batch.pairs_evaluated * self.cost.cpu_per_flat_pair)
+        method = choose_method(self.hints, self.view.flat.extent, batch)
+        self.stats.note_flush(method)
+        mem_batch = data_to_file_segments(memflat, 0, 0, total)
+        if write:
+            # Gather the user data into data order; the file batch's
+            # data_offsets already index that stream.
+            data = gather_segments(buf, mem_batch)
+            self.ctx.charge(total * self.cost.cpu_per_byte_touch)
+            self.adio.write_strided(batch, data, method)
+        else:
+            data = self.adio.read_strided(batch, method)
+            self.ctx.charge(total * self.cost.cpu_per_byte_touch)
+            scatter_segments(buf, mem_batch, data[:total])
+        self._pointer += total // self.view.etype.size
+
+    # -- lifecycle ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Collective flush of client caches to the server."""
+        self._require_open()
+        self.local.sync()
+        self.comm.barrier()
+
+    def close(self) -> None:
+        """Collective close: flush, invalidate, synchronize."""
+        if not self._open:
+            return
+        self.local.close()
+        self._open = False
+        self.comm.barrier()
+
+    def get_info(self) -> dict:
+        """Effective hints (MPI_File_get_info analogue): every known key
+        with its resolved value, explicit or default."""
+        return {key: self.hints[key] for key in self.hints}
+
+    @property
+    def size(self) -> int:
+        return self.local.size
+
+    def __enter__(self) -> "CollectiveFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,67 @@
+"""File views (MPI_File_set_view analogue).
+
+A view is (disp, etype, filetype): the filetype tiles forward from the
+byte displacement and exposes its data bytes as the accessible stream.
+The amount of I/O a collective call performs is determined by the
+memory buffer/datatype, not the view (Figure 1's "conceptually repeats
+forever").
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.base import BYTE, Datatype
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.segments import FlatCursor
+from repro.errors import CollectiveIOError
+
+__all__ = ["FileView"]
+
+
+class FileView:
+    """Validated (disp, etype, filetype) triple."""
+
+    __slots__ = ("disp", "etype", "filetype", "flat")
+
+    def __init__(self, disp: int = 0, etype: Datatype = BYTE, filetype: Datatype | None = None):
+        if disp < 0:
+            raise CollectiveIOError(f"view displacement must be non-negative, got {disp}")
+        if filetype is None:
+            filetype = etype
+        flat = filetype.flatten()
+        if flat.size == 0:
+            raise CollectiveIOError("filetype must contain at least one data byte")
+        if etype.size <= 0:
+            raise CollectiveIOError("etype must have positive size")
+        if flat.size % etype.size != 0:
+            raise CollectiveIOError(
+                f"filetype size {flat.size} is not a multiple of etype size {etype.size}"
+            )
+        if not flat.is_monotonic:
+            raise CollectiveIOError(
+                "filetype must be monotonic and non-overlapping when tiled"
+            )
+        self.disp = int(disp)
+        self.etype = etype
+        self.filetype = filetype
+        self.flat: FlatType = flat
+
+    def cursor(self, total_bytes: int, data_lo: int = 0) -> FlatCursor:
+        """A fresh scan cursor over data bytes [data_lo, total_bytes)."""
+        return FlatCursor(self.flat, self.disp, total_bytes, data_lo)
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.flat.is_contiguous
+
+    def access_span(self, total_bytes: int, data_lo: int = 0) -> tuple[int, int]:
+        """[first_byte, last_byte) touched by data [data_lo, total_bytes)."""
+        if total_bytes <= data_lo:
+            return (self.disp, self.disp)
+        cur = self.cursor(total_bytes, data_lo)
+        return (cur.first_byte, cur.last_byte)
+
+    def __repr__(self) -> str:
+        return (
+            f"FileView(disp={self.disp}, etype={self.etype.name}, "
+            f"filetype={self.filetype.name}, D={self.flat.num_segments})"
+        )

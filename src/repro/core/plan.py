@@ -1,0 +1,159 @@
+"""Shared planning helpers for both two-phase implementations."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.segments import SegmentBatch, data_to_file_segments
+from repro.mpi.comm import Communicator
+
+__all__ = [
+    "compute_aar",
+    "mem_batch_for",
+    "merge_extents",
+    "concat_batches",
+    "clip_to_range",
+    "access_histogram",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_INF = np.iinfo(np.int64).max
+
+
+def compute_aar(
+    comm: Communicator, lo: int, hi: int, has_data: bool
+) -> Tuple[int, int]:
+    """Allreduce the aggregate access region across the communicator.
+
+    Ranks without data contribute the identity.  Returns (lo, hi);
+    (0, 0) when nobody has data."""
+    local = (lo, hi) if has_data else (_INF, -1)
+    g_lo, g_hi = comm.allreduce(
+        local, op=lambda a, b: (min(a[0], b[0]), max(a[1], b[1]))
+    )
+    if g_hi < 0:
+        return (0, 0)
+    return (int(g_lo), int(g_hi))
+
+
+def mem_batch_for(
+    memflat: FlatType, data_offsets: np.ndarray, lengths: np.ndarray
+) -> SegmentBatch:
+    """Memory-address segments carrying the given data-stream ranges.
+
+    ``data_offsets`` must be ascending and disjoint (they come from a
+    monotonic file view).  The returned batch's ``file_offsets`` are
+    addresses into the user buffer; ``data_offsets`` keep the global
+    stream positions as ordering keys."""
+    if data_offsets.size == 0:
+        return SegmentBatch.empty_batch()
+    if memflat.is_contiguous:
+        # Identity mapping: buffer address == stream offset.
+        return SegmentBatch(data_offsets.copy(), lengths.copy(), data_offsets.copy())
+    # Merge adjacent stream ranges so the expensive mapping call runs
+    # once per *run*, not once per segment (a realm's worth of data is
+    # usually one contiguous stream run).
+    ends = data_offsets + lengths
+    new_run = np.empty(data_offsets.size, dtype=bool)
+    new_run[0] = True
+    np.not_equal(data_offsets[1:], ends[:-1], out=new_run[1:])
+    run_starts = data_offsets[new_run]
+    run_ids = np.cumsum(new_run) - 1
+    run_lens = np.zeros(run_starts.size, dtype=np.int64)
+    np.add.at(run_lens, run_ids, lengths)
+    parts = [
+        data_to_file_segments(memflat, 0, int(lo), int(lo + ln))
+        for lo, ln in zip(run_starts.tolist(), run_lens.tolist())
+    ]
+    return concat_batches(parts)
+
+
+def concat_batches(parts: Sequence[SegmentBatch]) -> SegmentBatch:
+    """Concatenate batches (summing their cost counters)."""
+    parts = [p for p in parts if not p.empty]
+    if not parts:
+        return SegmentBatch.empty_batch()
+    if len(parts) == 1:
+        return parts[0]
+    return SegmentBatch(
+        np.concatenate([p.file_offsets for p in parts]),
+        np.concatenate([p.lengths for p in parts]),
+        np.concatenate([p.data_offsets for p in parts]),
+        pairs_evaluated=sum(p.pairs_evaluated for p in parts),
+        tiles_skipped=sum(p.tiles_skipped for p in parts),
+    )
+
+
+def merge_extents(
+    offset_arrays: Sequence[np.ndarray], length_arrays: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Union of extents: sorted by offset, adjacent/overlapping merged."""
+    if not offset_arrays:
+        return _EMPTY, _EMPTY
+    offs = np.concatenate(list(offset_arrays))
+    lens = np.concatenate(list(length_arrays))
+    if offs.size == 0:
+        return _EMPTY, _EMPTY
+    order = np.argsort(offs, kind="stable")
+    offs = offs[order]
+    ends = offs + lens[order]
+    # Merge runs where the next extent starts at or before the running end.
+    run_end = np.maximum.accumulate(ends)
+    new_run = np.empty(offs.size, dtype=bool)
+    new_run[0] = True
+    np.greater(offs[1:], run_end[:-1], out=new_run[1:])
+    run_ids = np.cumsum(new_run) - 1
+    out_offs = offs[new_run]
+    out_ends = np.zeros(out_offs.size, dtype=np.int64)
+    np.maximum.at(out_ends, run_ids, ends)
+    return out_offs, out_ends - out_offs
+
+
+def clip_to_range(batch: SegmentBatch, lo: int, hi: int) -> SegmentBatch:
+    """Pieces of ``batch`` inside file range [lo, hi), data offsets
+    shifted consistently.  Assumes file offsets ascending."""
+    fo, ln, do = batch.file_offsets, batch.lengths, batch.data_offsets
+    if fo.size == 0 or hi <= lo:
+        return SegmentBatch.empty_batch()
+    ends = fo + ln
+    i0 = int(np.searchsorted(ends, lo, side="right"))
+    i1 = int(np.searchsorted(fo, hi, side="left"))
+    if i0 >= i1:
+        return SegmentBatch.empty_batch()
+    f = fo[i0:i1].copy()
+    l = ln[i0:i1].copy()
+    d = do[i0:i1].copy()
+    front = max(lo - int(f[0]), 0)
+    f[0] += front
+    d[0] += front
+    l[0] -= front
+    over = max(int(f[-1] + l[-1]) - hi, 0)
+    l[-1] -= over
+    keep = l > 0
+    if not keep.all():
+        f, l, d = f[keep], l[keep], d[keep]
+    return SegmentBatch(f, l, d)
+
+
+def access_histogram(
+    cursor_factory,
+    aar_lo: int,
+    aar_hi: int,
+    nbins: int = 256,
+) -> np.ndarray:
+    """Bytes accessed per equal-width bin over the AAR (local view).
+
+    ``cursor_factory()`` must return a fresh scan cursor over the local
+    access.  Used by the balanced realm strategy."""
+    hist = np.zeros(nbins, dtype=np.int64)
+    span = aar_hi - aar_lo
+    if span <= 0:
+        return hist
+    cur = cursor_factory()
+    edges = [aar_lo + (span * i) // nbins for i in range(nbins + 1)]
+    for i in range(nbins):
+        hist[i] = cur.intersect(edges[i], edges[i + 1]).total_bytes
+    return hist

@@ -1,0 +1,394 @@
+"""The new flexible two-phase implementation (§5).
+
+Write path, per collective call:
+
+1. every rank computes its access span; the aggregate access region is
+   an allreduce;
+2. realms are assigned by the pluggable strategy (or taken from the
+   file's persistent-realm state) — a pure function of AAR + hints, so
+   every rank derives them without extra communication;
+3. every client ships its **flattened filetype** (D pairs + header) to
+   every aggregator; aggregators rebuild a scan cursor per client
+   (§5.3's representation trade: O(D·A) metadata instead of O(M), paid
+   back with O(M·A) pair evaluations — unless whole-tile skipping
+   applies);
+4. rounds: each aggregator walks its realm domain in collective-buffer
+   sized windows.  Clients intersect their access with every
+   aggregator's window (per-aggregator cursors, binary-heap progress
+   tracking); aggregators intersect every client's filetype with their
+   own window;
+5. data moves via alltoallw or nonblocking exchange into the collective
+   buffer, which is flushed through the independent I/O layer with a
+   per-flush method choice (conditional data sieving et al.).
+
+The read path runs the phases in the opposite order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.aggregation import select_aggregators
+from repro.core.env import CollEnv
+from repro.core.exchange import exchange_data
+from repro.core.plan import (
+    access_histogram,
+    compute_aar,
+    concat_batches,
+    mem_batch_for,
+    merge_extents,
+)
+from repro.core.realms import FileRealm, RealmDomain, resolve_strategy
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.segments import FlatCursor, SegmentBatch
+from repro.datatypes.serialize import decode_flat, encode_flat
+from repro.errors import CollectiveIOError
+from repro.io.selection import choose_method
+
+__all__ = ["write_all_new", "read_all_new"]
+
+_TAG_META = (1 << 19) + 1  # library p2p range: below COLLECTIVE_TAG_BASE
+
+
+class _Plan:
+    """Per-call planning state shared by the read and write paths.
+
+    ``total_bytes`` is the number of data bytes carried; ``data_lo`` is
+    the access's starting position in the view's data stream (the
+    individual file pointer / explicit offset), so the touched stream
+    range is [data_lo, data_lo + total_bytes)."""
+
+    def __init__(
+        self, env: CollEnv, memflat: FlatType, total_bytes: int, data_lo: int = 0
+    ) -> None:
+        self.env = env
+        self.memflat = memflat
+        self.total_bytes = total_bytes
+        self.data_lo = data_lo
+        self.data_hi = data_lo + total_bytes
+        ctx, comm, hints = env.ctx, env.comm, env.hints
+        view = env.view
+
+        lo, hi = view.access_span(self.data_hi, data_lo)
+        self.aar_lo, self.aar_hi = compute_aar(comm, lo, hi, total_bytes > 0)
+        self.aggs = select_aggregators(
+            comm.size, hints["cb_nodes"], hints["cb_layout"]
+        )
+        self.my_agg_index = self.aggs.index(comm.rank) if comm.rank in self.aggs else -1
+        self.realms = self._assign_realms()
+        self.domains: List[RealmDomain] = [
+            r.domain(self.aar_lo, self.aar_hi) for r in self.realms
+        ]
+        cb = hints["cb_buffer_size"]
+        self.cb = cb
+        # The conditional-sieving metric: the largest filetype extent in
+        # play (identical on all ranks for uniform views).
+        my_ext = view.flat.extent if total_bytes > 0 else 0
+        self.ft_extent = comm.allreduce(my_ext, op=max)
+
+        # Client-side per-aggregator cursors over my own access.
+        self.client_cursors: Optional[List[FlatCursor]] = None
+        if total_bytes > 0:
+            self.client_cursors = [
+                view.cursor(self.data_hi, data_lo) for _ in self.aggs
+            ]
+
+        # Access-description exchange: flattened filetypes to aggregators.
+        self.agg_cursors: Optional[List[Optional[FlatCursor]]] = None
+        self._exchange_access_descriptions()
+
+        # Clip every aggregator's iteration space to the bounds of the
+        # requests it actually received (ROMIO's st_loc/end_loc): sparse
+        # clusters must not inflate the round count with empty windows.
+        # One allgather keeps clients and aggregators agreeing on the
+        # window geometry.
+        bounds = comm.allgather(self._request_bounds())
+        for ai, a in enumerate(self.aggs):
+            b = bounds[a]
+            if b is None:
+                self.domains[ai] = self.domains[ai].clip(0, 0)
+            else:
+                self.domains[ai] = self.domains[ai].clip(b[0], b[1])
+        self.nrounds = max((d.nrounds(cb) for d in self.domains), default=0)
+
+    # -- realms ---------------------------------------------------------------
+    def _assign_realms(self) -> List[FileRealm]:
+        env = self.env
+        hints = env.hints
+        naggs = len(self.aggs)
+        if hints["persistent_file_realms"]:
+            if env.pfr is None:
+                raise CollectiveIOError("persistent_file_realms requires PFR state")
+            return env.pfr.realms_for(
+                self.aar_lo, self.aar_hi, naggs, hints["realm_alignment"]
+            )
+        strategy = resolve_strategy(hints)
+        histogram = None
+        if strategy.needs_histogram:
+            local = access_histogram(
+                (lambda: env.view.cursor(self.data_hi, self.data_lo))
+                if self.total_bytes > 0
+                else (lambda: _NullCursor()),
+                self.aar_lo,
+                self.aar_hi,
+            )
+            histogram = env.comm.allreduce(local, op=lambda a, b: a + b)
+        return strategy.assign(self.aar_lo, self.aar_hi, naggs, histogram=histogram)
+
+    # -- metadata exchange -------------------------------------------------------
+    def _exchange_access_descriptions(self) -> None:
+        env = self.env
+        comm, ctx, cost = env.comm, env.ctx, env.cost
+        flat = env.view.flat
+        payload = (
+            (encode_flat(flat), env.view.disp, self.data_hi, self.data_lo)
+            if self.total_bytes > 0
+            else None
+        )
+        # Flattening cost on the client: one pass over the D pairs.
+        if payload is not None:
+            ctx.charge(flat.num_segments * cost.cpu_per_flat_pair)
+            env.stats.meta_bytes += len(payload[0]) * sum(
+                1 for a in self.aggs if a != comm.rank
+            )
+        for a in self.aggs:
+            if a != comm.rank:
+                comm.isend(payload, a, _TAG_META)
+        if self.my_agg_index < 0:
+            return
+        cursors: List[Optional[FlatCursor]] = [None] * comm.size
+        for c in range(comm.size):
+            got = payload if c == comm.rank else comm.recv(c, _TAG_META)
+            if got is None:
+                continue
+            blob, disp, d_hi, d_lo = got
+            client_flat = decode_flat(blob)
+            # Aggregator-side processing of the received description.
+            ctx.charge(client_flat.num_segments * cost.cpu_per_flat_pair)
+            cursors[c] = FlatCursor(client_flat, disp, d_hi, d_lo)
+        self.agg_cursors = cursors
+
+    def _request_bounds(self) -> Optional[tuple[int, int]]:
+        """[min, max) file offsets of the requests inside my realm, or
+        None when I am not an aggregator / received nothing.
+
+        Span-based (each client's first..last byte intersected with my
+        domain intervals): cheap, and exact at the outer edges, which is
+        all the round clipping needs."""
+        if self.my_agg_index < 0 or self.agg_cursors is None:
+            return None
+        dom = self.domains[self.my_agg_index]
+        if dom.starts.size == 0:
+            return None
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for cur in self.agg_cursors:
+            if cur is None or cur.tiles == 0:
+                continue
+            c_lo, c_hi = cur.first_byte, cur.last_byte
+            if c_hi <= c_lo:
+                continue
+            # First domain byte inside [c_lo, c_hi).
+            i = int(np.searchsorted(dom.ends, c_lo, side="right"))
+            if i < dom.starts.size and dom.starts[i] < c_hi:
+                cand = max(int(dom.starts[i]), c_lo)
+                lo = cand if lo is None else min(lo, cand)
+            # Last domain byte inside [c_lo, c_hi).
+            j = int(np.searchsorted(dom.starts, c_hi, side="left")) - 1
+            if j >= 0 and dom.ends[j] > c_lo:
+                cand = min(int(dom.ends[j]), c_hi)
+                hi = cand if hi is None else max(hi, cand)
+        if lo is None or hi is None or hi <= lo:
+            return None
+        return (lo, hi)
+
+    # -- per-round routing ------------------------------------------------------
+    def _charge_batch(self, batch: SegmentBatch, *, agg_side: bool) -> None:
+        env = self.env
+        cost = env.cost
+        env.ctx.charge(
+            batch.pairs_evaluated * cost.cpu_per_flat_pair
+            + batch.tiles_skipped * cost.cpu_tile_skip
+        )
+        if agg_side:
+            env.stats.agg_pairs += batch.pairs_evaluated
+            env.stats.agg_tiles_skipped += batch.tiles_skipped
+        else:
+            env.stats.client_pairs += batch.pairs_evaluated
+            env.stats.client_tiles_skipped += batch.tiles_skipped
+
+    def _intersect_window(
+        self, cursor: FlatCursor, window, *, agg_side: bool
+    ) -> SegmentBatch:
+        parts = []
+        pairs = 0
+        tiles = 0
+        for w_lo, w_hi in window.intervals:
+            b = cursor.intersect(w_lo, w_hi)
+            pairs += b.pairs_evaluated
+            tiles += b.tiles_skipped
+            if not b.empty:
+                parts.append(b)
+        merged = concat_batches(parts)
+        merged.pairs_evaluated = pairs
+        merged.tiles_skipped = tiles
+        self._charge_batch(merged, agg_side=agg_side)
+        return merged
+
+    def client_send_plan(self, r: int) -> List[Optional[SegmentBatch]]:
+        """What my data contributes to each aggregator's round-r window,
+        as memory-address batches."""
+        env = self.env
+        comm, cost, hints = env.comm, env.cost, env.hints
+        plan: List[Optional[SegmentBatch]] = [None] * comm.size
+        if self.client_cursors is None:
+            return plan
+        use_heap = hints["use_heap"]
+        naggs = len(self.aggs)
+        heap_cost = cost.cpu_heap_op * (1 + math.log2(naggs)) if use_heap else 0.0
+        for ai, a in enumerate(self.aggs):
+            window = self.domains[ai].window(r, self.cb)
+            if window.empty:
+                continue
+            if use_heap:
+                env.ctx.charge(heap_cost)
+            batch = self._intersect_window(
+                self.client_cursors[ai], window, agg_side=False
+            )
+            if batch.empty:
+                continue
+            plan[a] = mem_batch_for(
+                self.memflat, batch.data_offsets - self.data_lo, batch.lengths
+            )
+        if not use_heap:
+            # Without progress tracking the client rescans its access
+            # from the start for every aggregator on the next round.
+            for cur in self.client_cursors:
+                cur.reset()
+        return plan
+
+    def agg_recv_layout(self, r: int):
+        """(window, per-client buffer batches, merged write extents) for
+        my aggregator role this round, or (None, ..., ...)."""
+        env = self.env
+        comm = env.comm
+        if self.my_agg_index < 0 or self.agg_cursors is None:
+            return None, [None] * comm.size, (None, None)
+        window = self.domains[self.my_agg_index].window(r, self.cb)
+        if window.empty:
+            return None, [None] * comm.size, (None, None)
+        per_client: List[Optional[SegmentBatch]] = [None] * comm.size
+        ext_offs = []
+        ext_lens = []
+        for c in range(comm.size):
+            cur = self.agg_cursors[c]
+            if cur is None:
+                continue
+            batch = self._intersect_window(cur, window, agg_side=True)
+            if batch.empty:
+                continue
+            bufpos = window.to_buffer(batch.file_offsets)
+            # data_offsets keep file order (== the client's data order
+            # for a monotonic view), which is the exchange's order key.
+            per_client[c] = SegmentBatch(bufpos, batch.lengths, batch.file_offsets)
+            ext_offs.append(batch.file_offsets)
+            ext_lens.append(batch.lengths)
+        merged = merge_extents(ext_offs, ext_lens)
+        return window, per_client, merged
+
+
+class _NullCursor:
+    """Cursor stand-in for ranks with no data (histogram path)."""
+
+    def intersect(self, lo: int, hi: int) -> SegmentBatch:
+        return SegmentBatch.empty_batch()
+
+
+def _flush_merged(env: CollEnv, plan: _Plan, window, merged, cbuf: np.ndarray) -> None:
+    offs, lens = merged
+    if offs is None or offs.size == 0:
+        return
+    bufpos = window.to_buffer(offs)
+    wbatch = SegmentBatch(offs, lens.copy(), bufpos)
+    method = choose_method(env.hints, plan.ft_extent, wbatch)
+    env.stats.note_flush(method)
+    env.adio.write_strided(wbatch, cbuf, method)
+
+
+def _fill_merged(env: CollEnv, plan: _Plan, window, merged) -> Optional[np.ndarray]:
+    offs, lens = merged
+    cbuf = np.zeros(window.total_bytes, dtype=np.uint8)
+    if offs is None or offs.size == 0:
+        return cbuf
+    bufpos = window.to_buffer(offs)
+    rbatch = SegmentBatch(offs, lens.copy(), bufpos)
+    method = choose_method(env.hints, plan.ft_extent, rbatch)
+    env.stats.note_flush(method)
+    data = env.adio.read_strided(rbatch, method)
+    cbuf[: data.size] = data
+    return cbuf
+
+
+def write_all_new(
+    env: CollEnv,
+    buf: np.ndarray,
+    memflat: FlatType,
+    total_bytes: int,
+    data_lo: int = 0,
+) -> None:
+    """Collective write of ``total_bytes`` from ``buf`` (laid out by
+    ``memflat``) through the rank's file view, starting at data-stream
+    position ``data_lo`` (the individual file pointer)."""
+    plan = _Plan(env, memflat, total_bytes, data_lo)
+    comm, cost = env.comm, env.cost
+    mode = env.hints["exchange"]
+    env.stats.rounds += plan.nrounds
+    for r in range(plan.nrounds):
+        with env.ctx.trace("tp:route", round=r):
+            send_plan = plan.client_send_plan(r)
+            window, recv_plan, merged = plan.agg_recv_layout(r)
+            cbuf = (
+                np.zeros(window.total_bytes, dtype=np.uint8)
+                if window is not None
+                else None
+            )
+        with env.ctx.trace("tp:exchange", round=r):
+            env.stats.bytes_exchanged += exchange_data(
+                comm, cost, mode, buf, send_plan, cbuf, recv_plan
+            )
+        with env.ctx.trace("tp:io", round=r):
+            if window is not None and cbuf is not None:
+                _flush_merged(env, plan, window, merged, cbuf)
+    env.stats.collective_writes += 1
+
+
+def read_all_new(
+    env: CollEnv,
+    buf: np.ndarray,
+    memflat: FlatType,
+    total_bytes: int,
+    data_lo: int = 0,
+) -> None:
+    """Collective read into ``buf`` through the rank's file view,
+    starting at data-stream position ``data_lo``."""
+    plan = _Plan(env, memflat, total_bytes, data_lo)
+    comm, cost = env.comm, env.cost
+    mode = env.hints["exchange"]
+    env.stats.rounds += plan.nrounds
+    for r in range(plan.nrounds):
+        with env.ctx.trace("tp:route", round=r):
+            # On reads, data flows aggregator -> client: the aggregator's
+            # per-client layouts become SEND batches, the client's
+            # memory batches become RECV batches.
+            recv_plan = plan.client_send_plan(r)
+            window, send_plan, merged = plan.agg_recv_layout(r)
+        with env.ctx.trace("tp:io", round=r):
+            cbuf = _fill_merged(env, plan, window, merged) if window is not None else None
+        with env.ctx.trace("tp:exchange", round=r):
+            env.stats.bytes_exchanged += exchange_data(
+                comm, cost, mode, cbuf, send_plan, buf, recv_plan
+            )
+    env.stats.collective_reads += 1

@@ -1,0 +1,261 @@
+"""The original ROMIO-style two-phase implementation (the baseline).
+
+Structural differences from the new code, per the paper:
+
+* the client flattens its **entire access** into M offset/length pairs
+  up front, partitions them by realm, and ships each aggregator its
+  m_i pairs — O(M) computation, memory, and network;
+* realms are always the even partition of the aggregate access region
+  (no datatypes, no alignment, no persistence, no load balancing);
+* the exchange is always the post-everything-then-wait nonblocking
+  pattern (no alltoallw, no overlap);
+* data sieving is **integrated**: the collective buffer is the sieve
+  buffer.  The aggregator pre-reads the window span when holes exist,
+  receives client data straight into that buffer, and writes the span
+  back — one less buffer copy than the layered design, but only one
+  I/O method, fused into the collective path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.aggregation import select_aggregators
+from repro.core.env import CollEnv
+from repro.core.exchange import exchange_data
+from repro.core.plan import clip_to_range, compute_aar, mem_batch_for, merge_extents
+from repro.core.realms import EvenPartition
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.segments import SegmentBatch
+
+__all__ = ["write_all_old", "read_all_old"]
+
+_TAG_REQS = (1 << 19) + 2  # library p2p range: below COLLECTIVE_TAG_BASE
+
+
+class _OldPlan:
+    def __init__(
+        self, env: CollEnv, memflat: FlatType, total_bytes: int, data_lo: int = 0
+    ) -> None:
+        self.env = env
+        self.memflat = memflat
+        self.total_bytes = total_bytes
+        self.data_lo = data_lo
+        ctx, comm, cost, hints = env.ctx, env.comm, env.cost, env.hints
+        view = env.view
+
+        # Flatten the whole access: M pairs, charged per pair.
+        if total_bytes > 0:
+            cursor = view.cursor(data_lo + total_bytes, data_lo)
+            self.my_access = cursor.all_segments()
+            ctx.charge(self.my_access.pairs_evaluated * cost.cpu_per_flat_pair)
+            env.stats.client_pairs += self.my_access.pairs_evaluated
+            lo, hi = int(self.my_access.file_offsets[0]), int(
+                (self.my_access.file_offsets + self.my_access.lengths).max()
+            )
+        else:
+            self.my_access = SegmentBatch.empty_batch()
+            lo = hi = 0
+        self.aar_lo, self.aar_hi = compute_aar(comm, lo, hi, total_bytes > 0)
+        self.aggs = select_aggregators(
+            comm.size, hints["cb_nodes"], hints["cb_layout"]
+        )
+        self.my_agg_index = self.aggs.index(comm.rank) if comm.rank in self.aggs else -1
+        naggs = len(self.aggs)
+
+        realms = EvenPartition().assign(self.aar_lo, self.aar_hi, naggs)
+        self.bounds: List[tuple[int, int]] = []
+        for realm in realms:
+            dom = realm.domain(self.aar_lo, self.aar_hi)
+            if dom.starts.size:
+                self.bounds.append((int(dom.starts[0]), int(dom.ends[-1])))
+            else:
+                self.bounds.append((self.aar_hi, self.aar_hi))
+
+        # Partition my M pairs by realm (one more O(M) pass) and ship
+        # each aggregator its offset/length lists.
+        self.my_parts: List[SegmentBatch] = []
+        send_objs: List[Optional[object]] = [None] * comm.size
+        for ai, a in enumerate(self.aggs):
+            r_lo, r_hi = self.bounds[ai]
+            part = clip_to_range(self.my_access, r_lo, r_hi)
+            self.my_parts.append(part)
+            if part.empty:
+                continue
+            wire = np.stack([part.file_offsets, part.lengths], axis=1)
+            send_objs[a] = wire
+            env.stats.meta_bytes += wire.nbytes if a != comm.rank else 0
+        if total_bytes > 0:
+            ctx.charge(self.my_access.num_segments * cost.cpu_per_flat_pair)
+            env.stats.client_pairs += self.my_access.num_segments
+
+        # The request exchange is an all-to-all of per-aggregator lists.
+        received = comm.alltoall(send_objs)
+        self.client_reqs: List[Optional[SegmentBatch]] = [None] * comm.size
+        if self.my_agg_index >= 0:
+            for c, wire in enumerate(received):
+                if wire is None:
+                    continue
+                offs = wire[:, 0].astype(np.int64)
+                lens = wire[:, 1].astype(np.int64)
+                ctx.charge(offs.size * cost.cpu_per_flat_pair)
+                env.stats.agg_pairs += int(offs.size)
+                dp = np.zeros(offs.size, dtype=np.int64)
+                np.cumsum(lens[:-1], out=dp[1:])
+                self.client_reqs[c] = SegmentBatch(offs, lens, dp)
+
+        # Clip each aggregator's iteration space to its received
+        # requests' min/max offsets (ROMIO's st_loc/end_loc), shared via
+        # allgather so clients slice windows identically.
+        if self.my_agg_index >= 0:
+            req_lo: Optional[int] = None
+            req_hi: Optional[int] = None
+            for reqs in self.client_reqs:
+                if reqs is None or reqs.empty:
+                    continue
+                lo_ = int(reqs.file_offsets[0])
+                hi_ = int((reqs.file_offsets + reqs.lengths).max())
+                req_lo = lo_ if req_lo is None else min(req_lo, lo_)
+                req_hi = hi_ if req_hi is None else max(req_hi, hi_)
+            mine = (req_lo, req_hi) if req_lo is not None else None
+        else:
+            mine = None
+        gathered = comm.allgather(mine)
+        self.win_bounds: List[tuple[int, int]] = []
+        for ai, a in enumerate(self.aggs):
+            b = gathered[a]
+            self.win_bounds.append((b[0], b[1]) if b is not None else (0, 0))
+
+        cb = hints["cb_buffer_size"]
+        self.cb = cb
+        # Rounds cover each aggregator's requested *span* (not its data
+        # volume) — the original code slices the region, holes and all.
+        spans = [max(hi_ - lo_, 0) for lo_, hi_ in self.win_bounds]
+        self.nrounds = max((-(-s // cb) for s in spans if s), default=0)
+
+    def my_window(self, ai: int, r: int) -> tuple[int, int]:
+        lo, hi = self.win_bounds[ai]
+        w_lo = lo + r * self.cb
+        w_hi = min(w_lo + self.cb, hi)
+        return w_lo, max(w_hi, w_lo)
+
+
+def _client_plan(plan: _OldPlan, r: int) -> List[Optional[SegmentBatch]]:
+    """Memory batches this client contributes to each aggregator."""
+    env = plan.env
+    out: List[Optional[SegmentBatch]] = [None] * env.comm.size
+    if plan.total_bytes == 0:
+        return out
+    for ai, a in enumerate(plan.aggs):
+        w_lo, w_hi = plan.my_window(ai, r)
+        if w_hi <= w_lo:
+            continue
+        part = clip_to_range(plan.my_parts[ai], w_lo, w_hi)
+        if part.empty:
+            continue
+        out[a] = mem_batch_for(
+            plan.memflat, part.data_offsets - plan.data_lo, part.lengths
+        )
+    return out
+
+
+def _agg_layout(plan: _OldPlan, r: int):
+    """(window span, per-client buffer batches, merged extents)."""
+    env = plan.env
+    comm = env.comm
+    if plan.my_agg_index < 0:
+        return None, [None] * comm.size, (None, None)
+    w_lo, w_hi = plan.my_window(plan.my_agg_index, r)
+    if w_hi <= w_lo:
+        return None, [None] * comm.size, (None, None)
+    per_client: List[Optional[SegmentBatch]] = [None] * comm.size
+    ext_offs, ext_lens = [], []
+    for c in range(comm.size):
+        reqs = plan.client_reqs[c]
+        if reqs is None:
+            continue
+        part = clip_to_range(reqs, w_lo, w_hi)
+        if part.empty:
+            continue
+        bufpos = part.file_offsets - w_lo
+        per_client[c] = SegmentBatch(bufpos, part.lengths, part.file_offsets)
+        ext_offs.append(part.file_offsets)
+        ext_lens.append(part.lengths)
+    merged = merge_extents(ext_offs, ext_lens)
+    return (w_lo, w_hi), per_client, merged
+
+
+def write_all_old(
+    env: CollEnv,
+    buf: np.ndarray,
+    memflat: FlatType,
+    total_bytes: int,
+    data_lo: int = 0,
+) -> None:
+    """Collective write, original implementation."""
+    plan = _OldPlan(env, memflat, total_bytes, data_lo)
+    comm, cost = env.comm, env.cost
+    env.stats.rounds += plan.nrounds
+    for r in range(plan.nrounds):
+        with env.ctx.trace("tp:route", round=r):
+            send_plan = _client_plan(plan, r)
+            span, recv_plan, (m_offs, m_lens) = _agg_layout(plan, r)
+        cbuf = None
+        span_lo = span_hi = 0
+        with env.ctx.trace("tp:io", round=r):
+            if span is not None and m_offs is not None and m_offs.size:
+                span_lo = int(m_offs[0])
+                span_hi = int((m_offs + m_lens).max())
+                covered = int(m_lens.sum())
+                cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                if covered < span_hi - span_lo:
+                    # Holes: pre-read so the span write-back preserves
+                    # the gap bytes (integrated data sieving's RMW).
+                    pre = env.adio.local.read(span_lo, span_hi - span_lo)
+                    cbuf[span_lo - span[0] : span_hi - span[0]] = pre
+        with env.ctx.trace("tp:exchange", round=r):
+            env.stats.bytes_exchanged += exchange_data(
+                comm, cost, "nonblocking", buf, send_plan, cbuf, recv_plan
+            )
+        with env.ctx.trace("tp:io", round=r):
+            if cbuf is not None:
+                env.stats.note_flush("datasieve-integrated")
+                env.adio.local.write(
+                    span_lo, cbuf[span_lo - span[0] : span_hi - span[0]]
+                )
+    env.stats.collective_writes += 1
+
+
+def read_all_old(
+    env: CollEnv,
+    buf: np.ndarray,
+    memflat: FlatType,
+    total_bytes: int,
+    data_lo: int = 0,
+) -> None:
+    """Collective read, original implementation (integrated read sieve:
+    the aggregator reads its whole window span once, then distributes)."""
+    plan = _OldPlan(env, memflat, total_bytes, data_lo)
+    comm, cost = env.comm, env.cost
+    env.stats.rounds += plan.nrounds
+    for r in range(plan.nrounds):
+        with env.ctx.trace("tp:route", round=r):
+            recv_plan = _client_plan(plan, r)
+            span, send_plan, (m_offs, m_lens) = _agg_layout(plan, r)
+        cbuf = None
+        with env.ctx.trace("tp:io", round=r):
+            if span is not None and m_offs is not None and m_offs.size:
+                span_lo = int(m_offs[0])
+                span_hi = int((m_offs + m_lens).max())
+                cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                env.stats.note_flush("datasieve-integrated")
+                cbuf[span_lo - span[0] : span_hi - span[0]] = env.adio.local.read(
+                    span_lo, span_hi - span_lo
+                )
+        with env.ctx.trace("tp:exchange", round=r):
+            env.stats.bytes_exchanged += exchange_data(
+                comm, cost, "nonblocking", cbuf, send_plan, buf, recv_plan
+            )
+    env.stats.collective_reads += 1

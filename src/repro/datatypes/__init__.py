@@ -1,0 +1,90 @@
+"""MPI derived datatypes, flattening, cursors, and packing.
+
+This package is a from-scratch implementation of the MPI datatype
+machinery the paper's collective I/O relies on:
+
+* :mod:`~repro.datatypes.base` — the :class:`Datatype` hierarchy and
+  primitive types (BYTE, INT, DOUBLE, ...);
+* :mod:`~repro.datatypes.constructors` — ``contiguous``, ``vector``,
+  ``hvector``, ``indexed``, ``hindexed``, ``indexed_block``, ``struct``,
+  ``subarray``, ``resized``;
+* :mod:`~repro.datatypes.flatten` — :class:`FlatType`, the canonical
+  flattened (offset/length in data order, coalesced) representation;
+* :mod:`~repro.datatypes.segments` — :class:`FlatCursor`, the tiled
+  range-intersection cursor with the paper's whole-tile skipping
+  optimization and per-pair cost counters;
+* :mod:`~repro.datatypes.packing` — gather/scatter between user buffers
+  and the data-order byte stream;
+* :mod:`~repro.datatypes.serialize` — wire encoding of flattened
+  datatypes (what the new implementation ships to aggregators).
+"""
+
+from repro.datatypes.base import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT64,
+    SHORT,
+    Datatype,
+    PrimitiveType,
+)
+from repro.datatypes.darray import (
+    DISTRIBUTE_BLOCK,
+    DISTRIBUTE_CYCLIC,
+    DISTRIBUTE_NONE,
+    darray,
+)
+from repro.datatypes.constructors import (
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.packapi import pack, pack_size, unpack
+from repro.datatypes.packing import gather_bytes, scatter_bytes
+from repro.datatypes.segments import FlatCursor, SegmentBatch
+from repro.datatypes.serialize import decode_flat, encode_flat, wire_size
+
+__all__ = [
+    "Datatype",
+    "PrimitiveType",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "INT64",
+    "FLOAT",
+    "DOUBLE",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "struct",
+    "subarray",
+    "resized",
+    "darray",
+    "DISTRIBUTE_NONE",
+    "DISTRIBUTE_BLOCK",
+    "DISTRIBUTE_CYCLIC",
+    "FlatType",
+    "FlatCursor",
+    "SegmentBatch",
+    "pack",
+    "unpack",
+    "pack_size",
+    "gather_bytes",
+    "scatter_bytes",
+    "encode_flat",
+    "decode_flat",
+    "wire_size",
+]

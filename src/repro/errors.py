@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event engine failures."""
+
+
+class SimDeadlock(SimulationError):
+    """All live ranks are blocked and no event can wake any of them.
+
+    Carries a human-readable dump of each rank's state to make collective
+    mismatches (e.g. one rank missing a barrier) easy to diagnose.
+    """
+
+
+class RankFailed(SimulationError):
+    """A rank's main function raised; the original traceback is chained."""
+
+    def __init__(self, rank: int, message: str = "") -> None:
+        super().__init__(f"rank {rank} failed{': ' + message if message else ''}")
+        self.rank = rank
+
+
+class MPIError(ReproError):
+    """Invalid use of the simulated MPI interface."""
+
+
+class DatatypeError(ReproError):
+    """Invalid datatype construction or use (negative lengths, overlap
+    where forbidden, count mismatch, uncommitted use, ...)."""
+
+
+class FileSystemError(ReproError):
+    """Simulated file system failure (unknown file, bad mode, ...)."""
+
+
+class CollectiveIOError(ReproError):
+    """Invalid use of the collective I/O layer (no view set, mismatched
+    collective calls, unknown hint values, ...)."""
+
+
+class HintError(CollectiveIOError):
+    """An MPI-Info style hint has an unrecognized key or malformed value."""

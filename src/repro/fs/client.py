@@ -1,0 +1,140 @@
+"""Per-rank file-system client and open-file handles."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import FileSystemError
+from repro.fs.cache import PageCache
+from repro.fs.filesystem import SimFileSystem
+from repro.sim.engine import RankContext
+
+__all__ = ["FSClient", "LocalFile"]
+
+
+class FSClient:
+    """A rank's connection to the shared file system."""
+
+    def __init__(self, fs: SimFileSystem, ctx: RankContext, client_id: Optional[int] = None):
+        self.fs = fs
+        self.ctx = ctx
+        self.client_id = ctx.rank if client_id is None else client_id
+
+    def open(
+        self,
+        path: str,
+        *,
+        create: bool = True,
+        cache_mode: str = "coherent",
+        cache_capacity_pages: int = 16384,
+    ) -> "LocalFile":
+        if create:
+            self.fs.ensure_file(path)
+        elif not self.fs.exists(path):
+            raise FileSystemError(f"no such file: {path!r}")
+        return LocalFile(self, path, cache_mode, cache_capacity_pages)
+
+
+class LocalFile:
+    """An open file as seen by one client, fronted by its page cache."""
+
+    def __init__(
+        self, client: FSClient, path: str, cache_mode: str, cache_capacity_pages: int
+    ) -> None:
+        self.client = client
+        self.fs = client.fs
+        self.ctx = client.ctx
+        self.path = path
+        self.cache = PageCache(
+            client.fs,
+            path,
+            client.client_id,
+            mode=cache_mode,
+            capacity_pages=cache_capacity_pages,
+        )
+        self._open = True
+
+    # -- basic ops ----------------------------------------------------------
+    def _require_open(self) -> None:
+        if not self._open:
+            raise FileSystemError(f"file {self.path!r} is closed")
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Write one contiguous extent."""
+        self._require_open()
+        data = np.asarray(data, dtype=np.uint8)
+        self.cache.write(
+            self.ctx,
+            np.array([offset], dtype=np.int64),
+            np.array([data.size], dtype=np.int64),
+            data,
+        )
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read one contiguous extent."""
+        self._require_open()
+        return self.cache.read(
+            self.ctx,
+            np.array([offset], dtype=np.int64),
+            np.array([nbytes], dtype=np.int64),
+        )
+
+    def write_batch(
+        self,
+        offsets: Iterable[int] | np.ndarray,
+        lengths: Iterable[int] | np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        """Write many extents in one call (list-I/O style)."""
+        self._require_open()
+        self.cache.write(
+            self.ctx,
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(lengths, dtype=np.int64),
+            np.asarray(data, dtype=np.uint8),
+        )
+
+    def read_batch(
+        self,
+        offsets: Iterable[int] | np.ndarray,
+        lengths: Iterable[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Read many extents in one call (list-I/O style)."""
+        self._require_open()
+        return self.cache.read(
+            self.ctx,
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(lengths, dtype=np.int64),
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+    def sync(self) -> int:
+        """Flush dirty cached pages to the server."""
+        self._require_open()
+        return self.cache.sync(self.ctx)
+
+    def invalidate(self) -> None:
+        """Drop clean cached pages (dirty ones too — sync first)."""
+        self.cache.invalidate()
+
+    def close(self) -> int:
+        """Sync and close; returns pages flushed."""
+        if not self._open:
+            return 0
+        flushed = self.cache.sync(self.ctx)
+        self.cache.invalidate()
+        self._open = False
+        return flushed
+
+    @property
+    def size(self) -> int:
+        """Server-visible file size (cached dirty data may exceed it)."""
+        return self.fs.file_size(self.path)
+
+    def __enter__(self) -> "LocalFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,363 @@
+"""The shared file-system server model.
+
+One :class:`SimFileSystem` instance is shared by every rank (it lives
+in the simulator's ``shared`` dict or is captured by the rank mains).
+Under the engine's single-running-thread invariant it needs no locking.
+
+Cost model of one server call (a batch of contiguous extents):
+
+* the calling client pays ``io_call_overhead``;
+* extent locks are acquired per batch span (see
+  :class:`~repro.fs.locks.ExtentLockManager`): an RPC when the grant is
+  not already held, a revocation penalty per granule taken from another
+  client, plus — for *coherent* victim caches — the victim's dirty
+  pages in the range are flushed and invalidated;
+* each extent is split over the file's OSTs by the stripe map; every
+  OST charges ``ost_op_latency`` per request fragment plus
+  ``ost_byte_time`` per byte plus ``page_rmw_penalty`` per partially
+  covered page (writes only), serialized on that OST's availability —
+  which is how OST contention between aggregators arises;
+* the call completes when the slowest OST involved finishes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.errors import FileSystemError
+from repro.fs.locks import ExtentLockManager, LockCharge
+from repro.fs.store import PageStore
+from repro.sim.engine import RankContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cache import PageCache
+
+__all__ = ["SimFileSystem", "FileStats"]
+
+
+class FileStats:
+    """Operation counters for one file (inspected by tests/benches)."""
+
+    __slots__ = (
+        "server_reads",
+        "server_writes",
+        "bytes_read",
+        "bytes_written",
+        "rmw_pages",
+        "lock_rpcs",
+        "lock_revocations",
+        "revoke_flush_pages",
+    )
+
+    def __init__(self) -> None:
+        self.server_reads = 0
+        self.server_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.rmw_pages = 0
+        self.lock_rpcs = 0
+        self.lock_revocations = 0
+        self.revoke_flush_pages = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _File:
+    __slots__ = ("store", "locks", "stats")
+
+    def __init__(self, page_size: int, lock_granularity: int) -> None:
+        self.store = PageStore(page_size)
+        self.locks = ExtentLockManager(lock_granularity)
+        self.stats = FileStats()
+
+
+class SimFileSystem:
+    """Striped object store shared by all simulated clients."""
+
+    def __init__(
+        self,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        lock_granularity: Optional[int] = None,
+    ) -> None:
+        cost.validate()
+        self.cost = cost
+        self.lock_granularity = (
+            lock_granularity if lock_granularity is not None else cost.page_size
+        )
+        self._files: Dict[str, _File] = {}
+        self._ost_available = [0.0] * cost.num_osts
+        #: client_id -> list of caches to notify on revocation.
+        self._caches: Dict[int, List["PageCache"]] = {}
+
+    # -- namespace ---------------------------------------------------------
+    def ensure_file(self, path: str) -> None:
+        if path not in self._files:
+            self._files[path] = _File(self.cost.page_size, self.lock_granularity)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def _file(self, path: str) -> _File:
+        f = self._files.get(path)
+        if f is None:
+            raise FileSystemError(f"no such file: {path!r}")
+        return f
+
+    def file_size(self, path: str) -> int:
+        return self._file(path).store.size
+
+    def stats(self, path: str) -> FileStats:
+        return self._file(path).stats
+
+    def raw_bytes(self, path: str, offset: int, nbytes: int) -> np.ndarray:
+        """Server-side contents, for verification only (no cost)."""
+        return self._file(path).store.read(offset, nbytes)
+
+    def raw_write(self, path: str, offset: int, data: np.ndarray) -> None:
+        """Install contents directly, for test setup only (no cost)."""
+        self.ensure_file(path)
+        self._file(path).store.write(offset, data)
+
+    def register_cache(self, client_id: int, cache: "PageCache") -> None:
+        self._caches.setdefault(client_id, []).append(cache)
+
+    # -- cost helpers ---------------------------------------------------------
+    def _charge_locks(
+        self,
+        ctx: RankContext,
+        f: _File,
+        client_id: int,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        path: str,
+    ) -> None:
+        """Acquire extent locks for a batch, one acquisition per merged
+        contiguous run (span-locking the whole batch would over-lock
+        wildly for sparse batches, e.g. a cyclic realm's flush)."""
+        g = f.locks.granularity
+        if offsets.size > 1 and not (offsets[1:] >= offsets[:-1]).all():
+            order = np.argsort(offsets, kind="stable")
+            offsets = offsets[order]
+            lengths = lengths[order]
+        charges: list[LockCharge] = []
+        run_lo = run_hi = None
+        for o, l in zip(offsets.tolist(), lengths.tolist()):
+            lo, hi = o, o + l
+            if run_lo is None:
+                run_lo, run_hi = lo, hi
+            elif lo <= run_hi + g - 1:  # same or adjacent granule: merge
+                run_hi = max(run_hi, hi)
+            else:
+                charges.append(f.locks.acquire(client_id, run_lo, run_hi))
+                run_lo, run_hi = lo, hi
+        if run_lo is not None:
+            charges.append(f.locks.acquire(client_id, run_lo, run_hi))
+        rpcs = sum(c.rpcs for c in charges)
+        revoked = sum(c.revoked_granules for c in charges)
+        f.stats.lock_rpcs += rpcs
+        f.stats.lock_revocations += revoked
+        ctx.charge(rpcs * self.cost.lock_rpc + revoked * self.cost.lock_revoke)
+        # Coherent victims must flush and drop their pages in the range;
+        # the requester waits for it, so the requester's clock pays.
+        for charge in charges:
+            for victim, r_lo, r_hi in charge.revoked_ranges:
+                for cache in self._caches.get(victim, []):
+                    if cache.path == path and cache.coherent:
+                        flushed = cache.flush_and_invalidate_range(ctx, r_lo, r_hi)
+                        f.stats.revoke_flush_pages += flushed
+
+    def _split_over_osts(
+        self, offsets: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(bytes_per_ost, request_fragments_per_ost) for a batch."""
+        cost = self.cost
+        n_ost = cost.num_osts
+        stripe = cost.stripe_size
+        bytes_per = np.zeros(n_ost, dtype=np.int64)
+        reqs_per = np.zeros(n_ost, dtype=np.int64)
+        offs = offsets.astype(np.int64).copy()
+        lens = lengths.astype(np.int64).copy()
+        # Peel one stripe-bounded piece off every extent per iteration;
+        # iterations = max stripes crossed by any extent.
+        while True:
+            active = lens > 0
+            if not active.any():
+                break
+            o = offs[active]
+            l = lens[active]
+            piece = np.minimum(l, stripe - (o % stripe))
+            ost = (o // stripe) % n_ost
+            np.add.at(bytes_per, ost, piece)
+            np.add.at(reqs_per, ost, 1)
+            offs[active] += piece
+            lens[active] -= piece
+        return bytes_per, reqs_per
+
+    @staticmethod
+    def _partial_pages(offsets: np.ndarray, lengths: np.ndarray, page: int) -> int:
+        """Pages touched but not fully covered, per extent (RMW count)."""
+        if offsets.size == 0:
+            return 0
+        a = offsets.astype(np.int64)
+        b = a + lengths.astype(np.int64)
+        first_partial = (a % page) != 0
+        last_partial = (b % page) != 0
+        partial = first_partial.astype(np.int64) + last_partial.astype(np.int64)
+        same_page = (a // page) == ((b - 1) // page)
+        partial[same_page] = np.minimum(partial[same_page], 1)
+        return int(partial.sum())
+
+    def _serve(
+        self,
+        ctx: RankContext,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        rmw_pages: int,
+    ) -> None:
+        """Charge OST service for a batch, honoring per-OST queues."""
+        cost = self.cost
+        bytes_per, reqs_per = self._split_over_osts(offsets, lengths)
+        # Spread the RMW penalty over the OSTs proportionally to requests.
+        total_reqs = int(reqs_per.sum())
+        arrive = ctx.now
+        finish = arrive
+        for ost in range(cost.num_osts):
+            if reqs_per[ost] == 0:
+                continue
+            share = rmw_pages * (reqs_per[ost] / total_reqs) if total_reqs else 0.0
+            service = (
+                int(reqs_per[ost]) * cost.ost_op_latency
+                + int(bytes_per[ost]) * cost.ost_byte_time
+                + share * cost.page_rmw_penalty
+            )
+            start = max(arrive, self._ost_available[ost])
+            done = start + service
+            self._ost_available[ost] = done
+            finish = max(finish, done)
+        ctx.charge_to(finish)
+        ctx.yield_now()
+
+    @staticmethod
+    def _as_batch(
+        offsets: Iterable[int] | np.ndarray, lengths: Iterable[int] | np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        offs = np.asarray(offsets, dtype=np.int64).ravel()
+        lens = np.asarray(lengths, dtype=np.int64).ravel()
+        if offs.shape != lens.shape:
+            raise FileSystemError("offsets and lengths must have the same shape")
+        if offs.size and (offs < 0).any() or (lens < 0).any():
+            raise FileSystemError("offsets and lengths must be non-negative")
+        keep = lens > 0
+        if not keep.all():
+            offs, lens = offs[keep], lens[keep]
+        return offs, lens
+
+    def acquire_extents(
+        self,
+        ctx: RankContext,
+        client_id: int,
+        path: str,
+        offsets: Iterable[int] | np.ndarray,
+        lengths: Iterable[int] | np.ndarray,
+    ) -> None:
+        """Take the extent locks for a byte range without moving data.
+
+        Coherent client caches call this before dirtying bytes: holding
+        the lock while caching dirty data is what lets a later conflicting
+        access find (and flush) that data via revocation — without it, a
+        write-around cache would hide bytes from other clients.
+
+        Acquisition verifies and retries: revoking a victim's dirty
+        pages yields the processor, during which another client may
+        steal the very granules being acquired.  The caller must
+        actually hold them when this returns (its next step is dirtying
+        bytes under their protection)."""
+        f = self._file(path)
+        offs, lens = self._as_batch(offsets, lengths)
+        if offs.size == 0:
+            return
+        lo_all = offs.min()
+        hi_all = int((offs + lens).max())
+        for _ in range(64):
+            self._charge_locks(ctx, f, client_id, offs, lens, path)
+            held = all(
+                f.locks.holds(client_id, int(o), int(o + l))
+                for o, l in zip(offs.tolist(), lens.tolist())
+            )
+            if held:
+                return
+        raise FileSystemError(
+            f"extent lock livelock on {path!r} [{lo_all}, {hi_all}) for client {client_id}"
+        )
+
+    # -- server entry points -----------------------------------------------------
+    def server_write(
+        self,
+        ctx: RankContext,
+        client_id: int,
+        path: str,
+        offsets: Iterable[int] | np.ndarray,
+        lengths: Iterable[int] | np.ndarray,
+        data: np.ndarray,
+        *,
+        acquire_locks: bool = True,
+    ) -> None:
+        """One write call carrying a batch of contiguous extents.
+
+        ``data`` holds the extents' bytes concatenated in batch order.
+        """
+        f = self._file(path)
+        offs, lens = self._as_batch(offsets, lengths)
+        data = np.asarray(data, dtype=np.uint8)
+        total = int(lens.sum())
+        if data.size != total:
+            raise FileSystemError(
+                f"server_write: data has {data.size} bytes, extents total {total}"
+            )
+        ctx.charge(self.cost.io_call_overhead)
+        if offs.size == 0:
+            return
+        if acquire_locks:
+            self._charge_locks(ctx, f, client_id, offs, lens, path)
+        rmw = self._partial_pages(offs, lens, self.cost.page_size)
+        f.stats.rmw_pages += rmw
+        f.stats.server_writes += 1
+        f.stats.bytes_written += total
+        pos = 0
+        for o, l in zip(offs.tolist(), lens.tolist()):
+            f.store.write(o, data[pos : pos + l])
+            pos += l
+        self._serve(ctx, offs, lens, rmw)
+
+    def server_read(
+        self,
+        ctx: RankContext,
+        client_id: int,
+        path: str,
+        offsets: Iterable[int] | np.ndarray,
+        lengths: Iterable[int] | np.ndarray,
+        *,
+        acquire_locks: bool = True,
+    ) -> np.ndarray:
+        """One read call for a batch of extents; returns concatenated bytes."""
+        f = self._file(path)
+        offs, lens = self._as_batch(offsets, lengths)
+        ctx.charge(self.cost.io_call_overhead)
+        total = int(lens.sum())
+        out = np.empty(total, dtype=np.uint8)
+        if offs.size == 0:
+            return out
+        if acquire_locks:
+            self._charge_locks(ctx, f, client_id, offs, lens, path)
+        f.stats.server_reads += 1
+        f.stats.bytes_read += total
+        pos = 0
+        for o, l in zip(offs.tolist(), lens.tolist()):
+            out[pos : pos + l] = f.store.read(o, l)
+            pos += l
+        self._serve(ctx, offs, lens, 0)
+        return out

@@ -1,0 +1,85 @@
+"""Sorted disjoint byte-interval sets (per-page valid/dirty tracking).
+
+A :class:`ByteRuns` holds [start, end) intervals, merged on insert.
+Used by the client cache to track which bytes of a page are valid
+(safe to serve to reads) and which are dirty (must be written back) —
+byte-accurate, without the memory cost of boolean masks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import FileSystemError
+
+__all__ = ["ByteRuns"]
+
+
+class ByteRuns:
+    """A set of disjoint, sorted [start, end) integer intervals."""
+
+    __slots__ = ("_runs",)
+
+    def __init__(self) -> None:
+        self._runs: List[Tuple[int, int]] = []
+
+    def add(self, lo: int, hi: int) -> None:
+        """Insert [lo, hi), merging with touching/overlapping runs."""
+        if hi < lo or lo < 0:
+            raise FileSystemError(f"invalid run [{lo}, {hi})")
+        if hi == lo:
+            return
+        out: List[Tuple[int, int]] = []
+        placed = False
+        for s, e in self._runs:
+            if e < lo:
+                out.append((s, e))
+            elif s > hi:
+                if not placed:
+                    out.append((lo, hi))
+                    placed = True
+                out.append((s, e))
+            else:  # overlaps or touches: absorb into the new run
+                lo = min(lo, s)
+                hi = max(hi, e)
+        if not placed:
+            out.append((lo, hi))
+        self._runs = out
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """True when [lo, hi) lies entirely inside one run."""
+        if hi <= lo:
+            return True
+        for s, e in self._runs:
+            if s <= lo and hi <= e:
+                return True
+            if s > lo:
+                break
+        return False
+
+    def is_full(self, size: int) -> bool:
+        """True when the runs cover [0, size) exactly."""
+        return len(self._runs) == 1 and self._runs[0] == (0, size)
+
+    def set_full(self, size: int) -> None:
+        self._runs = [(0, size)] if size > 0 else []
+
+    def clear(self) -> None:
+        self._runs = []
+
+    @property
+    def empty(self) -> bool:
+        return not self._runs
+
+    @property
+    def total(self) -> int:
+        return sum(e - s for s, e in self._runs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._runs)
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ByteRuns({self._runs!r})"

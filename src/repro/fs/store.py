@@ -1,0 +1,87 @@
+"""Sparse paged byte store — the authoritative file contents.
+
+Pages are allocated lazily; unwritten bytes read back as zero, like a
+POSIX sparse file.  The store is pure data: no cost accounting here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import FileSystemError
+
+__all__ = ["PageStore"]
+
+
+class PageStore:
+    """A sparse file as a dict of fixed-size numpy pages."""
+
+    __slots__ = ("page_size", "_pages", "size")
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0:
+            raise FileSystemError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._pages: Dict[int, np.ndarray] = {}
+        #: Logical file size (highest byte written + 1).
+        self.size = 0
+
+    def _page(self, index: int) -> np.ndarray:
+        page = self._pages.get(index)
+        if page is None:
+            page = np.zeros(self.page_size, dtype=np.uint8)
+            self._pages[index] = page
+        return page
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Write ``data`` (uint8) at ``offset``, extending the file."""
+        if offset < 0:
+            raise FileSystemError(f"negative file offset {offset}")
+        data = np.asarray(data, dtype=np.uint8)
+        n = int(data.size)
+        if n == 0:
+            return
+        ps = self.page_size
+        pos = offset
+        written = 0
+        while written < n:
+            pidx, poff = divmod(pos, ps)
+            chunk = min(n - written, ps - poff)
+            self._page(pidx)[poff : poff + chunk] = data[written : written + chunk]
+            written += chunk
+            pos += chunk
+        self.size = max(self.size, offset + n)
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` from ``offset``; holes and EOF read as zero."""
+        if offset < 0 or nbytes < 0:
+            raise FileSystemError(f"invalid read range ({offset}, {nbytes})")
+        out = np.zeros(nbytes, dtype=np.uint8)
+        if nbytes == 0:
+            return out
+        ps = self.page_size
+        pos = offset
+        got = 0
+        while got < nbytes:
+            pidx, poff = divmod(pos, ps)
+            chunk = min(nbytes - got, ps - poff)
+            page = self._pages.get(pidx)
+            if page is not None:
+                out[got : got + chunk] = page[poff : poff + chunk]
+            got += chunk
+            pos += chunk
+        return out
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._pages)
+
+    def checksum(self) -> int:
+        """Cheap content fingerprint for tests."""
+        acc = self.size
+        for idx in sorted(self._pages):
+            acc = (acc * 1000003 + idx) & 0xFFFFFFFFFFFF
+            acc = (acc + int(self._pages[idx].astype(np.uint64).sum())) & 0xFFFFFFFFFFFF
+        return acc

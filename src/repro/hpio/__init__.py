@@ -1,0 +1,26 @@
+"""HPIO-style workload generation (§6.2) and the PFR time-series
+pattern (Figure 6).
+
+HPIO (Ching et al., IPDPS 2006) characterizes accesses by region size,
+region count, and region spacing, with independently contiguous or
+non-contiguous memory and file sides.  :mod:`~repro.hpio.patterns`
+builds those datatypes — in both the *succinct* form (one pair per
+filetype tile, skipping-friendly) and the *enumerated* form (every pair
+spelled out, Figure 4's ``vect`` runs).
+
+:mod:`~repro.hpio.timeseries` builds the multi-variable time-step
+pattern of Figure 6: all time slices of a data point stored together,
+one interleaved collective write per time step.
+"""
+
+from repro.hpio.patterns import HPIOPattern
+from repro.hpio.timeseries import TimeSeriesPattern
+from repro.hpio.verify import expected_file_bytes, fill_pattern, verify_write
+
+__all__ = [
+    "HPIOPattern",
+    "TimeSeriesPattern",
+    "expected_file_bytes",
+    "fill_pattern",
+    "verify_write",
+]

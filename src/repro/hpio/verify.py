@@ -1,0 +1,56 @@
+"""Verification helpers: oracle file images for HPIO workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.packing import gather_segments, scatter_segments
+from repro.datatypes.segments import FlatCursor, data_to_file_segments
+from repro.fs.filesystem import SimFileSystem
+from repro.hpio.patterns import HPIOPattern
+
+__all__ = ["fill_pattern", "expected_file_bytes", "verify_write"]
+
+
+def fill_pattern(pattern: HPIOPattern, rank: int, *, seed: int = 0) -> np.ndarray:
+    """Deterministic user buffer for one rank (sized for the pattern).
+
+    Data bytes are a per-rank arithmetic sequence; with non-contiguous
+    memory, gap bytes are 0xEE so tests can detect gap leakage."""
+    size = pattern.buffer_bytes()
+    buf = np.full(size, 0xEE, dtype=np.uint8)
+    n = pattern.bytes_per_client
+    data = ((np.arange(n, dtype=np.int64) * 7 + rank * 13 + seed) % 251).astype(np.uint8)
+    memtype = pattern.memtype()
+    if memtype is None:
+        buf[:n] = data
+    else:
+        memflat = memtype.flatten()
+        batch = data_to_file_segments(memflat, 0, 0, n)
+        scatter_segments(buf, batch, data)
+    return buf
+
+
+def expected_file_bytes(pattern: HPIOPattern, *, seed: int = 0) -> np.ndarray:
+    """Oracle: the file image a correct collective write must produce."""
+    out = np.zeros(pattern.file_extent, dtype=np.uint8)
+    for rank in range(pattern.nprocs):
+        n = pattern.bytes_per_client
+        data = ((np.arange(n, dtype=np.int64) * 7 + rank * 13 + seed) % 251).astype(np.uint8)
+        flat = pattern.filetype(rank, "succinct").flatten()
+        batch = FlatCursor(flat, pattern.file_disp(rank), n).all_segments()
+        scatter_segments(out, batch, data)
+    return out
+
+
+def verify_write(fs: SimFileSystem, path: str, pattern: HPIOPattern, *, seed: int = 0) -> bool:
+    """Compare server-side bytes against the oracle image."""
+    got = fs.raw_bytes(path, 0, pattern.file_extent)
+    return bool(np.array_equal(got, expected_file_bytes(pattern, seed=seed)))
+
+
+def gather_expected_read(pattern: HPIOPattern, rank: int, file_image: np.ndarray) -> np.ndarray:
+    """What a collective read must return for ``rank`` given a file image."""
+    flat = pattern.filetype(rank, "succinct").flatten()
+    batch = FlatCursor(flat, pattern.file_disp(rank), pattern.bytes_per_client).all_segments()
+    return gather_segments(file_image, batch)

@@ -1,0 +1,24 @@
+"""Independent I/O layer (the ADIO analogue).
+
+The new collective implementation's Section 5.1 claim is that flushing
+the collective buffer through the *independent* I/O layer — instead of
+a second, integrated data-sieving implementation — buys per-flush
+choice of I/O method at the price of one extra buffer copy.  This
+package provides those methods:
+
+* :func:`~repro.io.datasieve.datasieve_write` /
+  :func:`~repro.io.datasieve.datasieve_read` — read-modify-write
+  through a sieve buffer window;
+* :func:`~repro.io.naive.naive_write` / ``naive_read`` — one file-system
+  call per contiguous segment;
+* :func:`~repro.io.listio.listio_write` / ``listio_read`` — all
+  segments in a single list-I/O call;
+* :class:`~repro.io.adio.AdioFile` — the dispatching facade;
+* :func:`~repro.io.selection.choose_method` — hint-driven selection
+  including the paper's *conditional data sieving* by filetype extent.
+"""
+
+from repro.io.adio import AdioFile
+from repro.io.selection import choose_method
+
+__all__ = ["AdioFile", "choose_method"]

@@ -1,0 +1,102 @@
+"""ADIO-like facade: strided reads/writes with a pluggable method.
+
+One :class:`AdioFile` per open file per rank.  The collective layer
+flushes its buffer through :meth:`write_strided` / fills it through
+:meth:`read_strided`; independent I/O users can call it directly (this
+is the code-reuse point Section 5.1 argues for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.segments import SegmentBatch
+from repro.errors import CollectiveIOError
+from repro.fs.client import LocalFile
+from repro.io.datasieve import datasieve_read, datasieve_write
+from repro.io.listio import listio_read, listio_write
+from repro.io.naive import naive_read, naive_write
+
+__all__ = ["AdioFile"]
+
+
+class AdioFile:
+    """Strided-I/O dispatcher over a :class:`~repro.fs.client.LocalFile`."""
+
+    def __init__(self, local: LocalFile, *, ds_buffer_size: int = 512 * 1024) -> None:
+        if ds_buffer_size <= 0:
+            raise CollectiveIOError("ds_buffer_size must be positive")
+        self.local = local
+        self.ds_buffer_size = ds_buffer_size
+        #: Flush-method usage counters (inspected by tests/benches).
+        self.method_counts: dict[str, int] = {}
+
+    def _count(self, method: str) -> None:
+        self.method_counts[method] = self.method_counts.get(method, 0) + 1
+
+    # -- contiguous ---------------------------------------------------------
+    def write_contig(self, offset: int, data: np.ndarray) -> None:
+        self._count("contig")
+        self.local.write(offset, data)
+
+    def read_contig(self, offset: int, nbytes: int) -> np.ndarray:
+        self._count("contig")
+        return self.local.read(offset, nbytes)
+
+    # -- strided -------------------------------------------------------------
+    def write_strided(
+        self,
+        batch: SegmentBatch,
+        data: np.ndarray,
+        method: str,
+        *,
+        integrated: bool = False,
+    ) -> None:
+        """Write ``batch`` (``data_offsets`` index into ``data``).
+
+        ``method`` is one of ``contig``/``datasieve``/``naive``/
+        ``listio``; ``integrated`` models the old implementation's fused
+        sieve buffer (no extra copy charged)."""
+        if batch.empty:
+            return
+        self._count(method)
+        if method == "contig":
+            if batch.num_segments != 1:
+                raise CollectiveIOError("contig method requires a single segment")
+            do = int(batch.data_offsets[0])
+            ln = int(batch.lengths[0])
+            self.local.write(int(batch.file_offsets[0]), data[do : do + ln])
+        elif method == "datasieve":
+            datasieve_write(
+                self.local, batch, data, buffer_size=self.ds_buffer_size, integrated=integrated
+            )
+        elif method == "naive":
+            naive_write(self.local, batch, data)
+        elif method == "listio":
+            listio_write(self.local, batch, data)
+        else:
+            raise CollectiveIOError(f"unknown strided write method {method!r}")
+
+    def read_strided(self, batch: SegmentBatch, method: str, *, integrated: bool = False) -> np.ndarray:
+        """Read ``batch``; the result is indexed by ``batch.data_offsets``."""
+        if batch.empty:
+            return np.empty(0, dtype=np.uint8)
+        self._count(method)
+        if method == "contig":
+            if batch.num_segments != 1:
+                raise CollectiveIOError("contig method requires a single segment")
+            size = int((batch.data_offsets + batch.lengths).max())
+            out = np.zeros(size, dtype=np.uint8)
+            do = int(batch.data_offsets[0])
+            ln = int(batch.lengths[0])
+            out[do : do + ln] = self.local.read(int(batch.file_offsets[0]), ln)
+            return out
+        if method == "datasieve":
+            return datasieve_read(
+                self.local, batch, buffer_size=self.ds_buffer_size, integrated=integrated
+            )
+        if method == "naive":
+            return naive_read(self.local, batch)
+        if method == "listio":
+            return listio_read(self.local, batch)
+        raise CollectiveIOError(f"unknown strided read method {method!r}")

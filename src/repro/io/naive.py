@@ -1,0 +1,51 @@
+"""Naive strided I/O: one file-system call per contiguous segment.
+
+No extra buffering and no gap traffic — each segment is written or read
+exactly; the price is a per-call overhead for every segment (and
+page-RMW penalties for unaligned segments).  Figure 5 shows where this
+beats data sieving: large filetype extents, where sieving's window
+pre-read would drag in mostly gap bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.segments import SegmentBatch
+from repro.fs.client import LocalFile
+
+__all__ = ["naive_write", "naive_read"]
+
+
+def naive_write(local: LocalFile, batch: SegmentBatch, data: np.ndarray) -> None:
+    """Write each segment with its own call.
+
+    Contract (shared by all strided I/O methods): ``batch.data_offsets``
+    index directly into ``data``."""
+    if batch.empty:
+        return
+    data = np.asarray(data, dtype=np.uint8)
+    cost = local.fs.cost
+    local.ctx.charge(batch.num_segments * cost.cpu_request_setup)
+    for fo, ln, do in zip(
+        batch.file_offsets.tolist(), batch.lengths.tolist(), batch.data_offsets.tolist()
+    ):
+        local.write(fo, data[do : do + ln])
+
+
+def naive_read(local: LocalFile, batch: SegmentBatch) -> np.ndarray:
+    """Read each segment with its own call.
+
+    Returns an array indexed by ``batch.data_offsets`` (sized to their
+    upper bound); bytes outside the batch are zero."""
+    if batch.empty:
+        return np.empty(0, dtype=np.uint8)
+    size = int((batch.data_offsets + batch.lengths).max())
+    out = np.zeros(size, dtype=np.uint8)
+    cost = local.fs.cost
+    local.ctx.charge(batch.num_segments * cost.cpu_request_setup)
+    for fo, ln, do in zip(
+        batch.file_offsets.tolist(), batch.lengths.tolist(), batch.data_offsets.tolist()
+    ):
+        out[do : do + ln] = local.read(fo, ln)
+    return out

@@ -1,0 +1,241 @@
+"""Communicators and point-to-point messaging.
+
+Message-matching semantics follow MPI: envelopes are (source, tag,
+communicator); matching is FIFO per envelope (enforced globally with a
+sequence number, which is deterministic under the engine's virtual-time
+scheduling).  ``ANY_SOURCE``/``ANY_TAG`` wildcards select the earliest
+matching message.
+
+Sends are buffered (they complete locally): the payload is copied on
+enqueue, so sender reuse of a numpy buffer cannot corrupt data in
+flight — the same guarantee a real MPI eager/rendezvous protocol gives.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.errors import MPIError
+from repro.mpi.collectives import CollectiveMixin
+from repro.mpi.network import Network, payload_nbytes
+from repro.mpi.request import Request
+from repro.sim.engine import RankContext
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_SHARED_KEY = "mpi-state"
+
+#: Tags at or above this value belong to collective algorithms; their
+#: per-message overheads are scaled by ``CostModel.net_collective_factor``
+#: (the §5.4 "specialized collective network" knob).
+COLLECTIVE_TAG_BASE = 1 << 20
+
+
+class _Message:
+    __slots__ = ("src", "dst", "tag", "payload", "t_avail", "seq")
+
+    def __init__(self, src: int, dst: int, tag: int, payload: Any, t_avail: float, seq: int):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.t_avail = t_avail
+        self.seq = seq
+
+
+class _CommState:
+    """Shared (simulator-wide) state of one communicator."""
+
+    __slots__ = ("queues", "next_seq")
+
+    def __init__(self, size: int) -> None:
+        self.queues: list[list[_Message]] = [[] for _ in range(size)]
+        self.next_seq = 0
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Snapshot a payload so in-flight data is immune to sender reuse."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return _copy.deepcopy(obj)
+
+
+class Communicator(CollectiveMixin):
+    """An MPI-style communicator bound to one rank's context.
+
+    Every rank constructs its own ``Communicator(ctx)`` for the world;
+    shared matching state is interned in the simulator's ``shared``
+    dictionary keyed by the communicator id, so all ranks' instances
+    address the same queues.
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        *,
+        _comm_id: str = "world",
+        _rank: Optional[int] = None,
+        _members: Optional[tuple[int, ...]] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.cost = cost
+        self.net = Network(cost)
+        self.comm_id = _comm_id
+        #: World ranks of the members, indexed by communicator rank.
+        self.members = _members if _members is not None else tuple(range(ctx.nprocs))
+        self.rank = _rank if _rank is not None else ctx.rank
+        self.size = len(self.members)
+        registry = ctx.shared.setdefault(_SHARED_KEY, {})
+        if _comm_id not in registry:
+            registry[_comm_id] = _CommState(self.size)
+        self._state: _CommState = registry[_comm_id]
+        if len(self._state.queues) != self.size:
+            raise MPIError(
+                f"communicator {_comm_id!r} size mismatch across ranks"
+            )
+        # Collective split/dup sequence number.  Per-rank, not shared:
+        # split is collective, so every member makes the same sequence of
+        # calls and derives the same child communicator id.
+        self._split_count = 0
+
+    # -- point-to-point ----------------------------------------------------
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not (0 <= peer < self.size):
+            raise MPIError(f"{what} rank {peer} out of range for size {self.size}")
+
+    def _enqueue(self, dest: int, tag: int, obj: Any, t_avail: float) -> None:
+        state = self._state
+        msg = _Message(self.rank, dest, tag, _copy_payload(obj), t_avail, state.next_seq)
+        state.next_seq += 1
+        state.queues[dest].append(msg)
+
+    def _overhead_factor(self, tag: int) -> float:
+        return self.cost.net_collective_factor if tag >= COLLECTIVE_TAG_BASE else 1.0
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (buffered) send: completes after the sender overhead."""
+        self._check_peer(dest, "destination")
+        nbytes = payload_nbytes(obj)
+        factor = self._overhead_factor(tag)
+        self.ctx.charge(self.net.send_overhead() * factor)
+        self._enqueue(dest, tag, obj, self.ctx.now + self.net.transit_time(nbytes) * factor)
+        self.ctx.yield_now()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; buffered, so the request is already complete."""
+        self._check_peer(dest, "destination")
+        nbytes = payload_nbytes(obj)
+        factor = self._overhead_factor(tag)
+        self.ctx.charge(self.net.post_overhead() * factor)
+        self._enqueue(dest, tag, obj, self.ctx.now + self.net.transit_time(nbytes) * factor)
+        return Request.completed()
+
+    def _match(self, source: int, tag: int) -> Optional[_Message]:
+        """Earliest (by seq) queued message matching the envelope."""
+        best: Optional[_Message] = None
+        for msg in self._state.queues[self.rank]:
+            if source != ANY_SOURCE and msg.src != source:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            if best is None or msg.seq < best.seq:
+                best = msg
+        return best
+
+    def _complete_recv(self, msg: _Message) -> Any:
+        self._state.queues[self.rank].remove(msg)
+        self.ctx.charge_to(msg.t_avail)
+        self.ctx.charge(self.net.recv_overhead() * self._overhead_factor(msg.tag))
+        return msg.payload
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        msg = self.ctx.block(
+            lambda: self._match(source, tag),
+            reason=f"recv(src={source}, tag={tag}, comm={self.comm_id})",
+        )
+        return self._complete_recv(msg)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; ``wait()`` yields the payload."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+
+        def wait_fn() -> Any:
+            msg = self.ctx.block(
+                lambda: self._match(source, tag),
+                reason=f"irecv(src={source}, tag={tag}, comm={self.comm_id})",
+            )
+            return self._complete_recv(msg)
+
+        def test_fn() -> tuple[bool, Any]:
+            msg = self._match(source, tag)
+            if msg is None:
+                return False, None
+            return True, self._complete_recv(msg)
+
+        return Request(wait_fn=wait_fn, test_fn=test_fn)
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send+receive (deadlock-free with buffered sends)."""
+        req = self.isend(sendobj, dest, sendtag)
+        value = self.recv(source, recvtag)
+        req.wait()
+        return value
+
+    # -- communicator management ---------------------------------------------
+    def dup(self) -> "Communicator":
+        """A congruent communicator with an isolated message space."""
+        return self.split(color=0, key=self.rank, _label="dup")
+
+    def split(self, color: int, key: Optional[int] = None, _label: str = "split") -> Optional["Communicator"]:
+        """Collective split (MPI_Comm_split semantics).
+
+        Returns the new communicator, or ``None`` for ``color < 0``
+        (MPI_UNDEFINED).  New ranks order members by (key, old rank).
+        """
+        if key is None:
+            key = self.rank
+        # Every member learns everyone's (color, key); allgather keeps
+        # this collective and deterministic.
+        entries = self.allgather((color, key))
+        sub_index = self._split_count
+        self._split_count += 1
+        if color < 0:
+            return None
+        group = sorted(
+            (k, r) for r, (c, k) in enumerate(entries) if c == color
+        )
+        ranks = tuple(r for _, r in group)
+        my_new_rank = ranks.index(self.rank)
+        members = tuple(self.members[r] for r in ranks)
+        comm_id = f"{self.comm_id}/{_label}{sub_index}:c{color}"
+        return Communicator(
+            self.ctx,
+            self.cost,
+            _comm_id=comm_id,
+            _rank=my_new_rank,
+            _members=members,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Communicator {self.comm_id!r} rank={self.rank}/{self.size}>"

@@ -1,0 +1,140 @@
+"""MPI_Info-style hints controlling the collective I/O machinery.
+
+The paper's flexibility story is largely *hints*: which two-phase
+implementation, how many aggregators, how big the collective buffer,
+which realm strategy, which independent-I/O method per flush, whether
+realms align or persist.  :class:`Hints` validates keys and values
+eagerly so typos fail loudly at file-open time rather than silently
+changing the experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.errors import HintError
+
+__all__ = ["Hints"]
+
+
+def _positive_int(value: Any) -> int:
+    n = int(value)
+    if n <= 0:
+        raise ValueError("must be positive")
+    return n
+
+
+def _non_negative_int(value: Any) -> int:
+    n = int(value)
+    if n < 0:
+        raise ValueError("must be non-negative")
+    return n
+
+
+def _boolean(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in ("true", "yes", "enable", "1", "on"):
+        return True
+    if text in ("false", "no", "disable", "0", "off"):
+        return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+def _choice(*options: str):
+    def parse(value: Any) -> str:
+        text = str(value).strip().lower()
+        if text not in options:
+            raise ValueError(f"must be one of {options}")
+        return text
+
+    return parse
+
+
+#: key -> (parser, default) for every recognized hint.
+_SPEC: Dict[str, tuple] = {
+    # Which two-phase implementation to run.
+    "coll_impl": (_choice("new", "old"), "new"),
+    # Two-phase geometry.
+    "cb_buffer_size": (_positive_int, 4 * 1024 * 1024),
+    "cb_nodes": (_non_negative_int, 0),  # 0 = every process aggregates
+    "cb_layout": (_choice("spread", "packed"), "spread"),
+    # File realm strategy (new implementation only).
+    "realm_strategy": (_choice("even", "aligned", "balanced"), "even"),
+    "realm_alignment": (_non_negative_int, 0),  # bytes; 0 = unaligned
+    "persistent_file_realms": (_boolean, False),
+    # Independent-I/O method used to flush the collective buffer.
+    "io_method": (_choice("datasieve", "naive", "listio", "conditional"), "datasieve"),
+    "ds_buffer_size": (_positive_int, 512 * 1024),
+    # Conditional data sieving: use naive I/O above this filetype extent.
+    "ds_threshold_extent": (_positive_int, 16 * 1024),
+    # Data exchange backend (Section 5.4).
+    "exchange": (_choice("alltoallw", "nonblocking"), "alltoallw"),
+    # Client-side request processing.
+    "use_heap": (_boolean, True),
+    # Client cache behaviour (coherent | incoherent | writethrough | off).
+    "cache_mode": (_choice("coherent", "incoherent", "writethrough", "off"), "coherent"),
+    # Client cache capacity in pages (dirty overflow flushes early).
+    "cache_pages": (_positive_int, 16384),
+}
+
+
+class Hints(Mapping[str, Any]):
+    """Validated, immutable-after-construction hint set.
+
+    Unknown keys and malformed values raise :class:`HintError`
+    immediately.  Missing keys resolve to documented defaults.
+    """
+
+    def __init__(self, values: Optional[Mapping[str, Any]] = None, **kwargs: Any) -> None:
+        merged: Dict[str, Any] = {}
+        if values is not None:
+            merged.update(values)
+        merged.update(kwargs)
+        self._values: Dict[str, Any] = {}
+        for key, raw in merged.items():
+            if key not in _SPEC:
+                raise HintError(
+                    f"unknown hint {key!r}; known hints: {sorted(_SPEC)}"
+                )
+            parser, _ = _SPEC[key]
+            try:
+                self._values[key] = parser(raw)
+            except (TypeError, ValueError) as exc:
+                raise HintError(f"bad value for hint {key!r}: {exc}") from exc
+
+    # -- Mapping interface --------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        if key in self._values:
+            return self._values[key]
+        if key in _SPEC:
+            return _SPEC[key][1]
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_SPEC)
+
+    def __len__(self) -> int:
+        return len(_SPEC)
+
+    def replace(self, **kwargs: Any) -> "Hints":
+        """A new Hints with the given keys overridden."""
+        merged = dict(self._values)
+        merged.update(kwargs)
+        return Hints(merged)
+
+    def explicit(self) -> Dict[str, Any]:
+        """Only the hints that were explicitly set."""
+        return dict(self._values)
+
+    @staticmethod
+    def known_keys() -> list[str]:
+        return sorted(_SPEC)
+
+    @staticmethod
+    def default(key: str) -> Any:
+        return _SPEC[key][1]
+
+    def __repr__(self) -> str:
+        return f"Hints({self._values!r})"

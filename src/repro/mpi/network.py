@@ -1,0 +1,71 @@
+"""Network cost model and payload sizing.
+
+The model is LogP-flavoured: the sender pays a fixed overhead, the
+message spends ``bytes * net_byte_time`` in transit, and the receiver
+pays a fixed overhead on completion.  All parameters come from
+:class:`repro.config.CostModel` so experiments can vary the network
+without touching communication code.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["payload_nbytes", "Network"]
+
+
+def payload_nbytes(obj: object) -> int:
+    """Deterministic wire size of a message payload in bytes.
+
+    numpy arrays and byte strings are exact; scalars are 8; containers
+    sum their elements plus a small per-element header; anything else
+    falls back to its pickle length.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (tuple, list)):
+        return 8 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class Network:
+    """Charges virtual time for message events.
+
+    Stateless apart from the cost model; per-OST-style queuing is not
+    modelled for the network (the paper's interconnect was far from
+    saturated — the file system was the bottleneck)."""
+
+    __slots__ = ("cost",)
+
+    def __init__(self, cost: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.cost = cost
+
+    def send_overhead(self) -> float:
+        """Sender-side fixed cost of a blocking send."""
+        return self.cost.net_latency
+
+    def post_overhead(self) -> float:
+        """Sender-side fixed cost of posting a nonblocking operation."""
+        return self.cost.net_post_overhead
+
+    def transit_time(self, nbytes: int) -> float:
+        """Time the payload spends on the wire."""
+        return nbytes * self.cost.net_byte_time
+
+    def recv_overhead(self) -> float:
+        """Receiver-side fixed cost of completing a receive."""
+        return self.cost.net_latency

@@ -1,0 +1,71 @@
+"""Nonblocking-communication request objects."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import MPIError
+
+__all__ = ["Request", "waitall"]
+
+
+class Request:
+    """Handle for a pending nonblocking operation.
+
+    ``wait()`` blocks (in virtual time) until the operation completes
+    and returns its value (the received object for irecv, ``None`` for
+    isend).  ``test()`` polls without blocking.
+    """
+
+    __slots__ = ("_wait_fn", "_test_fn", "_done", "_value")
+
+    def __init__(
+        self,
+        wait_fn: Optional[Callable[[], Any]] = None,
+        test_fn: Optional[Callable[[], tuple[bool, Any]]] = None,
+        value: Any = None,
+        done: bool = False,
+    ) -> None:
+        self._wait_fn = wait_fn
+        self._test_fn = test_fn
+        self._done = done
+        self._value = value
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        """A request that is already complete (e.g. a buffered isend)."""
+        return cls(value=value, done=True)
+
+    def wait(self) -> Any:
+        """Block until complete; idempotent."""
+        if not self._done:
+            if self._wait_fn is None:
+                raise MPIError("request has no completion function")
+            self._value = self._wait_fn()
+            self._done = True
+            self._wait_fn = None
+            self._test_fn = None
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check: (done, value-or-None)."""
+        if self._done:
+            return True, self._value
+        if self._test_fn is None:
+            return False, None
+        done, value = self._test_fn()
+        if done:
+            self._value = value
+            self._done = True
+            self._wait_fn = None
+            self._test_fn = None
+        return done, self._value if done else None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+
+def waitall(requests: Sequence[Request]) -> list:
+    """Wait for every request; returns their values in order."""
+    return [r.wait() for r in requests]

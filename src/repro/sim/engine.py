@@ -1,0 +1,362 @@
+"""Deterministic virtual-time execution engine.
+
+Every rank of the simulated MPI job runs as a real Python thread, but
+the :class:`Simulator` lets exactly one thread execute at any moment and
+always resumes the *runnable rank with the smallest virtual clock*
+(rank id breaks ties).  Shared simulation state is therefore mutated by
+one thread at a time, in virtual-time order, which makes the whole
+simulation deterministic and race free without any locking above the
+engine.
+
+Rank code interacts with the engine through its :class:`RankContext`:
+
+* ``ctx.charge(dt)`` — advance the local clock without giving up the
+  processor (cheap, for bulk CPU accounting);
+* ``ctx.advance(dt)`` — charge and then reschedule, so ranks that are
+  now earlier in virtual time get to run;
+* ``ctx.block(check)`` — block until ``check()`` returns a non-``None``
+  value (re-evaluated at every scheduling decision);
+* ``ctx.trace(state)`` — record an MPE-style state interval.
+
+If every live rank is blocked the engine raises :class:`SimDeadlock`
+with a per-rank state dump, which turns collective-call mismatches into
+actionable errors instead of hangs.
+
+Implementation note: the processor handoff uses one ``threading.Event``
+per rank (set exactly when that rank is dispatched), not a shared
+condition variable — ``notify_all`` would wake every parked rank at
+every scheduling decision, which measures as a >2x slowdown at 64
+ranks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.errors import RankFailed, SimDeadlock, SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.trace import Tracer
+
+__all__ = ["Simulator", "RankContext"]
+
+# Rank thread states.
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+_JOIN_TIMEOUT = 600.0  # wall-clock safety net for runaway simulations
+
+
+class _SimAborted(BaseException):
+    """Raised inside rank threads to unwind them when the run is aborted.
+
+    Derives from BaseException so user-level ``except Exception`` blocks
+    cannot swallow it.
+    """
+
+
+class _Proc:
+    """Internal per-rank record."""
+
+    __slots__ = (
+        "rank",
+        "clock",
+        "state",
+        "thread",
+        "check",
+        "wake_value",
+        "blocked_on",
+        "result",
+        "event",
+    )
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.clock = VirtualClock()
+        self.state = _READY
+        self.thread: Optional[threading.Thread] = None
+        self.check: Optional[Callable[[], Any]] = None
+        self.wake_value: Any = None
+        self.blocked_on: str = ""
+        self.result: Any = None
+        #: Set exactly when this rank is dispatched to run.
+        self.event = threading.Event()
+
+
+class RankContext:
+    """Handle through which rank code talks to the engine.
+
+    One per rank; passed as the first argument to the rank main
+    function.  Also carries ``rank``, ``nprocs``, and the simulator's
+    ``shared`` dictionary for modelling shared hardware (file system,
+    network)."""
+
+    __slots__ = ("_sim", "_proc", "rank", "nprocs")
+
+    def __init__(self, sim: "Simulator", proc: _Proc) -> None:
+        self._sim = sim
+        self._proc = proc
+        self.rank = proc.rank
+        self.nprocs = sim.nprocs
+
+    # -- time ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """This rank's current virtual time (seconds)."""
+        return self._proc.clock.now
+
+    def charge(self, dt: float) -> None:
+        """Advance the local clock by ``dt`` without rescheduling.
+
+        Use for bulk CPU accounting between synchronization points; the
+        clock change becomes visible to the scheduler at the next
+        reschedule (advance/block/finish)."""
+        self._proc.clock.advance(dt)
+
+    def charge_to(self, t: float) -> None:
+        """Advance the local clock to absolute time ``t`` (if future)."""
+        self._proc.clock.advance_to(t)
+
+    def advance(self, dt: float) -> None:
+        """Charge ``dt`` and yield to whichever rank is now earliest."""
+        self._proc.clock.advance(dt)
+        self._sim._reschedule(self._proc)
+
+    def advance_to(self, t: float) -> None:
+        """Advance to absolute time ``t`` and yield."""
+        self._proc.clock.advance_to(t)
+        self._sim._reschedule(self._proc)
+
+    def yield_now(self) -> None:
+        """Give other ranks at earlier virtual times a chance to run."""
+        self._sim._reschedule(self._proc)
+
+    # -- blocking --------------------------------------------------------
+    def block(self, check: Callable[[], Any], reason: str = "") -> Any:
+        """Block until ``check()`` returns non-``None``; return that value.
+
+        ``check`` runs under the engine's single-thread invariant, so it
+        may freely read shared state.  It is re-evaluated at every
+        scheduling decision."""
+        return self._sim._block(self._proc, check, reason)
+
+    # -- shared state and tracing ----------------------------------------
+    @property
+    def shared(self) -> dict:
+        """Simulator-wide dictionary for shared hardware models."""
+        return self._sim.shared
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._sim.tracer
+
+    def trace(self, state: str, **info: Any):
+        """Context manager recording an MPE-style state interval."""
+        return self.tracer.interval(self.rank, state, self._proc.clock, **info)
+
+
+class Simulator:
+    """Runs ``nprocs`` rank functions under deterministic virtual time.
+
+    Example::
+
+        sim = Simulator(4)
+        def main(ctx):
+            ctx.advance(1e-3)
+            return ctx.rank * 10
+        results = sim.run(main)   # [0, 10, 20, 30]
+    """
+
+    def __init__(self, nprocs: int, tracer: Optional[Tracer] = None) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Shared hardware models (file system, network, ...) live here.
+        self.shared: dict = {}
+        self._mu = threading.Lock()
+        self._done_event = threading.Event()
+        self._procs: list[_Proc] = []
+        self._fatal: Optional[BaseException] = None
+        self._started = False
+
+    # -- public ----------------------------------------------------------
+    def run(
+        self,
+        main: Callable[..., Any],
+        *args: Any,
+        per_rank_args: Optional[Sequence[tuple]] = None,
+    ) -> list:
+        """Execute ``main(ctx, *args)`` on every rank; return all results.
+
+        ``per_rank_args`` optionally supplies a distinct positional
+        argument tuple per rank (appended after ``args``).  A
+        :class:`Simulator` is single-shot: create a new one per run.
+        """
+        if self._started:
+            raise SimulationError("Simulator.run() may only be called once")
+        self._started = True
+        if per_rank_args is not None and len(per_rank_args) != self.nprocs:
+            raise ValueError(
+                f"per_rank_args has {len(per_rank_args)} entries for {self.nprocs} ranks"
+            )
+
+        self._procs = [_Proc(r) for r in range(self.nprocs)]
+        threads = []
+        for proc in self._procs:
+            extra = tuple(per_rank_args[proc.rank]) if per_rank_args is not None else ()
+            t = threading.Thread(
+                target=self._thread_main,
+                args=(proc, main, args + extra),
+                name=f"sim-rank-{proc.rank}",
+                daemon=True,
+            )
+            proc.thread = t
+            threads.append(t)
+
+        for t in threads:
+            t.start()
+        with self._mu:
+            self._dispatch_next()
+        while not self._done_event.wait(timeout=_JOIN_TIMEOUT):
+            if self._fatal is not None or all(p.state == _DONE for p in self._procs):
+                break  # pragma: no cover - safety net
+
+        for t in threads:
+            t.join(timeout=_JOIN_TIMEOUT)
+            if t.is_alive():  # pragma: no cover - wall-clock safety net
+                raise SimulationError(f"thread {t.name} failed to terminate")
+
+        if self._fatal is not None:
+            raise self._fatal
+        return [p.result for p in self._procs]
+
+    @property
+    def times(self) -> list[float]:
+        """Final virtual time of every rank (valid after :meth:`run`)."""
+        return [p.clock.now for p in self._procs]
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the last rank finished."""
+        return max(self.times) if self._procs else 0.0
+
+    # -- scheduling core ---------------------------------------------------
+    # All methods below require self._mu to be held.
+
+    def _runnable(self) -> Optional[_Proc]:
+        """Wake any blocked rank whose predicate now holds, then return
+        the ready rank with the smallest (clock, rank)."""
+        best: Optional[_Proc] = None
+        for p in self._procs:
+            if p.state == _BLOCKED:
+                value = p.check() if p.check is not None else None
+                if value is not None:
+                    p.wake_value = value
+                    p.check = None
+                    p.state = _READY
+            if p.state == _READY and (
+                best is None
+                or (p.clock.now, p.rank) < (best.clock.now, best.rank)
+            ):
+                best = p
+        return best
+
+    def _dispatch_next(self) -> None:
+        """Pick the next rank to run and wake it (or detect deadlock)."""
+        if self._fatal is not None:
+            self._abort_all()
+            return
+        nxt = self._runnable()
+        if nxt is not None:
+            nxt.state = _RUNNING
+            nxt.event.set()
+            return
+        if all(p.state == _DONE for p in self._procs):
+            self._done_event.set()
+            return
+        # No runnable rank, some blocked: deadlock.
+        dump = "; ".join(
+            f"rank {p.rank}: {p.state}"
+            + (f" on {p.blocked_on}" if p.state == _BLOCKED and p.blocked_on else "")
+            for p in self._procs
+            if p.state != _DONE
+        )
+        self._fatal = SimDeadlock(f"all live ranks are blocked: {dump}")
+        self._abort_all()
+
+    def _abort_all(self) -> None:
+        """Wake everything so threads can unwind; requires _mu held."""
+        for p in self._procs:
+            p.event.set()
+        self._done_event.set()
+
+    # -- handoff (called by rank threads) ------------------------------------
+    def _park(self, proc: _Proc) -> None:
+        """Wait (outside the mutex) until this rank is dispatched."""
+        while not proc.event.wait(timeout=_JOIN_TIMEOUT):
+            if self._fatal is not None:  # pragma: no cover - safety net
+                break
+        proc.event.clear()
+        if self._fatal is not None:
+            raise _SimAborted()
+
+    def _reschedule(self, proc: _Proc) -> None:
+        """Voluntarily yield: let the earliest ready rank run next."""
+        with self._mu:
+            proc.state = _READY
+            self._dispatch_next()
+        self._park(proc)
+
+    def _block(self, proc: _Proc, check: Callable[[], Any], reason: str) -> Any:
+        with self._mu:
+            proc.check = check
+            proc.blocked_on = reason
+            proc.state = _BLOCKED
+            self._dispatch_next()
+        self._park(proc)
+        proc.blocked_on = ""
+        value, proc.wake_value = proc.wake_value, None
+        return value
+
+    # -- rank thread ---------------------------------------------------------
+    def _thread_main(self, proc: _Proc, main: Callable[..., Any], args: tuple) -> None:
+        ctx = RankContext(self, proc)
+        try:
+            self._park(proc)
+            proc.result = main(ctx, *args)
+            with self._mu:
+                proc.state = _DONE
+                self._dispatch_next()
+        except _SimAborted:
+            with self._mu:
+                proc.state = _DONE
+                self._done_event.set()
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            failure = RankFailed(proc.rank, repr(exc))
+            failure.__cause__ = exc
+            with self._mu:
+                if self._fatal is None:
+                    self._fatal = failure
+                proc.state = _DONE
+                self._abort_all()
+
+
+def run_simulation(
+    nprocs: int,
+    main: Callable[..., Any],
+    *args: Any,
+    tracer: Optional[Tracer] = None,
+    per_rank_args: Optional[Sequence[tuple]] = None,
+) -> tuple[list, "Simulator"]:
+    """Convenience wrapper: build a Simulator, run it, return (results, sim)."""
+    sim = Simulator(nprocs, tracer=tracer)
+    results = sim.run(main, *args, per_rank_args=per_rank_args)
+    return results, sim
+
+
+def iter_ranks(n: int) -> Iterator[int]:
+    """Tiny helper used in docs/examples."""
+    return iter(range(n))

@@ -1,0 +1,153 @@
+"""MPE-style state tracing.
+
+The paper used MPE logging to attribute the new implementation's
+slowdowns to datatype-processing overhead.  :class:`Tracer` plays the
+same role here: rank code wraps phases in ``ctx.trace("io")`` /
+``ctx.trace("comm")`` / ``ctx.trace("compute")`` intervals, and the
+analysis helpers aggregate virtual time per state so experiments can
+report *where* time went, not just how much.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.sim.clock import VirtualClock
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One closed state interval on one rank, in virtual time."""
+
+    rank: int
+    state: str
+    t0: float
+    t1: float
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records; cheap no-op when disabled."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    @contextmanager
+    def interval(
+        self, rank: int, state: str, clock: VirtualClock, **info: Any
+    ) -> Iterator[None]:
+        """Record a state interval spanning the clock's virtual time."""
+        if not self.enabled:
+            yield
+            return
+        t0 = clock.now
+        try:
+            yield
+        finally:
+            self.events.append(TraceEvent(rank, state, t0, clock.now, dict(info)))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- analysis --------------------------------------------------------
+    def time_by_state(self, rank: Optional[int] = None) -> Dict[str, float]:
+        """Total virtual seconds per state, optionally for one rank.
+
+        Nested intervals are all counted (the caller chooses
+        non-overlapping states when exclusive accounting is wanted)."""
+        totals: Dict[str, float] = {}
+        for ev in self.events:
+            if rank is not None and ev.rank != rank:
+                continue
+            totals[ev.state] = totals.get(ev.state, 0.0) + ev.duration
+        return totals
+
+    def ranks(self) -> List[int]:
+        return sorted({ev.rank for ev in self.events})
+
+    def summary(self) -> str:
+        """Human-readable table: per-state totals across all ranks."""
+        totals = self.time_by_state()
+        if not totals:
+            return "(no trace events)"
+        width = max(len(s) for s in totals)
+        lines = [
+            f"{state:<{width}}  {seconds * 1e3:10.3f} ms"
+            for state, seconds in sorted(totals.items(), key=lambda kv: -kv[1])
+        ]
+        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """Serialize all events as JSON lines (one event per line),
+        suitable for external timeline viewers or diffing runs."""
+        import json
+
+        lines = []
+        for ev in self.events:
+            lines.append(
+                json.dumps(
+                    {
+                        "rank": ev.rank,
+                        "state": ev.state,
+                        "t0": ev.t0,
+                        "t1": ev.t1,
+                        "info": ev.info,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_jsonl` output."""
+        import json
+
+        tracer = cls(enabled=True)
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            d = json.loads(line)
+            tracer.events.append(
+                TraceEvent(d["rank"], d["state"], d["t0"], d["t1"], d.get("info", {}))
+            )
+        return tracer
+
+    def timeline(self, rank: int, width: int = 60) -> str:
+        """ASCII timeline of one rank's top-level states.
+
+        Each state gets a row; '#' marks the buckets of virtual time
+        during which an interval of that state was open."""
+        events = [ev for ev in self.events if ev.rank == rank]
+        if not events:
+            return f"(no events for rank {rank})"
+        t_end = max(ev.t1 for ev in events)
+        t_start = min(ev.t0 for ev in events)
+        span = max(t_end - t_start, 1e-12)
+        states = sorted({ev.state for ev in events})
+        name_w = max(len(s) for s in states)
+        rows = []
+        for state in states:
+            cells = [" "] * width
+            for ev in events:
+                if ev.state != state:
+                    continue
+                b0 = int((ev.t0 - t_start) / span * (width - 1))
+                b1 = int((ev.t1 - t_start) / span * (width - 1))
+                for b in range(b0, b1 + 1):
+                    cells[b] = "#"
+            rows.append(f"{state:<{name_w}} |{''.join(cells)}|")
+        header = (
+            f"rank {rank}: {t_start * 1e3:.3f} ms .. {t_end * 1e3:.3f} ms "
+            f"({span * 1e3:.3f} ms span)"
+        )
+        return "\n".join([header] + rows)

@@ -1,0 +1,361 @@
+"""Integration tests: collective writes/reads against a sequential oracle.
+
+The oracle: for each rank, enumerate its view's (file offset, data
+offset) byte mapping directly and apply its buffer bytes to a flat
+numpy "file".  Any combination of implementation, realm strategy,
+aggregator count, exchange backend, and flush method must produce the
+same server-side bytes, and collective reads must return exactly what a
+direct gather of the file through the view yields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CostModel
+from repro.core import CollectiveFile
+from repro.datatypes import BYTE, contiguous, resized, subarray, vector
+from repro.datatypes.packing import gather_segments, scatter_segments
+from repro.datatypes.segments import FlatCursor, data_to_file_segments
+from repro.errors import CollectiveIOError
+from repro.fs import SimFileSystem
+from repro.mpi import Communicator, Hints
+from repro.sim import Simulator
+
+COST = CostModel(page_size=64, stripe_size=256, num_osts=2)
+
+
+def run_collective(nprocs, body, hints=None, cost=COST, lock_granularity=None):
+    """Run body(ctx, comm, open_file) on every rank; returns (results, fs)."""
+    fs = SimFileSystem(cost, lock_granularity=lock_granularity)
+    hints = hints if hints is not None else Hints()
+
+    def main(ctx):
+        comm = Communicator(ctx, cost)
+        f = CollectiveFile(ctx, comm, fs, "/data", hints=hints, cost=cost)
+        try:
+            return body(ctx, comm, f)
+        finally:
+            f.close()
+
+    results = Simulator(nprocs).run(main)
+    return results, fs
+
+
+def oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size):
+    """Apply every rank's access directly; returns the expected bytes."""
+    out = np.zeros(size, dtype=np.uint8)
+    for r in range(nprocs):
+        disp, fileflat = view_of(r)
+        total = total_of(r)
+        if total == 0:
+            continue
+        batch = FlatCursor(fileflat, disp, total).all_segments()
+        membatch = data_to_file_segments(memflat_of(r), 0, 0, total)
+        data = gather_segments(buf_of(r), membatch)
+        # Scatter the data stream into the file by file segments.
+        file_view = out  # 1-D "file"
+        scatter_segments(file_view, batch, data)
+    return out
+
+
+# Shared HPIO-ish pattern: per-rank interleaved strided regions.
+def make_pattern(nprocs, region=16, count=12):
+    period = region * nprocs
+
+    def view_of(r):
+        flat = resized(contiguous(region, BYTE), 0, period).flatten()
+        return (r * region, flat)
+
+    def buf_of(r):
+        return np.full(region * count, r + 1, dtype=np.uint8)
+
+    def memflat_of(r):
+        return contiguous(region * count, BYTE).flatten()
+
+    def total_of(r):
+        return region * count
+
+    size = period * count
+    return view_of, buf_of, memflat_of, total_of, size
+
+
+IMPLS = ["new", "old"]
+EXCHANGES = ["alltoallw", "nonblocking"]
+METHODS = ["datasieve", "naive", "listio", "conditional"]
+
+
+class TestCollectiveWriteMatrix:
+    @pytest.mark.parametrize("impl", IMPLS)
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 5])
+    def test_interleaved_write(self, impl, nprocs):
+        view_of, buf_of, memflat_of, total_of, size = make_pattern(nprocs)
+        hints = Hints(coll_impl=impl)
+
+        def body(ctx, comm, f):
+            disp, flat = view_of(comm.rank)
+            f.set_view(disp=disp, filetype=resized(contiguous(16, BYTE), 0, 16 * nprocs))
+            f.write_all(buf_of(comm.rank))
+
+        _, fs = run_collective(nprocs, body, hints)
+        expect = oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size)
+        assert np.array_equal(fs.raw_bytes("/data", 0, size), expect)
+
+    @pytest.mark.parametrize("exchange", EXCHANGES)
+    @pytest.mark.parametrize("method", METHODS)
+    def test_write_method_exchange_matrix(self, exchange, method):
+        nprocs = 4
+        view_of, buf_of, memflat_of, total_of, size = make_pattern(nprocs)
+        hints = Hints(coll_impl="new", exchange=exchange, io_method=method)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 64))
+            f.write_all(buf_of(comm.rank))
+
+        _, fs = run_collective(nprocs, body, hints)
+        expect = oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size)
+        assert np.array_equal(fs.raw_bytes("/data", 0, size), expect)
+
+    @pytest.mark.parametrize("cb_nodes", [1, 2, 3])
+    def test_aggregator_subsets(self, cb_nodes):
+        nprocs = 4
+        view_of, buf_of, memflat_of, total_of, size = make_pattern(nprocs)
+        hints = Hints(coll_impl="new", cb_nodes=cb_nodes)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 64))
+            f.write_all(buf_of(comm.rank))
+
+        _, fs = run_collective(nprocs, body, hints)
+        expect = oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size)
+        assert np.array_equal(fs.raw_bytes("/data", 0, size), expect)
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_small_cb_many_rounds(self, impl):
+        nprocs = 3
+        view_of, buf_of, memflat_of, total_of, size = make_pattern(nprocs, count=16)
+        hints = Hints(coll_impl=impl, cb_buffer_size=128)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 48))
+            f.write_all(buf_of(comm.rank))
+            return f.stats.rounds
+
+        results, fs = run_collective(nprocs, body, hints)
+        expect = oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size)
+        assert np.array_equal(fs.raw_bytes("/data", 0, size), expect)
+        assert results[0] > 1  # genuinely multi-round
+
+    @pytest.mark.parametrize("strategy,align", [("even", 0), ("even", 256), ("aligned", 256), ("balanced", 0)])
+    def test_realm_strategies(self, strategy, align):
+        nprocs = 4
+        view_of, buf_of, memflat_of, total_of, size = make_pattern(nprocs)
+        hints = Hints(coll_impl="new", realm_strategy=strategy, realm_alignment=align)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 64))
+            f.write_all(buf_of(comm.rank))
+
+        _, fs = run_collective(nprocs, body, hints)
+        expect = oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size)
+        assert np.array_equal(fs.raw_bytes("/data", 0, size), expect)
+
+    def test_pfr_write(self):
+        nprocs = 4
+        view_of, buf_of, memflat_of, total_of, size = make_pattern(nprocs)
+        hints = Hints(coll_impl="new", persistent_file_realms=True, cache_mode="incoherent")
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 64))
+            f.write_all(buf_of(comm.rank))
+
+        _, fs = run_collective(nprocs, body, hints)
+        expect = oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size)
+        assert np.array_equal(fs.raw_bytes("/data", 0, size), expect)
+
+
+class TestCollectiveReads:
+    @pytest.mark.parametrize("impl", IMPLS)
+    @pytest.mark.parametrize("exchange", EXCHANGES)
+    def test_read_back_interleaved(self, impl, exchange):
+        nprocs = 4
+        region, count = 16, 12
+        hints = Hints(coll_impl=impl, exchange=exchange)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * region, filetype=resized(contiguous(region, BYTE), 0, region * nprocs))
+            out = np.zeros(region * count, dtype=np.uint8)
+            f.read_all(out)
+            return out
+
+        fs_content = np.arange(region * nprocs * count, dtype=np.int64).astype(np.uint8)
+
+        def body_with_setup(ctx, comm, f):
+            if comm.rank == 0:
+                pass  # content installed below via raw_write before run
+            return body(ctx, comm, f)
+
+        fs = SimFileSystem(COST)
+        fs.raw_write("/data", 0, fs_content)
+
+        def main(ctx):
+            comm = Communicator(ctx, COST)
+            f = CollectiveFile(ctx, comm, fs, "/data", hints=hints, cost=COST)
+            try:
+                return body(ctx, comm, f)
+            finally:
+                f.close()
+
+        results = Simulator(nprocs).run(main)
+        for r in range(nprocs):
+            flat = resized(contiguous(region, BYTE), 0, region * nprocs).flatten()
+            batch = FlatCursor(flat, r * region, region * count).all_segments()
+            expect = gather_segments(fs_content, batch)
+            assert np.array_equal(results[r], expect), f"rank {r}"
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_write_then_read_roundtrip(self, impl):
+        nprocs = 4
+        region, count = 16, 8
+        hints = Hints(coll_impl=impl)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * region, filetype=resized(contiguous(region, BYTE), 0, region * nprocs))
+            data = (np.arange(region * count, dtype=np.int64) * (comm.rank + 3)).astype(np.uint8)
+            f.write_all(data)
+            f.seek(0)  # MPI: the individual pointer advanced past the data
+            out = np.zeros_like(data)
+            f.read_all(out)
+            return np.array_equal(out, data)
+
+        results, _ = run_collective(nprocs, body, hints)
+        assert all(results)
+
+
+class TestNoncontigMemory:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_vector_memory_type(self, impl):
+        """Non-contiguous in memory AND in file (the Figure 4 shape)."""
+        nprocs = 3
+        region = 8
+        count = 6
+        memtype = vector(count, region, 2 * region, BYTE)  # strided memory
+        hints = Hints(coll_impl=impl)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * region, filetype=resized(contiguous(region, BYTE), 0, region * nprocs))
+            buf = np.arange(memtype.extent, dtype=np.int64).astype(np.uint8) + comm.rank
+            f.write_all(buf, memtype=memtype, count=1)
+            return buf
+
+        results, fs = run_collective(nprocs, body, hints)
+        size = region * nprocs * count
+        got = fs.raw_bytes("/data", 0, size)
+        for r in range(nprocs):
+            fileflat = resized(contiguous(region, BYTE), 0, region * nprocs).flatten()
+            fbatch = FlatCursor(fileflat, r * region, region * count).all_segments()
+            expect = gather_segments(results[r], data_to_file_segments(memtype.flatten(), 0, 0, region * count))
+            actual = gather_segments(got, fbatch)
+            assert np.array_equal(actual, expect), f"rank {r}"
+
+    def test_memtype_count_replication(self):
+        nprocs = 2
+        tile = vector(2, 4, 3, BYTE)  # 8 data bytes per tile, extent 16... (stride 3 * 4B elements)
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 8, filetype=resized(contiguous(8, BYTE), 0, 16))
+            buf = np.arange(64, dtype=np.uint8)
+            f.write_all(buf, memtype=tile, count=3)
+            return True
+
+        results, fs = run_collective(nprocs, body)
+        assert all(results)
+
+
+class TestSubarrayScenario:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_2d_block_decomposition(self, impl):
+        """Each rank owns a column block of a 2-D array — the classic
+        scientific-workload view."""
+        nprocs = 4
+        rows, cols = 8, 16
+        width = cols // nprocs
+        hints = Hints(coll_impl=impl)
+
+        def body(ctx, comm, f):
+            ft = subarray([rows, cols], [rows, width], [0, comm.rank * width], BYTE)
+            f.set_view(disp=0, filetype=ft)
+            buf = np.full(rows * width, comm.rank + 1, dtype=np.uint8)
+            f.write_all(buf)
+
+        _, fs = run_collective(nprocs, body, hints)
+        got = fs.raw_bytes("/data", 0, rows * cols).reshape(rows, cols)
+        for r in range(nprocs):
+            block = got[:, r * width : (r + 1) * width]
+            assert (block == r + 1).all(), f"rank {r}"
+
+
+class TestValidationAndState:
+    def test_write_without_etype_multiple_rejected(self):
+        from repro.datatypes import INT
+
+        def body(ctx, comm, f):
+            f.set_view(disp=0, etype=INT, filetype=contiguous(4, INT))
+            with pytest.raises(CollectiveIOError):
+                f.write_all(np.zeros(3, dtype=np.uint8))  # 3 bytes % 4 != 0
+            return True
+
+        results, _ = run_collective(1, body)
+        assert all(results)
+
+    def test_buffer_too_small_rejected(self):
+        def body(ctx, comm, f):
+            with pytest.raises(CollectiveIOError):
+                f.write_all(np.zeros(4, dtype=np.uint8), memtype=contiguous(16, BYTE), count=1)
+            return True
+
+        results, _ = run_collective(1, body)
+        assert all(results)
+
+    def test_closed_file_rejected(self):
+        def body(ctx, comm, f):
+            f.close()
+            with pytest.raises(CollectiveIOError):
+                f.write_all(np.zeros(4, dtype=np.uint8))
+            return True
+
+        results, _ = run_collective(1, body)
+        assert all(results)
+
+    def test_wrong_dtype_rejected(self):
+        def body(ctx, comm, f):
+            with pytest.raises(CollectiveIOError):
+                f.write_all(np.zeros(4, dtype=np.float32))
+            return True
+
+        results, _ = run_collective(1, body)
+        assert all(results)
+
+    def test_stats_accumulate(self):
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 32))
+            f.write_all(np.zeros(64, dtype=np.uint8))
+            f.write_all(np.zeros(64, dtype=np.uint8))
+            s = f.stats
+            return (s.collective_writes, s.rounds > 0, s.bytes_exchanged > 0)
+
+        results, _ = run_collective(2, body)
+        assert all(r == (2, True, True) for r in results)
+
+    def test_zero_size_participation(self):
+        """A rank with no data must still participate collectively."""
+
+        def body(ctx, comm, f):
+            f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 32))
+            n = 32 if comm.rank == 0 else 0
+            f.write_all(np.zeros(n, dtype=np.uint8))
+            return True
+
+        results, fs = run_collective(2, body)
+        assert all(results)

@@ -1,0 +1,186 @@
+"""Tests for the distributed-array (darray) datatype."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import (
+    BYTE,
+    DISTRIBUTE_BLOCK,
+    DISTRIBUTE_CYCLIC,
+    DISTRIBUTE_NONE,
+    DOUBLE,
+    darray,
+)
+from repro.datatypes.segments import FlatCursor
+from repro.errors import DatatypeError
+
+
+def owned_elements(gsizes, distribs, dargs, psizes, rank):
+    """Element offsets (in elements) covered by this rank's darray."""
+    dt = darray(gsizes, distribs, dargs, psizes, rank, BYTE)
+    flat = dt.flatten()
+    out = []
+    for off, ln in zip(flat.offsets.tolist(), flat.lengths.tolist()):
+        out.extend(range(off, off + ln))
+    return out
+
+
+class TestBlockDistribution:
+    def test_1d_block(self):
+        # 10 elements over 3 procs: blocks of 4, 4, 2.
+        assert owned_elements([10], [DISTRIBUTE_BLOCK], [0], [3], 0) == list(range(0, 4))
+        assert owned_elements([10], [DISTRIBUTE_BLOCK], [0], [3], 1) == list(range(4, 8))
+        assert owned_elements([10], [DISTRIBUTE_BLOCK], [0], [3], 2) == list(range(8, 10))
+
+    def test_2d_block_block(self):
+        # 4x4 over a 2x2 grid: rank 1 has rows 0-1, cols 2-3.
+        got = owned_elements([4, 4], [DISTRIBUTE_BLOCK] * 2, [0, 0], [2, 2], 1)
+        assert got == [2, 3, 6, 7]
+
+    def test_rank_grid_c_order(self):
+        # rank 2 in a 2x2 grid -> coords (1, 0): rows 2-3, cols 0-1.
+        got = owned_elements([4, 4], [DISTRIBUTE_BLOCK] * 2, [0, 0], [2, 2], 2)
+        assert got == [8, 9, 12, 13]
+
+    def test_explicit_block_size(self):
+        got = owned_elements([8], [DISTRIBUTE_BLOCK], [3], [3], 1)
+        assert got == [3, 4, 5]
+
+    def test_block_too_small_rejected(self):
+        with pytest.raises(DatatypeError):
+            darray([10], [DISTRIBUTE_BLOCK], [2], [3], 0, BYTE)
+
+
+class TestCyclicDistribution:
+    def test_1d_cyclic(self):
+        assert owned_elements([8], [DISTRIBUTE_CYCLIC], [1], [3], 0) == [0, 3, 6]
+        assert owned_elements([8], [DISTRIBUTE_CYCLIC], [1], [3], 1) == [1, 4, 7]
+        assert owned_elements([8], [DISTRIBUTE_CYCLIC], [1], [3], 2) == [2, 5]
+
+    def test_block_cyclic(self):
+        assert owned_elements([12], [DISTRIBUTE_CYCLIC], [2], [2], 0) == [0, 1, 4, 5, 8, 9]
+        assert owned_elements([12], [DISTRIBUTE_CYCLIC], [2], [2], 1) == [2, 3, 6, 7, 10, 11]
+
+    def test_cyclic_partial_tail(self):
+        assert owned_elements([7], [DISTRIBUTE_CYCLIC], [3], [2], 1) == [3, 4, 5]
+
+    def test_empty_share(self):
+        assert owned_elements([2], [DISTRIBUTE_CYCLIC], [1], [4], 3) == []
+
+
+class TestNoneAndMixed:
+    def test_none_keeps_dim(self):
+        got = owned_elements([2, 4], [DISTRIBUTE_NONE, DISTRIBUTE_BLOCK], [0, 0], [1, 2], 1)
+        # Both rows, cols 2-3 of each.
+        assert got == [2, 3, 6, 7]
+
+    def test_none_with_grid_not_one_rejected(self):
+        with pytest.raises(DatatypeError):
+            darray([4], [DISTRIBUTE_NONE], [0], [2], 0, BYTE)
+
+    def test_element_type_scales_offsets(self):
+        dt = darray([4], [DISTRIBUTE_BLOCK], [0], [2], 1, DOUBLE)
+        flat = dt.flatten()
+        assert flat.offsets.tolist() == [16]
+        assert flat.lengths.tolist() == [16]
+        assert flat.extent == 32  # whole global array
+
+    def test_extent_is_global_array(self):
+        dt = darray([3, 5], [DISTRIBUTE_BLOCK, DISTRIBUTE_NONE], [0, 0], [3, 1], 0, BYTE)
+        assert dt.extent == 15
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(DatatypeError):
+            darray([4, 4], [DISTRIBUTE_BLOCK], [0], [2], 0, BYTE)
+
+    def test_bad_rank(self):
+        with pytest.raises(DatatypeError):
+            darray([4], [DISTRIBUTE_BLOCK], [0], [2], 2, BYTE)
+
+    def test_bad_sizes(self):
+        with pytest.raises(DatatypeError):
+            darray([0], [DISTRIBUTE_BLOCK], [0], [1], 0, BYTE)
+        with pytest.raises(DatatypeError):
+            darray([4], [DISTRIBUTE_BLOCK], [0], [0], 0, BYTE)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(DatatypeError):
+            darray([4], ["scatter"], [0], [2], 0, BYTE)
+
+
+@given(
+    st.integers(1, 3),                   # dims
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_darray_partitions_global_array(dims, data):
+    """Across all ranks, the darray types partition the global array:
+    every element owned exactly once."""
+    gsizes = [data.draw(st.integers(1, 6)) for _ in range(dims)]
+    distribs = []
+    dargs = []
+    psizes = []
+    for _ in range(dims):
+        dist = data.draw(st.sampled_from([DISTRIBUTE_BLOCK, DISTRIBUTE_CYCLIC, DISTRIBUTE_NONE]))
+        distribs.append(dist)
+        if dist == DISTRIBUTE_NONE:
+            psizes.append(1)
+            dargs.append(0)
+        else:
+            psizes.append(data.draw(st.integers(1, 3)))
+            dargs.append(data.draw(st.integers(0, 3)))
+    # Block sizes must cover the dimension.
+    for d in range(dims):
+        if distribs[d] == DISTRIBUTE_BLOCK and dargs[d] > 0:
+            dargs[d] = max(dargs[d], -(-gsizes[d] // psizes[d]))
+    nprocs = int(np.prod(psizes))
+    seen = {}
+    for rank in range(nprocs):
+        for el in owned_elements(gsizes, distribs, dargs, psizes, rank):
+            assert el not in seen, f"element {el} owned by {seen[el]} and {rank}"
+            seen[el] = rank
+    assert len(seen) == int(np.prod(gsizes))
+
+
+def test_darray_collective_write_roundtrip():
+    """End-to-end: 2-D block/cyclic checkpoint through write_all."""
+    from repro.config import CostModel
+    from repro.core import CollectiveFile
+    from repro.fs import SimFileSystem
+    from repro.mpi import Communicator
+    from repro.sim import Simulator
+
+    COST = CostModel(page_size=64, stripe_size=256, num_osts=2)
+    rows, cols = 8, 12
+    psizes = [2, 2]
+    fs = SimFileSystem(COST)
+
+    def main(ctx):
+        comm = Communicator(ctx, COST)
+        f = CollectiveFile(ctx, comm, fs, "/grid", cost=COST)
+        ft = darray(
+            [rows, cols],
+            [DISTRIBUTE_BLOCK, DISTRIBUTE_CYCLIC],
+            [0, 2],
+            psizes,
+            comm.rank,
+            BYTE,
+        )
+        f.set_view(disp=0, filetype=ft)
+        n = ft.size
+        f.write_all(np.full(n, comm.rank + 1, dtype=np.uint8))
+        f.close()
+
+    Simulator(4).run(main)
+    img = fs.raw_bytes("/grid", 0, rows * cols)
+    for rank in range(4):
+        for el in owned_elements(
+            [rows, cols], [DISTRIBUTE_BLOCK, DISTRIBUTE_CYCLIC], [0, 2], psizes, rank
+        ):
+            assert img[el] == rank + 1, (rank, el, img[el])

@@ -1,0 +1,176 @@
+"""Tests for gather/scatter packing and wire serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import (
+    BYTE,
+    contiguous,
+    decode_flat,
+    encode_flat,
+    gather_bytes,
+    hindexed,
+    resized,
+    scatter_bytes,
+    vector,
+    wire_size,
+)
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.packing import expand_indices, gather_segments, scatter_segments
+from repro.datatypes.segments import data_to_file_segments
+from repro.datatypes.serialize import HEADER_BYTES, PAIR_BYTES
+from repro.errors import DatatypeError
+
+
+class TestExpandIndices:
+    def test_basic(self):
+        idx = expand_indices(np.array([3, 10]), np.array([2, 3]))
+        assert idx.tolist() == [3, 4, 10, 11, 12]
+
+    def test_single_run(self):
+        assert expand_indices(np.array([5]), np.array([4])).tolist() == [5, 6, 7, 8]
+
+    def test_zero_lengths_skipped(self):
+        idx = expand_indices(np.array([1, 5, 9]), np.array([2, 0, 1]))
+        assert idx.tolist() == [1, 2, 9]
+
+    def test_empty(self):
+        assert expand_indices(np.array([]), np.array([])).size == 0
+
+    def test_descending_starts(self):
+        idx = expand_indices(np.array([10, 0]), np.array([2, 2]))
+        assert idx.tolist() == [10, 11, 0, 1]
+
+
+class TestGatherScatter:
+    def test_gather_strided(self):
+        buf = np.arange(20, dtype=np.uint8)
+        flat = vector(3, 2, 5, BYTE).flatten()
+        out = gather_bytes(buf, flat, 0, 6)
+        assert out.tolist() == [0, 1, 5, 6, 10, 11]
+
+    def test_gather_partial_window(self):
+        buf = np.arange(20, dtype=np.uint8)
+        flat = vector(3, 2, 5, BYTE).flatten()
+        assert gather_bytes(buf, flat, 1, 5).tolist() == [1, 5, 6, 10]
+
+    def test_scatter_inverse_of_gather(self):
+        flat = vector(4, 3, 7, BYTE).flatten()
+        src = np.arange(40, dtype=np.uint8)
+        data = gather_bytes(src, flat, 2, 11)
+        dst = np.zeros(40, dtype=np.uint8)
+        scatter_bytes(dst, flat, 2, 11, data)
+        check = gather_bytes(dst, flat, 2, 11)
+        assert np.array_equal(check, data)
+
+    def test_scatter_wrong_size_rejected(self):
+        flat = contiguous(4, BYTE).flatten()
+        with pytest.raises(DatatypeError):
+            scatter_bytes(np.zeros(4, dtype=np.uint8), flat, 0, 4, np.zeros(3, dtype=np.uint8))
+
+    def test_nonuint8_rejected(self):
+        flat = contiguous(4, BYTE).flatten()
+        with pytest.raises(DatatypeError):
+            gather_bytes(np.zeros(4, dtype=np.int32), flat, 0, 4)
+
+    def test_gather_nonmonotonic_memory_type(self):
+        buf = np.arange(10, dtype=np.uint8)
+        flat = hindexed([2, 2], [6, 0], BYTE).flatten()
+        assert gather_bytes(buf, flat, 0, 4).tolist() == [6, 7, 0, 1]
+
+    def test_large_segments_use_slice_path(self):
+        buf = np.arange(8192, dtype=np.int64).astype(np.uint8)
+        flat = resized(contiguous(2048, BYTE), 0, 4096).flatten()
+        out = gather_bytes(buf, flat, 0, 4096)
+        assert out.size == 4096
+        assert np.array_equal(out[:2048], buf[:2048])
+        assert np.array_equal(out[2048:], buf[4096:6144])
+
+    def test_empty_batch_roundtrip(self):
+        flat = contiguous(4, BYTE).flatten()
+        batch = data_to_file_segments(flat, 0, 0, 0)
+        buf = np.zeros(4, dtype=np.uint8)
+        assert gather_segments(buf, batch).size == 0
+        scatter_segments(buf, batch, np.empty(0, dtype=np.uint8))
+
+    def test_scatter_data_for_empty_batch_rejected(self):
+        flat = contiguous(4, BYTE).flatten()
+        batch = data_to_file_segments(flat, 0, 0, 0)
+        with pytest.raises(DatatypeError):
+            scatter_segments(np.zeros(4, dtype=np.uint8), batch, np.ones(1, dtype=np.uint8))
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        flat = vector(5, 3, 9, BYTE).flatten()
+        assert decode_flat(encode_flat(flat)) == flat
+
+    def test_wire_size_formula(self):
+        flat = vector(5, 3, 9, BYTE).flatten()
+        payload = encode_flat(flat)
+        assert len(payload) == wire_size(flat) == HEADER_BYTES + PAIR_BYTES * 5
+
+    def test_empty_type(self):
+        flat = FlatType([], [], 0)
+        assert decode_flat(encode_flat(flat)) == flat
+
+    def test_bad_magic_rejected(self):
+        flat = contiguous(4, BYTE).flatten()
+        payload = bytearray(encode_flat(flat))
+        payload[0] ^= 0xFF
+        with pytest.raises(DatatypeError):
+            decode_flat(bytes(payload))
+
+    def test_truncated_rejected(self):
+        flat = contiguous(4, BYTE).flatten()
+        with pytest.raises(DatatypeError):
+            decode_flat(encode_flat(flat)[:-1])
+        with pytest.raises(DatatypeError):
+            decode_flat(b"abc")
+
+    def test_succinct_much_smaller_than_enumerated(self):
+        succinct = resized(contiguous(64, BYTE), 0, 192).flatten()
+        enumerated = succinct.replicate(4096)
+        assert wire_size(succinct) * 100 < wire_size(enumerated)
+
+
+@st.composite
+def mem_patterns(draw):
+    nseg = draw(st.integers(1, 5))
+    offs = draw(
+        st.lists(st.integers(0, 40), min_size=nseg, max_size=nseg, unique=True)
+    )
+    lens = draw(st.lists(st.integers(1, 5), min_size=nseg, max_size=nseg))
+    # Keep segments disjoint by spreading them out.
+    offs = sorted(offs)
+    spread_offs = [o * 6 for o in offs]
+    order = draw(st.permutations(range(nseg)))
+    o = [spread_offs[i] for i in order]
+    l = [lens[i] for i in order]
+    extent = max(a + b for a, b in zip(o, l)) + draw(st.integers(0, 5))
+    return FlatType(np.array(o), np.array(l), extent)
+
+
+@given(mem_patterns(), st.integers(0, 20), st.integers(0, 20), st.integers(2, 3))
+@settings(max_examples=150, deadline=None)
+def test_gather_scatter_roundtrip_property(flat, lo, width, tiles):
+    total = flat.size * tiles
+    data_lo = min(lo, total)
+    data_hi = min(data_lo + width, total)
+    rng = np.random.default_rng(42)
+    buf = rng.integers(0, 255, size=flat.extent * tiles + 8, dtype=np.uint8)
+    data = gather_bytes(buf, flat, data_lo, data_hi)
+    assert data.size == data_hi - data_lo
+    target = np.zeros_like(buf)
+    scatter_bytes(target, flat, data_lo, data_hi, data)
+    assert np.array_equal(gather_bytes(target, flat, data_lo, data_hi), data)
+
+
+@given(mem_patterns())
+@settings(max_examples=100, deadline=None)
+def test_serialize_roundtrip_property(flat):
+    assert decode_flat(encode_flat(flat)) == flat

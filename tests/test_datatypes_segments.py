@@ -1,0 +1,281 @@
+"""Tests for FlatCursor and data-range mapping, including property tests
+against a brute-force byte-level oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import BYTE, contiguous, hindexed, resized, vector
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.segments import FlatCursor, data_to_file_segments
+from repro.errors import DatatypeError
+
+
+def oracle_layout(flat: FlatType, disp: int, total_bytes: int) -> dict[int, int]:
+    """Brute-force map: file offset -> data offset, byte by byte."""
+    mapping: dict[int, int] = {}
+    data = 0
+    tile = 0
+    while data < total_bytes:
+        base = disp + tile * flat.extent
+        for off, ln in zip(flat.offsets.tolist(), flat.lengths.tolist()):
+            for b in range(ln):
+                if data >= total_bytes:
+                    return mapping
+                mapping[base + off + b] = data
+                data += 1
+        tile += 1
+    return mapping
+
+
+def batch_to_map(batch) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for fo, ln, do in zip(
+        batch.file_offsets.tolist(), batch.lengths.tolist(), batch.data_offsets.tolist()
+    ):
+        for b in range(ln):
+            assert fo + b not in out, "segment batch has overlapping file bytes"
+            out[fo + b] = do + b
+    return out
+
+
+class TestCursorBasics:
+    def test_contiguous_whole_range(self):
+        cur = FlatCursor(contiguous(8, BYTE).flatten(), 0, 8)
+        batch = cur.intersect(0, 8)
+        assert batch.file_offsets.tolist() == [0]
+        assert batch.lengths.tolist() == [8]
+        assert batch.data_offsets.tolist() == [0]
+
+    def test_displacement_applied(self):
+        cur = FlatCursor(contiguous(8, BYTE).flatten(), 100, 8)
+        batch = cur.intersect(0, 1000)
+        assert batch.file_offsets.tolist() == [100]
+
+    def test_clip_front_and_back(self):
+        cur = FlatCursor(contiguous(10, BYTE).flatten(), 0, 10)
+        batch = cur.intersect(3, 7)
+        assert batch.file_offsets.tolist() == [3]
+        assert batch.lengths.tolist() == [4]
+        assert batch.data_offsets.tolist() == [3]
+
+    def test_empty_range(self):
+        cur = FlatCursor(contiguous(10, BYTE).flatten(), 0, 10)
+        assert cur.intersect(5, 5).empty
+        assert cur.intersect(20, 30).empty
+
+    def test_zero_total_bytes(self):
+        cur = FlatCursor(contiguous(10, BYTE).flatten(), 0, 0)
+        assert cur.intersect(0, 100).empty
+        assert cur.tiles == 0
+
+    def test_nonmonotonic_rejected(self):
+        bad = hindexed([1, 1], [4, 0], BYTE).flatten()
+        with pytest.raises(DatatypeError):
+            FlatCursor(bad, 0, 2)
+
+    def test_negative_disp_rejected(self):
+        with pytest.raises(DatatypeError):
+            FlatCursor(BYTE.flatten(), -1, 1)
+
+    def test_first_last_byte_full_tiles(self):
+        # 3 tiles of (2 bytes data, extent 5), disp 10.
+        f = resized(contiguous(2, BYTE), 0, 5).flatten()
+        cur = FlatCursor(f, 10, 6)
+        assert cur.first_byte == 10
+        assert cur.last_byte == 10 + 2 * 5 + 2
+
+    def test_last_byte_partial_tile(self):
+        f = resized(contiguous(4, BYTE), 0, 10).flatten()
+        cur = FlatCursor(f, 0, 6)  # 1 full tile + 2 bytes of tile 1
+        assert cur.last_byte == 10 + 2
+
+
+class TestTiledIntersection:
+    def setup_method(self):
+        # HPIO-ish: 2-byte regions every 5 bytes, 4 tiles, disp 3.
+        self.flat = resized(contiguous(2, BYTE), 0, 5).flatten()
+        self.disp = 3
+        self.total = 8
+
+    def test_full_access(self):
+        cur = FlatCursor(self.flat, self.disp, self.total)
+        batch = cur.all_segments()
+        assert batch_to_map(batch) == oracle_layout(self.flat, self.disp, self.total)
+
+    def test_mid_range(self):
+        cur = FlatCursor(self.flat, self.disp, self.total)
+        oracle = oracle_layout(self.flat, self.disp, self.total)
+        batch = cur.intersect(7, 15)
+        expected = {k: v for k, v in oracle.items() if 7 <= k < 15}
+        assert batch_to_map(batch) == expected
+
+    def test_monotone_queries_partition(self):
+        cur = FlatCursor(self.flat, self.disp, self.total)
+        oracle = oracle_layout(self.flat, self.disp, self.total)
+        got: dict[int, int] = {}
+        for lo in range(0, 30, 4):
+            got.update(batch_to_map(cur.intersect(lo, lo + 4)))
+        assert got == oracle
+
+    def test_tiles_skipped_counted(self):
+        cur = FlatCursor(self.flat, self.disp, self.total)
+        batch = cur.intersect(14, 16)  # lands in tile 2 (bytes 13,14 data tile2)
+        assert batch.tiles_skipped >= 1
+
+    def test_skip_not_recharged(self):
+        cur = FlatCursor(self.flat, self.disp, self.total)
+        cur.intersect(14, 16)
+        again = cur.intersect(16, 19)
+        assert again.tiles_skipped == 0
+
+    def test_reset_restores_scan(self):
+        cur = FlatCursor(self.flat, self.disp, self.total)
+        first = cur.intersect(14, 16)
+        cur.reset()
+        second = cur.intersect(14, 16)
+        assert second.tiles_skipped == first.tiles_skipped
+
+
+class TestScanCost:
+    def test_single_tile_linear_scan(self):
+        # One tile with 8 pairs: evaluations accumulate across queries.
+        t = vector(8, 1, 3, BYTE)
+        cur = FlatCursor(t.flatten(), 0, 8)
+        assert not cur.multi_tile
+        b1 = cur.intersect(0, 6)  # pairs 0,1 end below 6 -> idx_hi = 2
+        assert b1.pairs_evaluated == 2
+        b2 = cur.intersect(6, 24)
+        assert b2.pairs_evaluated == 6
+        # Re-querying behind the cursor costs nothing more.
+        b3 = cur.intersect(0, 24)
+        assert b3.pairs_evaluated == 0
+
+    def test_multi_tile_cheaper_than_enumerated(self):
+        """The succinct representation evaluates far fewer pairs when
+        jumping to a distant realm — the Figure 4 effect in miniature."""
+        region, space, count = 4, 12, 256
+        succinct = resized(contiguous(region, BYTE), 0, region + space).flatten()
+        enumerated = succinct.replicate(count)
+        total = region * count
+        hi = (region + space) * count
+        # Query only the last 1/8th of the file range.
+        lo = hi * 7 // 8
+        c_s = FlatCursor(succinct, 0, total)
+        c_e = FlatCursor(enumerated, 0, total)
+        b_s = c_s.intersect(lo, hi)
+        b_e = c_e.intersect(lo, hi)
+        assert b_s.total_bytes == b_e.total_bytes  # identical results
+        assert b_s.pairs_evaluated < b_e.pairs_evaluated / 4
+        assert b_s.tiles_skipped > 0
+        assert b_e.tiles_skipped == 0
+
+
+class TestDataToFileSegments:
+    def test_roundtrip_against_oracle(self):
+        flat = resized(contiguous(3, BYTE), 0, 7).flatten()
+        disp, total = 5, 11
+        oracle = {v: k for k, v in oracle_layout(flat, disp, total).items()}
+        batch = data_to_file_segments(flat, disp, 2, 9)
+        got = {}
+        for fo, ln, do in zip(
+            batch.file_offsets.tolist(), batch.lengths.tolist(), batch.data_offsets.tolist()
+        ):
+            for b in range(ln):
+                got[do + b] = fo + b
+        assert got == {d: oracle[d] for d in range(2, 9)}
+
+    def test_total_bytes_clamps(self):
+        flat = contiguous(4, BYTE).flatten()
+        batch = data_to_file_segments(flat, 0, 0, 100, total_bytes=4)
+        assert batch.total_bytes == 4
+
+    def test_empty_range(self):
+        flat = contiguous(4, BYTE).flatten()
+        assert data_to_file_segments(flat, 0, 2, 2).empty
+
+    def test_invalid_range_rejected(self):
+        flat = contiguous(4, BYTE).flatten()
+        with pytest.raises(DatatypeError):
+            data_to_file_segments(flat, 0, 5, 2)
+
+    def test_nonmonotonic_memory_type_ok(self):
+        # Memory layouts may be non-monotonic; data mapping still works.
+        flat = hindexed([2, 2], [6, 0], BYTE).flatten()
+        batch = data_to_file_segments(flat, 0, 0, 4)
+        got = {}
+        for fo, ln, do in zip(
+            batch.file_offsets.tolist(), batch.lengths.tolist(), batch.data_offsets.tolist()
+        ):
+            for b in range(ln):
+                got[do + b] = fo + b
+        assert got == {0: 6, 1: 7, 2: 0, 3: 1}
+
+
+# ---------------------------------------------------------------------------
+# Property tests: FlatCursor against the byte-level oracle.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def tiled_patterns(draw):
+    """Random monotonic tiled patterns plus a query range."""
+    nseg = draw(st.integers(1, 4))
+    gaps = draw(st.lists(st.integers(0, 3), min_size=nseg, max_size=nseg))
+    lens = draw(st.lists(st.integers(1, 4), min_size=nseg, max_size=nseg))
+    offs = []
+    pos = 0
+    for g, ln in zip(gaps, lens):
+        pos += g
+        offs.append(pos)
+        pos += ln
+    extent = pos + draw(st.integers(0, 4))
+    flat = FlatType(np.array(offs), np.array(lens), extent)
+    disp = draw(st.integers(0, 7))
+    total = draw(st.integers(0, flat.size * 5))
+    return flat, disp, total
+
+
+@given(tiled_patterns(), st.integers(0, 80), st.integers(0, 40))
+@settings(max_examples=200, deadline=None)
+def test_intersect_matches_oracle(pattern, lo, width):
+    flat, disp, total = pattern
+    oracle = oracle_layout(flat, disp, total)
+    cur = FlatCursor(flat, disp, total)
+    batch = cur.intersect(lo, lo + width)
+    expected = {k: v for k, v in oracle.items() if lo <= k < lo + width}
+    assert batch_to_map(batch) == expected
+
+
+@given(tiled_patterns(), st.lists(st.integers(0, 90), min_size=1, max_size=6))
+@settings(max_examples=200, deadline=None)
+def test_monotone_query_sequence_partitions_access(pattern, cuts):
+    flat, disp, total = pattern
+    oracle = oracle_layout(flat, disp, total)
+    cur = FlatCursor(flat, disp, total)
+    bounds = [0] + sorted(cuts) + [200]
+    got: dict[int, int] = {}
+    for lo, hi in zip(bounds, bounds[1:]):
+        for k, v in batch_to_map(cur.intersect(lo, hi)).items():
+            assert k not in got
+            got[k] = v
+    assert got == oracle
+
+
+@given(tiled_patterns(), st.integers(0, 30), st.integers(0, 30))
+@settings(max_examples=200, deadline=None)
+def test_data_to_file_matches_oracle(pattern, data_lo, width):
+    flat, disp, total = pattern
+    inverse = {v: k for k, v in oracle_layout(flat, disp, total).items()}
+    lo = min(data_lo, total)
+    hi = min(lo + width, total)
+    batch = data_to_file_segments(flat, disp, lo, hi, total_bytes=total)
+    got = {}
+    for fo, ln, do in zip(
+        batch.file_offsets.tolist(), batch.lengths.tolist(), batch.data_offsets.tolist()
+    ):
+        for b in range(ln):
+            got[do + b] = fo + b
+    assert got == {d: inverse[d] for d in range(lo, hi)}

@@ -1,0 +1,140 @@
+"""Edge cases of the event-based engine: abort paths, exception
+handling, and scheduling invariants under stress."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import RankFailed, SimDeadlock, SimulationError
+from repro.mpi import Communicator
+from repro.sim import Simulator
+
+
+class TestAbortPaths:
+    def test_failure_wakes_blocked_ranks(self):
+        """One rank raising must unwind ranks parked in block()."""
+
+        def main(ctx):
+            if ctx.rank == 0:
+                ctx.advance(1e-3)
+                raise RuntimeError("boom")
+            ctx.block(lambda: None, "forever")
+
+        with pytest.raises(RankFailed) as ei:
+            Simulator(3).run(main)
+        assert ei.value.rank == 0
+        # All threads must have terminated (run() joins them).
+        assert all(
+            not t.is_alive()
+            for t in threading.enumerate()
+            if t.name.startswith("sim-rank-")
+        )
+
+    def test_abort_not_swallowed_by_user_except(self):
+        """User code catching Exception must not eat the abort signal."""
+        log = []
+
+        def main(ctx):
+            if ctx.rank == 0:
+                raise ValueError("dead")
+            try:
+                ctx.block(lambda: None, "never")
+            except Exception:  # noqa: BLE001 - the point of the test
+                log.append("swallowed")
+            return "survived"
+
+        with pytest.raises(RankFailed):
+            Simulator(2).run(main)
+        assert log == []  # _SimAborted is a BaseException
+
+    def test_first_failure_wins(self):
+        def main(ctx):
+            raise RuntimeError(f"rank {ctx.rank}")
+
+        with pytest.raises(RankFailed) as ei:
+            Simulator(4).run(main)
+        assert ei.value.rank == 0  # rank 0 runs first (min clock, min id)
+
+    def test_deadlock_dump_lists_all_blocked(self):
+        def main(ctx):
+            ctx.block(lambda: None, f"thing-{ctx.rank}")
+
+        with pytest.raises(SimDeadlock) as ei:
+            Simulator(3).run(main)
+        msg = str(ei.value)
+        for r in range(3):
+            assert f"thing-{r}" in msg
+
+    def test_per_rank_args_length_checked(self):
+        with pytest.raises(ValueError):
+            Simulator(3).run(lambda ctx, x: x, per_rank_args=[(1,), (2,)])
+
+
+class TestSchedulingInvariants:
+    def test_single_runner_invariant(self):
+        """No two ranks are ever inside user code simultaneously."""
+        inside = []
+        overlap = []
+
+        def main(ctx):
+            for _ in range(20):
+                inside.append(ctx.rank)
+                if len(inside) > 1:
+                    overlap.append(tuple(inside))
+                # No yields here: the engine must not preempt.
+                inside.remove(ctx.rank)
+                ctx.advance(1e-6)
+
+        Simulator(6).run(main)
+        assert overlap == []
+
+    def test_global_time_order_of_execution(self):
+        """Each scheduled slice starts no earlier than the previous
+        slice's start (earliest-first scheduling)."""
+        starts = []
+
+        def main(ctx):
+            for _ in range(5):
+                starts.append(ctx.now)
+                ctx.advance(1e-3 * (1 + ctx.rank))
+
+        Simulator(4).run(main)
+        assert starts == sorted(starts)
+
+    def test_block_value_delivered_once(self):
+        box = []
+
+        def main(ctx):
+            if ctx.rank == 0:
+                ctx.advance(1e-3)
+                box.append("ready")
+                ctx.advance(1e-3)
+                return None
+            value = ctx.block(lambda: box[0] if box else None)
+            # wake_value must be cleared after delivery
+            assert ctx._proc.wake_value is None
+            return value
+
+        results = Simulator(2).run(main)
+        assert results[1] == "ready"
+
+    def test_many_ranks_complete(self):
+        def main(ctx):
+            comm = Communicator(ctx)
+            comm.barrier()
+            return ctx.rank
+
+        assert Simulator(96).run(main) == list(range(96))
+
+    def test_makespan_before_run_is_zero(self):
+        assert Simulator(2).makespan == 0.0
+
+    def test_charge_to_past_is_noop(self):
+        def main(ctx):
+            ctx.advance(1e-3)
+            ctx.charge_to(1e-6)
+            return ctx.now
+
+        assert Simulator(1).run(main) == [pytest.approx(1e-3)]

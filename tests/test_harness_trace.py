@@ -1,0 +1,64 @@
+"""Tests for the harness's MPE-style trace decomposition and the
+read-path harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_hpio_read, run_hpio_write
+from repro.hpio.patterns import HPIOPattern
+from repro.mpi import Hints
+
+
+class TestTraceDecomposition:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        pattern = HPIOPattern(nprocs=4, region_size=32, region_count=64, region_spacing=96)
+        return run_hpio_write(
+            pattern, impl="new", representation="succinct",
+            hints=Hints(cb_nodes=2), trace=True,
+        )
+
+    def test_states_present(self, traced):
+        t = traced.counters["time_by_state"]
+        assert {"tp:route", "tp:exchange", "tp:io", "write_all"} <= set(t)
+
+    def test_phases_within_op(self, traced):
+        t = traced.counters["time_by_state"]
+        phase_sum = t["tp:route"] + t["tp:exchange"] + t["tp:io"]
+        assert 0 < phase_sum <= t["write_all"] * 1.001
+
+    def test_untracked_by_default(self):
+        pattern = HPIOPattern(nprocs=2, region_size=16, region_count=8)
+        r = run_hpio_write(pattern, impl="new")
+        assert "time_by_state" not in r.counters
+
+    def test_enumerated_routes_longer(self):
+        pattern = HPIOPattern(nprocs=4, region_size=16, region_count=256, region_spacing=112)
+        route = {}
+        for rep in ("succinct", "enumerated"):
+            r = run_hpio_write(
+                pattern, impl="new", representation=rep,
+                hints=Hints(cb_nodes=2), trace=True,
+            )
+            route[rep] = r.counters["time_by_state"]["tp:route"]
+        assert route["enumerated"] > route["succinct"]
+
+
+class TestReadHarness:
+    def test_read_verified(self):
+        pattern = HPIOPattern(nprocs=4, region_size=16, region_count=16)
+        r = run_hpio_read(pattern, impl="new", hints=Hints(cb_nodes=2))
+        assert r.verified
+        assert r.total_bytes == pattern.total_bytes
+
+    def test_read_old_impl(self):
+        pattern = HPIOPattern(nprocs=3, region_size=16, region_count=8)
+        r = run_hpio_read(pattern, impl="old")
+        assert r.verified
+        assert r.bandwidth_mbs > 0
+
+    def test_read_representation_forced_for_old(self):
+        pattern = HPIOPattern(nprocs=2, region_size=16, region_count=4)
+        r = run_hpio_read(pattern, impl="old", representation="enumerated")
+        assert r.params["representation"] == "succinct"

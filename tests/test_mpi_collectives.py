@@ -1,0 +1,251 @@
+"""Tests for the collective algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import BYTE, contiguous
+from repro.datatypes.segments import SegmentBatch, data_to_file_segments
+from repro.errors import MPIError
+from repro.mpi import Communicator
+from repro.sim import Simulator
+
+
+def run(nprocs, fn):
+    return Simulator(nprocs).run(lambda ctx: fn(Communicator(ctx)))
+
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_synchronizes_clocks(self, size):
+        def main(ctx):
+            comm = Communicator(ctx)
+            ctx.advance(1e-3 * ctx.rank)  # skewed arrival
+            comm.barrier()
+            return ctx.now
+
+        times = Simulator(size).run(main)
+        # After a barrier nobody can be earlier than the latest arrival.
+        assert min(times) >= 1e-3 * (size - 1)
+
+    def test_repeated_barriers(self):
+        def main(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(run(4, main))
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("root", [0, "last"])
+    def test_all_receive(self, size, root):
+        r = size - 1 if root == "last" else 0
+
+        def main(comm):
+            obj = {"data": list(range(5))} if comm.rank == r else None
+            return comm.bcast(obj, root=r)
+
+        results = run(size, main)
+        assert all(v == {"data": [0, 1, 2, 3, 4]} for v in results)
+
+    def test_bad_root(self):
+        def main(comm):
+            with pytest.raises(MPIError):
+                comm.bcast(1, root=9)
+
+        run(2, main)
+
+
+class TestReduceAllreduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_sum(self, size):
+        def main(comm):
+            return comm.reduce(comm.rank + 1)
+
+        results = run(size, main)
+        assert results[0] == size * (size + 1) // 2
+        assert all(v is None for v in results[1:])
+
+    def test_reduce_nonzero_root(self):
+        def main(comm):
+            return comm.reduce(comm.rank, root=2)
+
+        results = run(4, main)
+        assert results[2] == 6
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_max(self, size):
+        def main(comm):
+            return comm.allreduce(comm.rank * 2, op=max)
+
+        assert run(size, main) == [(size - 1) * 2] * size
+
+    def test_allreduce_min_max_pair(self):
+        def main(comm):
+            lo, hi = comm.allreduce(
+                (comm.rank, comm.rank),
+                op=lambda a, b: (min(a[0], b[0]), max(a[1], b[1])),
+            )
+            return (lo, hi)
+
+        assert run(5, main) == [(0, 4)] * 5
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather(self, size):
+        def main(comm):
+            return comm.gather(comm.rank**2)
+
+        results = run(size, main)
+        assert results[0] == [r**2 for r in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        def main(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        expected = [chr(ord("a") + r) for r in range(size)]
+        assert run(size, main) == [expected] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter(self, size):
+        def main(comm):
+            objs = [f"item{i}" for i in range(size)] if comm.rank == 0 else None
+            return comm.scatter(objs)
+
+        assert run(size, main) == [f"item{i}" for i in range(size)]
+
+    def test_scatter_wrong_length(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(MPIError):
+                    comm.scatter([1])
+            comm.barrier()
+
+        # Only rank 0 validates; keep the others in step with a barrier.
+        def guarded(comm):
+            if comm.rank == 0:
+                with pytest.raises(MPIError):
+                    comm.scatter([1])
+            return True
+
+        assert all(run(2, guarded))
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_transpose(self, size):
+        def main(comm):
+            objs = [(comm.rank, dst) for dst in range(size)]
+            return comm.alltoall(objs)
+
+        results = run(size, main)
+        for r, got in enumerate(results):
+            assert got == [(src, r) for src in range(size)]
+
+    def test_none_entries_allowed(self):
+        def main(comm):
+            objs = [None] * comm.size
+            objs[(comm.rank + 1) % comm.size] = comm.rank
+            return comm.alltoall(objs)
+
+        results = run(3, main)
+        for r, got in enumerate(results):
+            expect = [None] * 3
+            expect[(r - 1) % 3] = (r - 1) % 3
+            assert got == expect
+
+    def test_wrong_length_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIError):
+                comm.alltoall([None])
+            return True
+
+        assert all(run(2, main))
+
+
+class TestAlltoallw:
+    def test_block_rotation(self):
+        """Each rank sends byte block i of its buffer to rank i."""
+        size = 4
+        block = 8
+
+        def main(comm):
+            sendbuf = np.full(size * block, comm.rank * 10, dtype=np.uint8)
+            for i in range(size):
+                sendbuf[i * block : (i + 1) * block] += i
+            recvbuf = np.zeros(size * block, dtype=np.uint8)
+            flat = contiguous(block, BYTE).flatten()
+            send_batches = [
+                data_to_file_segments(flat, i * block, 0, block) for i in range(size)
+            ]
+            recv_batches = [
+                data_to_file_segments(flat, i * block, 0, block) for i in range(size)
+            ]
+            comm.alltoallw(sendbuf, send_batches, recvbuf, recv_batches)
+            return recvbuf.copy()
+
+        results = run(size, main)
+        for r, buf in enumerate(results):
+            for src in range(size):
+                seg = buf[src * block : (src + 1) * block]
+                assert (seg == src * 10 + r).all(), (r, src, seg)
+
+    def test_mismatched_bytes_rejected(self):
+        def main(comm):
+            sendbuf = np.zeros(8, dtype=np.uint8)
+            recvbuf = np.zeros(8, dtype=np.uint8)
+            flat4 = contiguous(4, BYTE).flatten()
+            flat2 = contiguous(2, BYTE).flatten()
+            send = [data_to_file_segments(flat4, 0, 0, 4)] * comm.size
+            recv = [data_to_file_segments(flat2, 0, 0, 2)] * comm.size
+            with pytest.raises(MPIError):
+                comm.alltoallw(sendbuf, send, recvbuf, recv)
+            return True
+
+        # size=1: the failure happens on the self-exchange, every rank raises.
+        assert all(run(1, main))
+
+    def test_empty_batches_ok(self):
+        def main(comm):
+            batches = [None] * comm.size
+            comm.alltoallw(None, batches, None, batches)
+            return True
+
+        assert all(run(3, main))
+
+
+@given(st.integers(2, 6), st.data())
+@settings(max_examples=25, deadline=None)
+def test_allreduce_matches_python_sum(size, data):
+    values = data.draw(
+        st.lists(st.integers(-100, 100), min_size=size, max_size=size)
+    )
+
+    def main(ctx):
+        comm = Communicator(ctx)
+        return comm.allreduce(values[ctx.rank])
+
+    results = Simulator(size).run(main)
+    assert results == [sum(values)] * size
+
+
+@given(st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_alltoall_is_transpose_property(size):
+    def main(ctx):
+        comm = Communicator(ctx)
+        return comm.alltoall([ctx.rank * size + dst for dst in range(size)])
+
+    results = Simulator(size).run(main)
+    for r in range(size):
+        assert results[r] == [src * size + r for src in range(size)]

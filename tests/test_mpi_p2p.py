@@ -1,0 +1,214 @@
+"""Tests for point-to-point messaging on the simulated MPI layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError, SimDeadlock
+from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, payload_nbytes
+from repro.mpi.request import Request, waitall
+from repro.sim import Simulator
+
+
+def run(nprocs, fn):
+    return Simulator(nprocs).run(lambda ctx: fn(Communicator(ctx)))
+
+
+class TestSendRecv:
+    def test_simple_pair(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        assert run(2, main)[1] == {"a": 7}
+
+    def test_numpy_payload_copied(self):
+        def main(comm):
+            if comm.rank == 0:
+                data = np.arange(4, dtype=np.uint8)
+                comm.send(data, dest=1)
+                data[:] = 0  # must not affect the in-flight copy
+                return None
+            return comm.recv(source=0).tolist()
+
+        assert run(2, main)[1] == [0, 1, 2, 3]
+
+    def test_fifo_order_same_envelope(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1, tag=3)
+                return None
+            return [comm.recv(source=0, tag=3) for _ in range(5)]
+
+        assert run(2, main)[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selectivity(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run(2, main)[1] == ("a", "b")
+
+    def test_any_source_any_tag(self):
+        def main(comm):
+            if comm.rank == 2:
+                got = sorted(comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(2))
+                return got
+            comm.send(comm.rank, dest=2, tag=comm.rank)
+            return None
+
+        assert run(3, main)[2] == [0, 1]
+
+    def test_recv_advances_virtual_time(self):
+        times = {}
+
+        def main(ctx):
+            comm = Communicator(ctx)
+            if comm.rank == 0:
+                ctx.advance(1.0)  # make the sender late
+                comm.send(b"x" * 1024, dest=1)
+            else:
+                comm.recv(source=0)
+                times["recv_done"] = ctx.now
+
+        Simulator(2).run(main)
+        assert times["recv_done"] > 1.0  # receiver waited for the sender
+
+    def test_bad_peer_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIError):
+                comm.send(1, dest=5)
+            with pytest.raises(MPIError):
+                comm.recv(source=-3)
+
+        run(1, main)
+
+    def test_unmatched_recv_deadlocks_cleanly(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=9)
+
+        with pytest.raises(SimDeadlock):
+            run(2, main)
+
+
+class TestNonblocking:
+    def test_isend_irecv(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.isend([1, 2, 3], dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        assert run(2, main)[1] == [1, 2, 3]
+
+    def test_irecv_test_polls(self):
+        def main(ctx):
+            comm = Communicator(ctx)
+            if comm.rank == 0:
+                req = comm.irecv(source=1)
+                done, _ = req.test()
+                assert not done  # nothing sent yet
+                ctx.advance(1e-3)  # let rank 1 run
+                done, value = req.test()
+                assert done and value == "late"
+                return value
+            comm.send("late", dest=0)
+            return None
+
+        assert Simulator(2).run(main)[0] == "late"
+
+    def test_waitall(self):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, dest=1, tag=i) for i in range(3)]
+                waitall(reqs)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(3)]
+            return waitall(reqs)
+
+        assert run(2, main)[1] == [0, 1, 2]
+
+    def test_wait_idempotent(self):
+        req = Request.completed("v")
+        assert req.wait() == "v"
+        assert req.wait() == "v"
+        assert req.done
+
+
+class TestSendrecvAndSplit:
+    def test_sendrecv_ring(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, right, left)
+
+        assert run(4, main) == [3, 0, 1, 2]
+
+    def test_split_halves(self):
+        def main(comm):
+            color = comm.rank % 2
+            sub = comm.split(color)
+            return (sub.rank, sub.size, sub.members)
+
+        results = run(4, main)
+        assert results[0] == (0, 2, (0, 2))
+        assert results[2] == (1, 2, (0, 2))
+        assert results[1] == (0, 2, (1, 3))
+
+    def test_split_undefined_color(self):
+        def main(comm):
+            sub = comm.split(-1 if comm.rank == 0 else 0)
+            return None if sub is None else sub.size
+
+        assert run(3, main) == [None, 2, 2]
+
+    def test_subcomm_isolated_from_world(self):
+        def main(comm):
+            sub = comm.split(0)
+            if comm.rank == 0:
+                sub.send("subm", dest=1, tag=5)
+                comm.send("worldm", dest=1, tag=5)
+                return None
+            world_msg = comm.recv(source=0, tag=5)
+            sub_msg = sub.recv(source=0, tag=5)
+            return (world_msg, sub_msg)
+
+        assert run(2, main)[1] == ("worldm", "subm")
+
+    def test_dup_is_congruent(self):
+        def main(comm):
+            d = comm.dup()
+            return (d.rank, d.size)
+
+        assert run(3, main) == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestPayloadNbytes:
+    def test_arrays_exact(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_bytes_exact(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+        assert payload_nbytes(None) == 0
+
+    def test_containers_recursive(self):
+        assert payload_nbytes([b"ab", b"cd"]) == 8 + 4
+
+    def test_string(self):
+        assert payload_nbytes("héllo") == len("héllo".encode()) == 6

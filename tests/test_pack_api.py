@@ -1,0 +1,89 @@
+"""Tests for the MPI_Pack/Unpack analogue and the Figure 6 diagram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import BYTE, INT, contiguous, pack, pack_size, unpack, vector
+from repro.errors import DatatypeError
+from repro.hpio.timeseries import TimeSeriesPattern
+
+
+class TestPackSize:
+    def test_counts_data_bytes(self):
+        t = vector(3, 2, 4, INT)
+        assert pack_size(t) == 24
+        assert pack_size(t, 2) == 48
+        assert pack_size(t, 0) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            pack_size(INT, -1)
+
+
+class TestPackUnpack:
+    def test_strided_roundtrip(self):
+        t = vector(3, 2, 4, BYTE)
+        buf = np.arange(16, dtype=np.uint8)
+        packed = pack(buf, t)
+        assert packed.tolist() == [0, 1, 4, 5, 8, 9]
+        out = np.zeros(16, dtype=np.uint8)
+        unpack(packed, out, t)
+        assert out.tolist() == [0, 1, 0, 0, 4, 5, 0, 0, 8, 9, 0, 0, 0, 0, 0, 0]
+
+    def test_multi_count_tiles(self):
+        t = contiguous(2, BYTE)
+        buf = np.arange(8, dtype=np.uint8)
+        packed = pack(buf, t, count=3)
+        assert packed.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_buffer_too_small(self):
+        t = contiguous(8, BYTE)
+        with pytest.raises(DatatypeError):
+            pack(np.zeros(4, dtype=np.uint8), t)
+        with pytest.raises(DatatypeError):
+            unpack(np.zeros(8, dtype=np.uint8), np.zeros(4, dtype=np.uint8), t)
+
+    def test_wrong_packed_size(self):
+        t = contiguous(4, BYTE)
+        with pytest.raises(DatatypeError):
+            unpack(np.zeros(3, dtype=np.uint8), np.zeros(8, dtype=np.uint8), t)
+
+    def test_wrong_dtype(self):
+        t = contiguous(4, BYTE)
+        with pytest.raises(DatatypeError):
+            pack(np.zeros(8, dtype=np.int32), t)
+        with pytest.raises(DatatypeError):
+            unpack(np.zeros(4, dtype=np.float64), np.zeros(8, dtype=np.uint8), t)
+
+    @given(st.integers(1, 4), st.integers(1, 5), st.integers(0, 4), st.integers(1, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, blocks, blocklen, gap, count):
+        t = vector(blocks, blocklen, blocklen + gap, BYTE)
+        span = (count - 1) * t.extent + t.flatten().span_hi if t.size else 0
+        rng = np.random.default_rng(blocks * 100 + blocklen)
+        buf = rng.integers(0, 255, size=span + 4, dtype=np.uint8)
+        packed = pack(buf, t, count=count)
+        assert packed.size == pack_size(t, count)
+        out = np.zeros_like(buf)
+        unpack(packed, out, t, count=count)
+        assert np.array_equal(pack(out, t, count=count), packed)
+
+
+class TestFigure6Diagram:
+    def test_diagram_shape(self):
+        ts = TimeSeriesPattern(nprocs=4, element_size=8, elems_per_point=6, points=5, timesteps=4)
+        art = ts.ascii_diagram(max_points=2, max_steps=3)
+        lines = art.splitlines()
+        assert "2 of 5 data points" in lines[0]
+        assert sum(1 for l in lines if l.startswith("slot t")) == 3
+        # Element ownership digits round-robin over ranks.
+        assert "012301" in art
+
+    def test_diagram_handles_small_patterns(self):
+        ts = TimeSeriesPattern(nprocs=2, element_size=8, elems_per_point=2, points=1, timesteps=1)
+        art = ts.ascii_diagram()
+        assert "slot t0" in art
