@@ -35,7 +35,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
-from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.config import CostModel, DEFAULT_COST_MODEL, FaultConfig
 from repro.core import CollectiveFile, CollStats, FileView
 from repro.datatypes import (
     BYTE,
@@ -57,17 +57,21 @@ from repro.datatypes import (
     vector,
 )
 from repro.errors import (
+    AggregatorLost,
     CollectiveIOError,
     DatatypeError,
     FileSystemError,
     HintError,
     MPIError,
     ReproError,
+    RetryExhausted,
     SimDeadlock,
     SimulationError,
+    TransientIOError,
 )
+from repro.faults import FaultInjector, FaultPlan, FaultStats, load_scenario
 from repro.fs import FSClient, SimFileSystem
-from repro.io import AdioFile
+from repro.io import AdioFile, RetryPolicy
 from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, Hints
 from repro.sim import RankContext, Simulator, Tracer
 
@@ -109,10 +113,17 @@ __all__ = [
     "SimFileSystem",
     "FSClient",
     "AdioFile",
+    "RetryPolicy",
     # core
     "CollectiveFile",
     "CollStats",
     "FileView",
+    # faults / resilience
+    "FaultConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "load_scenario",
     # errors
     "ReproError",
     "SimulationError",
@@ -122,4 +133,7 @@ __all__ = [
     "FileSystemError",
     "CollectiveIOError",
     "HintError",
+    "TransientIOError",
+    "RetryExhausted",
+    "AggregatorLost",
 ]

@@ -1,20 +1,29 @@
-"""Command-line entry point: ``python -m repro [selfcheck|demo|info]``.
+"""Command-line entry point: ``python -m repro [command] [--faults SPEC]``.
 
 * ``selfcheck`` (default) — run a fast end-to-end verification: a
   collective write/read cycle on a 4-rank simulated cluster under both
   implementations and every flush method, checked against oracles.
 * ``demo`` — the quickstart scenario with a printed activity timeline.
-* ``info`` — version, default cost model, and known hints.
+* ``info`` — version, default cost model, known hints, fault scenarios.
+* ``chaos`` — sweep a fault scenario's intensity and report the
+  completion-time degradation (always data-verified).
+
+``--faults NAME[:SEED]`` (e.g. ``--faults transient-io:42``) installs
+the named deterministic fault scenario into every simulated cluster the
+command builds, and prints a fault/retry summary table afterwards.  The
+selfcheck still requires byte-perfect results — that is the resilience
+machinery's contract under test.
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Optional
 
 import numpy as np
 
 
-def selfcheck() -> int:
+def selfcheck(fault_spec: Optional[str] = None) -> int:
     from repro import (
         BYTE,
         CollectiveFile,
@@ -25,7 +34,10 @@ def selfcheck() -> int:
         contiguous,
         resized,
     )
+    from repro.faults import FaultStats, load_scenario
 
+    plan = load_scenario(fault_spec) if fault_spec else None
+    totals = FaultStats()
     nprocs, region, count = 4, 64, 16
     failures = 0
     for impl in ("new", "old"):
@@ -46,10 +58,16 @@ def selfcheck() -> int:
                 f.close()
                 return bool(np.array_equal(out, data))
 
-            ok = all(Simulator(nprocs).run(main))
+            sim = Simulator(nprocs)
+            injector = plan.install(sim) if plan is not None else None
+            ok = all(sim.run(main))
+            if injector is not None:
+                totals.merge(injector.stats)
             status = "ok" if ok else "FAILED"
             print(f"  {impl:>3} + {method:<12} {status}")
             failures += 0 if ok else 1
+    if plan is not None:
+        _print_fault_summary(fault_spec, plan, totals)
     if failures:
         print(f"selfcheck: {failures} combinations FAILED")
         return 1
@@ -57,7 +75,29 @@ def selfcheck() -> int:
     return 0
 
 
-def demo() -> int:
+def _print_fault_summary(spec, plan, stats) -> None:
+    print(f"\nfault scenario {spec!r} (seed {plan.seed}):")
+    for kind, detail in plan.describe():
+        print(f"  {kind:<14} {detail}")
+    print("\nfault/retry summary:")
+    for name, value in stats.rows():
+        print(f"  {name:<26} {value}")
+
+
+def chaos(fault_spec: Optional[str] = None) -> int:
+    from repro.bench import ChaosHarness
+
+    harness = ChaosHarness(fault_spec or "chaos")
+    report = harness.sweep()
+    print(report.format())
+    if not report.all_verified:
+        print("chaos: DATA CORRUPTION under faults")
+        return 1
+    print("chaos: all intensities verified byte-for-byte")
+    return 0
+
+
+def demo(fault_spec: Optional[str] = None) -> int:
     import runpy
     from pathlib import Path
 
@@ -69,10 +109,11 @@ def demo() -> int:
     return 1
 
 
-def info() -> int:
+def info(fault_spec: Optional[str] = None) -> int:
     import dataclasses
 
     from repro import DEFAULT_COST_MODEL, __version__
+    from repro.faults import scenario_names
     from repro.mpi import Hints
 
     print(f"repro {__version__} — flexible MPI collective I/O reproduction")
@@ -82,16 +123,28 @@ def info() -> int:
     print("\nknown hints (default values):")
     for key in Hints.known_keys():
         print(f"  {key:<24} {Hints.default(key)!r}")
+    print("\nfault scenarios (--faults NAME[:SEED]):")
+    for name in scenario_names():
+        print(f"  {name}")
     return 0
 
 
 def main(argv: list[str]) -> int:
-    cmd = argv[0] if argv else "selfcheck"
-    commands = {"selfcheck": selfcheck, "demo": demo, "info": info}
+    args = list(argv)
+    fault_spec: Optional[str] = None
+    if "--faults" in args:
+        i = args.index("--faults")
+        if i + 1 >= len(args):
+            print("--faults requires a scenario spec (NAME[:SEED]); see `info`")
+            return 2
+        fault_spec = args[i + 1]
+        del args[i : i + 2]
+    cmd = args[0] if args else "selfcheck"
+    commands = {"selfcheck": selfcheck, "demo": demo, "info": info, "chaos": chaos}
     if cmd not in commands:
-        print(f"usage: python -m repro [{'|'.join(commands)}]")
+        print(f"usage: python -m repro [{'|'.join(commands)}] [--faults NAME[:SEED]]")
         return 2
-    return commands[cmd]()
+    return commands[cmd](fault_spec)
 
 
 if __name__ == "__main__":

@@ -4,14 +4,20 @@
   fresh simulated cluster, returning simulated bandwidth and counters;
 * :mod:`~repro.bench.figures` — one experiment definition per paper
   figure (4, 5, 7) plus ablations;
-* :mod:`~repro.bench.reporting` — plain-text series/table rendering.
+* :mod:`~repro.bench.reporting` — plain-text series/table rendering;
+* :mod:`~repro.bench.chaos` — fault-intensity sweeps measuring
+  completion-time degradation with byte-level verification.
 """
 
+from repro.bench.chaos import ChaosHarness, ChaosPoint, ChaosReport
 from repro.bench.harness import BenchResult, run_hpio_write, run_timeseries
 from repro.bench.reporting import format_series, format_table
 
 __all__ = [
     "BenchResult",
+    "ChaosHarness",
+    "ChaosPoint",
+    "ChaosReport",
     "run_hpio_write",
     "run_timeseries",
     "format_series",

@@ -1,0 +1,187 @@
+"""Chaos harness: completion-time degradation versus fault intensity.
+
+A :class:`ChaosHarness` runs one fixed collective-write workload (the
+selfcheck's interleaved tile pattern) repeatedly: once fault-free for
+the baseline, then once per requested intensity with the scenario's
+probabilistic rates scaled by that intensity.  Every run is verified
+byte-for-byte against a direct numpy oracle — a chaos run that degrades
+*correctness* instead of completion time is a failed run, whatever its
+timing says.
+
+Each point rebuilds the whole simulated cluster from scratch (fresh
+file system, fresh injector), so points are independent and the whole
+sweep is deterministic for a given (scenario, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.core import CollectiveFile
+from repro.datatypes import BYTE, contiguous, resized
+from repro.datatypes.segments import FlatCursor
+from repro.datatypes.packing import scatter_segments
+from repro.faults import FaultPlan, FaultStats, load_scenario
+from repro.fs import SimFileSystem
+from repro.mpi import Communicator, Hints
+from repro.sim import Simulator
+
+__all__ = ["ChaosPoint", "ChaosReport", "ChaosHarness"]
+
+_PATH = "/chaos"
+
+
+@dataclass
+class ChaosPoint:
+    """One intensity step of a chaos sweep."""
+
+    rate_scale: float
+    sim_seconds: float
+    slowdown: float
+    verified: bool
+    fault_stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ChaosReport:
+    """A full sweep: baseline plus one point per intensity."""
+
+    scenario: str
+    seed: int
+    nprocs: int
+    total_bytes: int
+    baseline_seconds: float
+    points: List[ChaosPoint] = field(default_factory=list)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(p.verified for p in self.points)
+
+    def format(self) -> str:
+        lines = [
+            f"chaos sweep: scenario={self.scenario!r} seed={self.seed} "
+            f"nprocs={self.nprocs} bytes={self.total_bytes}",
+            f"  baseline (fault-free): {self.baseline_seconds * 1e3:9.3f} ms",
+            f"  {'scale':>6} {'sim ms':>10} {'slowdown':>9} {'ok':>3}  faults",
+        ]
+        for p in self.points:
+            fired = ", ".join(
+                f"{k}={v:g}" for k, v in p.fault_stats.items() if v
+            ) or "-"
+            lines.append(
+                f"  {p.rate_scale:6.2f} {p.sim_seconds * 1e3:10.3f} "
+                f"{p.slowdown:8.2f}x {'ok' if p.verified else 'BAD':>3}  {fired}"
+            )
+        return "\n".join(lines)
+
+
+class ChaosHarness:
+    """Sweep a fault scenario's intensity over a fixed collective write.
+
+    ``scenario`` is a ``name[:seed]`` spec or an explicit
+    :class:`FaultPlan`.  The workload is ``count`` interleaved
+    ``region``-byte tiles per rank, written with one ``write_all``."""
+
+    def __init__(
+        self,
+        scenario: str | FaultPlan,
+        *,
+        nprocs: int = 4,
+        region: int = 64,
+        count: int = 16,
+        hints: Optional[Hints] = None,
+        cost: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        if isinstance(scenario, FaultPlan):
+            self.plan = scenario
+            self.scenario_name = "<custom>"
+        else:
+            self.plan = load_scenario(scenario)
+            self.scenario_name = scenario.partition(":")[0]
+        self.nprocs = nprocs
+        self.region = region
+        self.count = count
+        # Default geometry: two aggregators, a collective buffer small
+        # enough for several rounds per call — phase-boundary scenarios
+        # (agg-crash) need boundaries to exist.
+        self.hints = (
+            hints if hints is not None else Hints(cb_nodes=2, cb_buffer_size=512)
+        )
+        self.cost = cost
+        self.total_bytes = nprocs * region * count
+
+    # -- workload -----------------------------------------------------------
+    def _rank_buffer(self, rank: int) -> np.ndarray:
+        n = self.region * self.count
+        return ((np.arange(n, dtype=np.int64) * (rank + 1) + rank) % 251).astype(
+            np.uint8
+        )
+
+    def _oracle(self) -> np.ndarray:
+        """The expected file image, built without the simulator."""
+        out = np.zeros(self.total_bytes, dtype=np.uint8)
+        period = self.region * self.nprocs
+        tile = resized(contiguous(self.region, BYTE), 0, period).flatten()
+        for rank in range(self.nprocs):
+            total = self.region * self.count
+            batch = FlatCursor(tile, rank * self.region, total).all_segments()
+            scatter_segments(out, batch, self._rank_buffer(rank))
+        return out
+
+    def run_once(self, plan: Optional[FaultPlan]) -> tuple[float, bool, FaultStats]:
+        """One full run (open, write_all, close) under ``plan``.
+
+        Returns (virtual completion seconds, contents verified, fault
+        stats).  ``plan=None`` runs fault-free."""
+        fs = SimFileSystem(self.cost)
+        region, nprocs = self.region, self.nprocs
+        hints = self.hints
+
+        def main(ctx):
+            comm = Communicator(ctx, self.cost)
+            f = CollectiveFile(ctx, comm, fs, _PATH, hints=hints, cost=self.cost)
+            tile = resized(contiguous(region, BYTE), 0, region * nprocs)
+            f.set_view(disp=comm.rank * region, filetype=tile)
+            f.write_all(self._rank_buffer(comm.rank))
+            f.close()
+            return ctx.now
+
+        sim = Simulator(nprocs)
+        injector = plan.install(sim) if plan is not None else None
+        times = sim.run(main)
+        seconds = max(times)
+        got = fs.raw_bytes(_PATH, 0, self.total_bytes)
+        verified = bool(np.array_equal(got, self._oracle()))
+        stats = injector.stats if injector is not None else FaultStats()
+        return seconds, verified, stats
+
+    def sweep(
+        self, rate_scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0)
+    ) -> ChaosReport:
+        """Baseline plus one verified run per intensity."""
+        baseline, ok, _ = self.run_once(None)
+        report = ChaosReport(
+            scenario=self.scenario_name,
+            seed=self.plan.seed,
+            nprocs=self.nprocs,
+            total_bytes=self.total_bytes,
+            baseline_seconds=baseline,
+        )
+        if not ok:
+            raise AssertionError("fault-free chaos baseline wrote corrupt data")
+        for scale in rate_scales:
+            seconds, verified, stats = self.run_once(self.plan.scaled(scale))
+            report.points.append(
+                ChaosPoint(
+                    rate_scale=float(scale),
+                    sim_seconds=seconds,
+                    slowdown=seconds / baseline if baseline > 0 else float("inf"),
+                    verified=verified,
+                    fault_stats=stats.snapshot(),
+                )
+            )
+        return report

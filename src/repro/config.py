@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "FaultConfig", "DEFAULT_FAULT_CONFIG"]
 
 
 @dataclass(frozen=True)
@@ -113,6 +113,44 @@ class CostModel:
             raise ValueError("num_osts must be positive")
 
 
-#: Shared default instance; treat as immutable.
+@dataclass(frozen=True)
+class FaultConfig:
+    """Resilience knobs: how the library reacts to injected faults.
+
+    Injection itself is configured by :class:`repro.faults.FaultPlan`;
+    this describes the *response* — the independent-I/O retry policy
+    and whether the collective layer fails over dead aggregators.
+    """
+
+    #: Retries per independent-I/O operation after a transient fault
+    #: (0 = fail immediately with :class:`repro.errors.RetryExhausted`).
+    io_retries: int = 4
+    #: Virtual seconds slept before the first retry.
+    retry_backoff: float = 1e-3
+    #: Multiplier applied to the backoff after each failed attempt.
+    retry_backoff_factor: float = 2.0
+    #: Rebalance a dead aggregator's file realm across survivors
+    #: instead of raising :class:`repro.errors.AggregatorLost`.
+    failover: bool = True
+
+    def replace(self, **kwargs: object) -> "FaultConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any parameter is nonsensical."""
+        if self.io_retries < 0:
+            raise ValueError(f"io_retries must be >= 0, got {self.io_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+
+
+#: Shared default instances; treat as immutable.
 DEFAULT_COST_MODEL = CostModel()
 DEFAULT_COST_MODEL.validate()
+DEFAULT_FAULT_CONFIG = FaultConfig()
+DEFAULT_FAULT_CONFIG.validate()

@@ -37,6 +37,7 @@ from repro.errors import CollectiveIOError
 from repro.fs.client import FSClient
 from repro.fs.filesystem import SimFileSystem
 from repro.io.adio import AdioFile
+from repro.io.retry import RetryPolicy
 from repro.mpi.comm import Communicator
 from repro.mpi.hints import Hints
 from repro.sim.engine import RankContext
@@ -68,7 +69,12 @@ class CollectiveFile:
             cache_mode=self.hints["cache_mode"],
             cache_capacity_pages=self.hints["cache_pages"],
         )
-        self.adio = AdioFile(self.local, ds_buffer_size=self.hints["ds_buffer_size"])
+        retry = RetryPolicy(
+            retries=self.hints["io_retries"], backoff=self.hints["io_retry_backoff"]
+        )
+        self.adio = AdioFile(
+            self.local, ds_buffer_size=self.hints["ds_buffer_size"], retry=retry
+        )
         self.view = FileView(0, BYTE, BYTE)
         self.stats = CollStats()
         self.pfr = PFRState()
@@ -184,7 +190,10 @@ class CollectiveFile:
 
     def _epilogue_write(self) -> None:
         if self._needs_realm_coherence:
-            flushed = self.local.sync()
+            # Coherence flushes hit the server too; retry them under the
+            # same policy as the data path or a transient fault here
+            # would kill an otherwise-survivable collective call.
+            flushed = self.adio.retry.run(self.ctx, self.local.sync)
             self.local.invalidate()
             self.stats.coherence_flush_pages += flushed
 
@@ -322,14 +331,16 @@ class CollectiveFile:
     def sync(self) -> None:
         """Collective flush of client caches to the server."""
         self._require_open()
-        self.local.sync()
+        self.adio.retry.run(self.ctx, self.local.sync)
         self.comm.barrier()
 
     def close(self) -> None:
         """Collective close: flush, invalidate, synchronize."""
         if not self._open:
             return
-        self.local.close()
+        # close() flushes dirty pages, which is a server write; give it
+        # the same transient-fault protection as the data path.
+        self.adio.retry.run(self.ctx, self.local.close)
         self._open = False
         self.comm.barrier()
 

@@ -133,13 +133,42 @@ class RealmDomain:
         hi = min((r + 1) * cb, self.total_bytes)
         if hi <= lo:
             return Window(_EMPTY, _EMPTY)
+        starts, ends = self._linear_slice(lo, hi)
+        return Window(starts, ends)
+
+    def slice_linear(self, lo: int, hi: int) -> "RealmDomain":
+        """Sub-domain covering linear bytes [lo, hi).
+
+        The failover path uses this to carve a dead aggregator's
+        *remaining* work (its linear tail) into per-survivor shares."""
+        lo = max(lo, 0)
+        hi = min(hi, self.total_bytes)
+        if hi <= lo:
+            return RealmDomain(_EMPTY, _EMPTY)
+        starts, ends = self._linear_slice(lo, hi)
+        return RealmDomain(starts, ends)
+
+    def _linear_slice(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """Interval arrays for linear bytes [lo, hi); caller guarantees
+        0 <= lo < hi <= total_bytes."""
         i0 = int(np.searchsorted(self.prefix, lo, side="right")) - 1
         i1 = int(np.searchsorted(self.prefix, hi, side="left"))
         starts = self.starts[i0:i1].copy()
         ends = self.ends[i0:i1].copy()
         starts[0] += lo - int(self.prefix[i0])
         ends[-1] -= int(self.prefix[i1]) - hi
-        return Window(starts, ends)
+        return starts, ends
+
+    @staticmethod
+    def merge(domains: Sequence["RealmDomain"]) -> "RealmDomain":
+        """Union of pairwise-disjoint domains, ordered by file offset."""
+        parts = [d for d in domains if d.starts.size]
+        if not parts:
+            return RealmDomain(_EMPTY, _EMPTY)
+        starts = np.concatenate([d.starts for d in parts])
+        ends = np.concatenate([d.ends for d in parts])
+        order = np.argsort(starts, kind="stable")
+        return RealmDomain(starts[order], ends[order])
 
 
 class FileRealm:

@@ -45,12 +45,14 @@ from repro.core.realms import FileRealm, RealmDomain, resolve_strategy
 from repro.datatypes.flatten import FlatType
 from repro.datatypes.segments import FlatCursor, SegmentBatch
 from repro.datatypes.serialize import decode_flat, encode_flat
-from repro.errors import CollectiveIOError
+from repro.errors import AggregatorLost, CollectiveIOError
+from repro.faults.plan import FAULTS_KEY
 from repro.io.selection import choose_method
 
 __all__ = ["write_all_new", "read_all_new"]
 
 _TAG_META = (1 << 19) + 1  # library p2p range: below COLLECTIVE_TAG_BASE
+_EMPTY64 = np.empty(0, dtype=np.int64)
 
 
 class _Plan:
@@ -77,6 +79,31 @@ class _Plan:
         self.aggs = select_aggregators(
             comm.size, hints["cb_nodes"], hints["cb_layout"]
         )
+        # Resilience state: which collective call this is (a pure
+        # function of per-rank program order, so every rank agrees
+        # without communication), which phase boundaries have passed,
+        # and which aggregators have already been failed over.
+        self._injector = ctx.shared.get(FAULTS_KEY)
+        self._call_index = (
+            self._injector.begin_collective(comm.rank)
+            if self._injector is not None
+            else 0
+        )
+        self._boundary = 0
+        self._dead: set[int] = set()
+        if self._injector is not None:
+            # Aggregators that died in *earlier* collective calls never
+            # regain the role: drop them before realm assignment so
+            # survivors partition the AAR among themselves.
+            gone = self._injector.dead_aggregators(self._call_index, -1)
+            if gone:
+                alive = [a for a in self.aggs if a not in gone]
+                if len(alive) != len(self.aggs):
+                    if not hints["failover"]:
+                        raise AggregatorLost(min(set(self.aggs) & gone))
+                    if not alive:
+                        raise AggregatorLost(self.aggs[0])
+                    self.aggs = alive
         self.my_agg_index = self.aggs.index(comm.rank) if comm.rank in self.aggs else -1
         self.realms = self._assign_realms()
         self.domains: List[RealmDomain] = [
@@ -299,6 +326,74 @@ class _Plan:
         merged = merge_extents(ext_offs, ext_lens)
         return window, per_client, merged
 
+    # -- aggregator failover ------------------------------------------------
+    def maybe_failover(self, r: int) -> bool:
+        """Phase-boundary crash check, called before each round.
+
+        ``r`` is the next round of the current epoch (== rounds
+        completed since the last rebalance, so ``r * cb`` linear bytes
+        of every domain are already flushed).  Detection needs no
+        communication: the dead set is a pure function of the
+        per-rank collective-call ordinal and a monotonic boundary
+        counter, both of which every rank tracks identically.
+
+        Returns True when realms were rebalanced — the caller must
+        restart its round counter at zero (``nrounds`` has been
+        recomputed for the new domains)."""
+        inj = self._injector
+        if inj is None or not inj.enabled("agg_crash"):
+            return False
+        boundary = self._boundary
+        self._boundary += 1
+        dead = inj.dead_aggregators(self._call_index, boundary)
+        newly = [a for a in self.aggs if a in dead and a not in self._dead]
+        if not newly:
+            return False
+        env = self.env
+        if not env.hints["failover"]:
+            raise AggregatorLost(newly[0])
+        survivors = [ai for ai, a in enumerate(self.aggs) if a not in dead]
+        if not survivors:
+            raise AggregatorLost(newly[0])
+        consumed = r * self.cb
+        # Everyone's remaining work is its linear tail; a dead
+        # aggregator's tail is carved evenly across the survivors.
+        # Every aggregator already holds every client's filetype cursor
+        # (the metadata exchange is all-to-all-aggregators), so
+        # adopting file ranges needs no new communication.
+        tails = [d.slice_linear(consumed, d.total_bytes) for d in self.domains]
+        shares: List[List[RealmDomain]] = [[] for _ in self.aggs]
+        for ai in survivors:
+            shares[ai].append(tails[ai])
+        nsurv = len(survivors)
+        for ai, a in enumerate(self.aggs):
+            if a not in newly:
+                continue
+            tail = tails[ai]
+            total = tail.total_bytes
+            if env.comm.rank == 0:
+                inj.note_failover(a, total)
+            chunk = -(-total // nsurv) if total else 0
+            for k, si in enumerate(survivors):
+                shares[si].append(tail.slice_linear(k * chunk, (k + 1) * chunk))
+        empty = RealmDomain(_EMPTY64, _EMPTY64)
+        self.domains = [
+            RealmDomain.merge(shares[ai]) if ai in set(survivors) else empty
+            for ai in range(len(self.aggs))
+        ]
+        self._dead.update(newly)
+        # Adopted intervals may precede a cursor's current position:
+        # every monotonic scan restarts from the top.
+        if self.client_cursors is not None:
+            for cur in self.client_cursors:
+                cur.reset()
+        if self.agg_cursors is not None:
+            for cur in self.agg_cursors:
+                if cur is not None:
+                    cur.reset()
+        self.nrounds = max((d.nrounds(self.cb) for d in self.domains), default=0)
+        return True
+
 
 class _NullCursor:
     """Cursor stand-in for ranks with no data (histogram path)."""
@@ -345,8 +440,12 @@ def write_all_new(
     plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     mode = env.hints["exchange"]
-    env.stats.rounds += plan.nrounds
-    for r in range(plan.nrounds):
+    r = 0
+    while r < plan.nrounds:
+        if plan.maybe_failover(r):
+            r = 0
+            continue
+        env.stats.rounds += 1
         with env.ctx.trace("tp:route", round=r):
             send_plan = plan.client_send_plan(r)
             window, recv_plan, merged = plan.agg_recv_layout(r)
@@ -362,6 +461,7 @@ def write_all_new(
         with env.ctx.trace("tp:io", round=r):
             if window is not None and cbuf is not None:
                 _flush_merged(env, plan, window, merged, cbuf)
+        r += 1
     env.stats.collective_writes += 1
 
 
@@ -377,8 +477,12 @@ def read_all_new(
     plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     mode = env.hints["exchange"]
-    env.stats.rounds += plan.nrounds
-    for r in range(plan.nrounds):
+    r = 0
+    while r < plan.nrounds:
+        if plan.maybe_failover(r):
+            r = 0
+            continue
+        env.stats.rounds += 1
         with env.ctx.trace("tp:route", round=r):
             # On reads, data flows aggregator -> client: the aggregator's
             # per-client layouts become SEND batches, the client's
@@ -391,4 +495,5 @@ def read_all_new(
             env.stats.bytes_exchanged += exchange_data(
                 comm, cost, mode, cbuf, send_plan, buf, recv_plan
             )
+        r += 1
     env.stats.collective_reads += 1

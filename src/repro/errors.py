@@ -44,9 +44,54 @@ class FileSystemError(ReproError):
     """Simulated file system failure (unknown file, bad mode, ...)."""
 
 
+class TransientIOError(FileSystemError):
+    """An injected, retryable I/O failure (the fault model's bread and
+    butter: a server call that would have succeeded if reissued).
+
+    ``site`` names the injection point (e.g. ``"server_write"``) and
+    ``client`` the failing client id, so retry exhaustion can report
+    exactly where the fault fired."""
+
+    def __init__(self, site: str, client: int, path: str = "") -> None:
+        super().__init__(
+            f"transient I/O error at {site} (client {client}"
+            + (f", file {path!r}" if path else "")
+            + ")"
+        )
+        self.site = site
+        self.client = client
+        self.path = path
+
+
+class RetryExhausted(FileSystemError):
+    """A retry policy gave up on a transient fault.
+
+    Chains the final :class:`TransientIOError` and carries its
+    injection ``site`` plus the number of ``attempts`` made."""
+
+    def __init__(self, site: str, attempts: int) -> None:
+        super().__init__(
+            f"I/O retries exhausted after {attempts} attempt(s); "
+            f"last fault injected at {site}"
+        )
+        self.site = site
+        self.attempts = attempts
+
+
 class CollectiveIOError(ReproError):
     """Invalid use of the collective I/O layer (no view set, mismatched
     collective calls, unknown hint values, ...)."""
+
+
+class AggregatorLost(CollectiveIOError):
+    """An aggregator died during a collective call and could not be
+    survived (failover disabled, or no aggregator left alive)."""
+
+    def __init__(self, rank: int, reason: str = "") -> None:
+        super().__init__(
+            f"aggregator rank {rank} lost{': ' + reason if reason else ''}"
+        )
+        self.rank = rank
 
 
 class HintError(CollectiveIOError):

@@ -1,0 +1,219 @@
+"""Fault injector: turns a :class:`FaultPlan` into hook decisions.
+
+One injector is shared by every rank of a run (it lives in the
+simulator's ``shared`` dict under :data:`~repro.faults.plan.FAULTS_KEY`
+and on ``Simulator.faults`` for the engine's CPU hook).  Each hook
+decision is a pure hash of ``(seed, kind, actor, counter)`` with
+per-actor counters, so
+
+* two runs of the same workload under the same plan make identical
+  decisions (replayable chaos), and
+* rank A's decisions do not depend on how many opportunities rank B
+  has consumed (perturbation-robust keying).
+
+Mutating hook state is safe without locks because the engine runs one
+rank thread at a time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import TransientIOError
+from repro.faults.plan import FAULTS_KEY, FaultPlan
+
+__all__ = ["FaultStats", "FaultInjector"]
+
+_U64 = float(1 << 64)
+
+
+@dataclass
+class FaultStats:
+    """What the injector (and the resilience layers reporting back to
+    it) actually did; the CLI's post-run summary table."""
+
+    io_faults: int = 0
+    disk_slowdowns: int = 0
+    disk_extra_seconds: float = 0.0
+    straggler_extra_seconds: float = 0.0
+    messages_delayed: int = 0
+    messages_dropped: int = 0
+    net_extra_seconds: float = 0.0
+    lock_storm_rpcs: int = 0
+    agg_crashes: int = 0
+    failovers: int = 0
+    realm_bytes_rebalanced: int = 0
+    retries: int = 0
+    retry_backoff_seconds: float = 0.0
+    retries_exhausted: int = 0
+
+    def merge(self, other: "FaultStats") -> None:
+        for name, value in vars(other).items():
+            setattr(self, name, getattr(self, name) + value)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(vars(self))
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(counter, rendered value) rows, seconds formatted, for tables."""
+        out = []
+        for name, value in vars(self).items():
+            text = f"{value:.6f}" if isinstance(value, float) else str(value)
+            out.append((name, text))
+        return out
+
+
+class FaultInjector:
+    """Hook implementation consulted by the sim/mpi/fs/io layers."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        for event in plan.events:
+            event.validate()
+        self.plan = plan
+        self.stats = FaultStats()
+        #: (kind, actor) -> opportunities consumed so far.
+        self._counters: Dict[Tuple[str, int], int] = {}
+        #: rank -> collective calls begun (for agg_crash targeting).
+        self._calls: Dict[int, int] = {}
+        # Kind presence flags let the fault-free fast paths stay cheap.
+        self._active_kinds = frozenset(e.kind for e in plan.events)
+
+    def install(self, sim) -> "FaultInjector":
+        """Attach to a :class:`~repro.sim.engine.Simulator` before run."""
+        sim.shared[FAULTS_KEY] = self
+        sim.faults = self
+        return self
+
+    # -- deterministic coin flips ---------------------------------------
+    def _chance(self, kind: str, actor: int, p: float) -> bool:
+        """Seeded Bernoulli(p) draw for this (kind, actor) opportunity."""
+        if p >= 1.0:
+            self._counters[(kind, actor)] = self._counters.get((kind, actor), 0) + 1
+            return True
+        if p <= 0.0:
+            return False
+        n = self._counters.get((kind, actor), 0)
+        self._counters[(kind, actor)] = n + 1
+        digest = hashlib.blake2b(
+            f"{self.plan.seed}/{kind}/{actor}/{n}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / _U64 < p
+
+    def enabled(self, kind: str) -> bool:
+        return kind in self._active_kinds
+
+    # -- sim.engine hook --------------------------------------------------
+    def cpu_factor(self, rank: int, now: float) -> float:
+        """Multiplier applied to CPU charges of ``rank`` at time ``now``."""
+        if "straggler" not in self._active_kinds:
+            return 1.0
+        f = 1.0
+        for e in self.plan.of_kind("straggler"):
+            if e.active(now) and e.applies_to(rank):
+                f *= e.factor
+        return f
+
+    def note_straggler(self, extra: float) -> None:
+        self.stats.straggler_extra_seconds += extra
+
+    # -- fs.filesystem hooks ----------------------------------------------
+    def io_fault(self, client: int, path: str, site: str, now: float) -> None:
+        """Raise :class:`TransientIOError` when a transient-I/O event
+        fires for this server call; otherwise return normally."""
+        if "transient_io" not in self._active_kinds:
+            return
+        for e in self.plan.of_kind("transient_io"):
+            if e.active(now) and e.applies_to(client):
+                if self._chance("transient_io", client, e.rate):
+                    self.stats.io_faults += 1
+                    raise TransientIOError(site, client, path)
+
+    def disk_penalty(self, ost: int, now: float, service: float) -> float:
+        """Extra service seconds for this OST request batch."""
+        if "slow_disk" not in self._active_kinds:
+            return 0.0
+        f = 1.0
+        for e in self.plan.of_kind("slow_disk"):
+            if e.active(now) and (e.osts is None or ost in e.osts):
+                f *= e.factor
+        extra = service * (f - 1.0)
+        if extra > 0.0:
+            self.stats.disk_slowdowns += 1
+            self.stats.disk_extra_seconds += extra
+        return extra
+
+    # -- fs.locks hook ----------------------------------------------------
+    def lock_storm_rpcs(self, client: int, now: float) -> int:
+        """Additional RPC round-trips this acquisition must pay."""
+        if "lock_storm" not in self._active_kinds:
+            return 0
+        extra = 0
+        for e in self.plan.of_kind("lock_storm"):
+            if e.active(now) and e.applies_to(client):
+                if self._chance("lock_storm", client, e.rate):
+                    extra += e.extra_rpcs
+        if extra:
+            self.stats.lock_storm_rpcs += extra
+        return extra
+
+    # -- mpi.network hook --------------------------------------------------
+    def net_penalty(self, src: int, dst: int, now: float, transit: float) -> float:
+        """Extra transit seconds for one message from ``src``.
+
+        Drops are modelled as retransmission: the sender's transport
+        notices the loss after the event's timeout and resends, so the
+        payload arrives ``timeout + transit`` late instead of never
+        (an outright loss would deadlock the receive side, which is a
+        *bug* model, not a fault model)."""
+        if not self._active_kinds & {"net_delay", "net_drop"}:
+            return 0.0
+        extra = 0.0
+        for e in self.plan.of_kind("net_delay"):
+            if e.active(now) and e.applies_to(src):
+                if self._chance("net_delay", src, e.rate):
+                    self.stats.messages_delayed += 1
+                    extra += e.delay
+        for e in self.plan.of_kind("net_drop"):
+            if e.active(now) and e.applies_to(src):
+                if self._chance("net_drop", src, e.rate):
+                    self.stats.messages_dropped += 1
+                    extra += e.delay + transit
+        if extra:
+            self.stats.net_extra_seconds += extra
+        return extra
+
+    # -- core.two_phase hooks ----------------------------------------------
+    def begin_collective(self, rank: int) -> int:
+        """Per-rank ordinal of the collective call now starting.
+
+        Every rank makes the same collective calls in the same order,
+        so the ordinal is globally consistent without communication."""
+        n = self._calls.get(rank, 0)
+        self._calls[rank] = n + 1
+        return n
+
+    def dead_aggregators(self, call_index: int, boundary: int) -> FrozenSet[int]:
+        """Ranks whose aggregator role is gone at this phase boundary."""
+        if "agg_crash" not in self._active_kinds:
+            return frozenset()
+        return self.plan.crashes_through(call_index, boundary)
+
+    def note_failover(self, dead_rank: int, bytes_rebalanced: int) -> None:
+        self.stats.agg_crashes += 1
+        self.stats.failovers += 1
+        self.stats.realm_bytes_rebalanced += bytes_rebalanced
+
+    # -- io retry reporting -------------------------------------------------
+    def note_retry(self, backoff: float) -> None:
+        self.stats.retries += 1
+        self.stats.retry_backoff_seconds += backoff
+
+    def note_retry_exhausted(self) -> None:
+        self.stats.retries_exhausted += 1
+
+
+def find_injector(shared: dict) -> Optional[FaultInjector]:
+    """The installed injector, if any (components' discovery helper)."""
+    return shared.get(FAULTS_KEY)

@@ -1,0 +1,286 @@
+"""Deterministic, seeded fault plans (the chaos scenario DSL).
+
+A :class:`FaultPlan` is a seed plus a list of :class:`FaultEvent`
+specifications.  Events never fire by wall-clock randomness: every
+injection decision is a pure hash of ``(seed, kind, actor, counter)``
+(see :mod:`repro.faults.injector`), and time windows are *virtual*
+times, so the same plan replayed against the same workload produces
+byte-identical file contents and identical virtual completion times.
+
+Event kinds
+-----------
+
+``transient_io``
+    Server read/write calls fail with
+    :class:`~repro.errors.TransientIOError` with probability ``rate``
+    per call while the window is active.
+``slow_disk``
+    OST service time is multiplied by ``factor`` while active (a
+    degraded disk / RAID rebuild).
+``straggler``
+    CPU charges on the affected ranks are multiplied by ``factor``
+    while active (a slow or oversubscribed node).
+``net_delay``
+    Each message is delayed by an extra ``delay`` seconds with
+    probability ``rate`` (congestion, duplicate ACK stalls).
+``net_drop``
+    Each message is *dropped* with probability ``rate``; the transport
+    detects the loss after a ``delay``-second retransmit timeout and
+    resends, so the message arrives late but the run stays live.
+``lock_storm``
+    Lock acquisitions that need an RPC pay ``extra_rpcs`` additional
+    round-trips with probability ``rate`` (an overloaded lock manager
+    timing out and re-enqueueing requests).
+``agg_crash``
+    Aggregator ``ranks`` lose their aggregator role at the
+    ``round_index``-th phase boundary of collective call
+    ``call_index``.  The rank stays alive as a client (its compute
+    process is fine; its I/O delegate died) and the collective layer
+    fails the realm over to the surviving aggregators — or raises
+    :class:`~repro.errors.AggregatorLost` when failover is disabled.
+
+Scenario strings (``name[:seed]``, e.g. ``transient-io:42``) are
+resolved by :func:`repro.faults.scenarios.load_scenario`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["FAULTS_KEY", "FaultPlanError", "FaultEvent", "FaultPlan", "EVENT_KINDS"]
+
+#: Key under which the installed injector lives in ``Simulator.shared``.
+FAULTS_KEY = "fault-injector"
+
+EVENT_KINDS = (
+    "transient_io",
+    "slow_disk",
+    "straggler",
+    "net_delay",
+    "net_drop",
+    "lock_storm",
+    "agg_crash",
+)
+
+
+class FaultPlanError(ReproError):
+    """A fault plan or scenario specification is malformed."""
+
+
+def _rankset(ranks) -> Optional[FrozenSet[int]]:
+    if ranks is None:
+        return None
+    out = frozenset(int(r) for r in ranks)
+    if any(r < 0 for r in out):
+        raise FaultPlanError(f"ranks must be non-negative, got {sorted(out)}")
+    return out
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault specification (see the module docstring for kinds)."""
+
+    kind: str
+    #: Virtual-time window [start, end) in which the event is active.
+    start: float = 0.0
+    end: float = math.inf
+    #: Probability per opportunity (per server call, per message, ...).
+    rate: float = 1.0
+    #: Affected ranks / client ids (``None`` = all).
+    ranks: Optional[FrozenSet[int]] = None
+    #: Affected OSTs for ``slow_disk`` (``None`` = all).
+    osts: Optional[FrozenSet[int]] = None
+    #: Slowdown multiplier for ``slow_disk`` / ``straggler``.
+    factor: float = 1.0
+    #: Extra seconds: added latency (``net_delay``) or retransmit
+    #: timeout (``net_drop``).
+    delay: float = 0.0
+    #: Additional lock-manager round-trips per stormed acquisition.
+    extra_rpcs: int = 1
+    #: ``agg_crash`` target: which collective call (0-based, counted
+    #: per rank in program order) ...
+    call_index: int = 0
+    #: ... and which phase boundary within it (0 = before round 0).
+    round_index: int = 0
+
+    def validate(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; known kinds: {EVENT_KINDS}"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise FaultPlanError(f"rate must be in [0, 1], got {self.rate}")
+        if self.start < 0 or self.end < self.start:
+            raise FaultPlanError(f"bad window [{self.start}, {self.end})")
+        if self.factor < 1.0:
+            raise FaultPlanError(f"factor must be >= 1, got {self.factor}")
+        if self.delay < 0:
+            raise FaultPlanError(f"delay must be >= 0, got {self.delay}")
+        if self.extra_rpcs < 0:
+            raise FaultPlanError(f"extra_rpcs must be >= 0, got {self.extra_rpcs}")
+        if self.call_index < 0 or self.round_index < 0:
+            raise FaultPlanError("call_index/round_index must be >= 0")
+        if self.kind == "agg_crash" and self.ranks is None:
+            raise FaultPlanError("agg_crash events must name the crashing ranks")
+
+    def active(self, t: float) -> bool:
+        """True when virtual time ``t`` falls inside the event window."""
+        return self.start <= t < self.end
+
+    def applies_to(self, rank: int) -> bool:
+        return self.ranks is None or rank in self.ranks
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, immutable-after-construction chaos schedule.
+
+    Build one with the chained-builder DSL::
+
+        plan = (FaultPlan(seed=42)
+                .transient_io(rate=0.05)
+                .slow_disk(factor=4.0, start=0.0, end=0.5, osts=[1])
+                .agg_crash(rank=1, round_index=1))
+
+    then hand it to :meth:`repro.faults.FaultInjector.install` (or
+    ``plan.install(sim)``) before ``Simulator.run``.
+    """
+
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- builder DSL -----------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        event.validate()
+        self.events.append(event)
+        return self
+
+    def transient_io(
+        self, rate: float, *, start: float = 0.0, end: float = math.inf, ranks=None
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("transient_io", start, end, rate, ranks=_rankset(ranks))
+        )
+
+    def slow_disk(
+        self, factor: float, *, start: float = 0.0, end: float = math.inf, osts=None
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("slow_disk", start, end, factor=factor, osts=_rankset(osts))
+        )
+
+    def straggler(
+        self, factor: float, ranks, *, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("straggler", start, end, factor=factor, ranks=_rankset(ranks))
+        )
+
+    def net_delay(
+        self, rate: float, delay: float, *, start: float = 0.0, end: float = math.inf,
+        ranks=None,
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("net_delay", start, end, rate, delay=delay, ranks=_rankset(ranks))
+        )
+
+    def net_drop(
+        self, rate: float, *, timeout: float = 5e-3, start: float = 0.0,
+        end: float = math.inf, ranks=None,
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("net_drop", start, end, rate, delay=timeout, ranks=_rankset(ranks))
+        )
+
+    def lock_storm(
+        self, rate: float, *, extra_rpcs: int = 2, start: float = 0.0,
+        end: float = math.inf, ranks=None,
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent(
+                "lock_storm", start, end, rate,
+                extra_rpcs=extra_rpcs, ranks=_rankset(ranks),
+            )
+        )
+
+    def agg_crash(
+        self, rank: int, *, call_index: int = 0, round_index: int = 0
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent(
+                "agg_crash", ranks=_rankset([rank]),
+                call_index=call_index, round_index=round_index,
+            )
+        )
+
+    # -- queries ---------------------------------------------------------
+    def of_kind(self, kind: str) -> Iterator[FaultEvent]:
+        return (e for e in self.events if e.kind == kind)
+
+    def has(self, kind: str) -> bool:
+        return any(e.kind == kind for e in self.events)
+
+    def crashes_through(self, call_index: int, boundary: int) -> FrozenSet[int]:
+        """Ranks whose aggregator role is dead at (or before) phase
+        boundary ``boundary`` of collective call ``call_index``.
+
+        Crashes are permanent: a rank dead in call 2 is still dead in
+        call 5 (it never regains the aggregator role)."""
+        dead: set[int] = set()
+        for e in self.of_kind("agg_crash"):
+            if (e.call_index, e.round_index) <= (call_index, boundary):
+                dead.update(e.ranks or ())
+        return frozenset(dead)
+
+    def reseed(self, seed: int) -> "FaultPlan":
+        """The same schedule under a different seed."""
+        return FaultPlan(seed=seed, events=list(self.events))
+
+    def scaled(self, rate_scale: float) -> "FaultPlan":
+        """A copy with every probabilistic rate multiplied by
+        ``rate_scale`` (clamped to 1); used by the chaos harness to
+        sweep fault intensity with one scenario definition."""
+        out = FaultPlan(seed=self.seed)
+        for e in self.events:
+            if e.kind in ("transient_io", "net_delay", "net_drop", "lock_storm"):
+                out.add(replace(e, rate=min(e.rate * rate_scale, 1.0)))
+            else:
+                out.add(e)
+        return out
+
+    def describe(self) -> List[Tuple[str, str]]:
+        """(kind, human summary) per event, for CLI/report tables."""
+        rows = []
+        for e in self.events:
+            bits = []
+            if e.kind in ("transient_io", "net_delay", "net_drop", "lock_storm"):
+                bits.append(f"rate={e.rate:g}")
+            if e.kind in ("slow_disk", "straggler"):
+                bits.append(f"factor={e.factor:g}")
+            if e.delay:
+                bits.append(f"delay={e.delay:g}s")
+            if e.kind == "agg_crash":
+                bits.append(
+                    f"ranks={sorted(e.ranks or ())} call={e.call_index} "
+                    f"boundary={e.round_index}"
+                )
+            elif e.ranks is not None:
+                bits.append(f"ranks={sorted(e.ranks)}")
+            if e.osts is not None:
+                bits.append(f"osts={sorted(e.osts)}")
+            if e.end != math.inf or e.start != 0.0:
+                end = "inf" if e.end == math.inf else f"{e.end:g}"
+                bits.append(f"window=[{e.start:g}, {end})")
+            rows.append((e.kind, ", ".join(bits)))
+        return rows
+
+    # -- installation ----------------------------------------------------
+    def install(self, sim) -> "FaultInjector":  # noqa: F821 - forward ref
+        """Attach a fresh injector for this plan to ``sim``; returns it."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self).install(sim)

@@ -1,0 +1,113 @@
+"""Canned chaos scenarios and the ``name[:seed]`` spec parser.
+
+Each scenario is a function ``seed -> FaultPlan``.  They are the
+library's regression vocabulary: the CLI's ``--faults`` flag, the CI
+smoke run, and the chaos harness all speak these names.  Registering a
+new scenario is one :func:`scenario` decorator away.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.faults.plan import FaultPlan, FaultPlanError
+
+__all__ = ["SCENARIOS", "scenario", "load_scenario", "scenario_names"]
+
+SCENARIOS: Dict[str, Callable[[int], FaultPlan]] = {}
+
+
+def scenario(name: str):
+    """Register ``fn(seed) -> FaultPlan`` under ``name``."""
+
+    def register(fn: Callable[[int], FaultPlan]) -> Callable[[int], FaultPlan]:
+        if name in SCENARIOS:
+            raise FaultPlanError(f"duplicate scenario name {name!r}")
+        SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def load_scenario(spec: str) -> FaultPlan:
+    """Resolve ``name[:seed]`` (e.g. ``transient-io:42``) to a plan."""
+    name, _, seed_text = spec.partition(":")
+    name = name.strip().lower()
+    if name not in SCENARIOS:
+        raise FaultPlanError(
+            f"unknown fault scenario {name!r}; known: {scenario_names()}"
+        )
+    seed = 0
+    if seed_text:
+        try:
+            seed = int(seed_text)
+        except ValueError as exc:
+            raise FaultPlanError(f"bad scenario seed {seed_text!r}") from exc
+    return SCENARIOS[name](seed)
+
+
+@scenario("transient-io")
+def _transient_io(seed: int) -> FaultPlan:
+    """Occasional retryable server-call failures on every client."""
+    return FaultPlan(seed).transient_io(rate=0.05)
+
+
+@scenario("io-outage")
+def _io_outage(seed: int) -> FaultPlan:
+    """Every server call fails inside a short window: retries with
+    backoff must ride the outage out (rate 1.0 makes the window a hard
+    wall rather than a lottery)."""
+    return FaultPlan(seed).transient_io(rate=1.0, start=5e-3, end=2e-2)
+
+
+@scenario("slow-disk")
+def _slow_disk(seed: int) -> FaultPlan:
+    """One OST serving at quarter speed (degraded RAID member)."""
+    return FaultPlan(seed).slow_disk(factor=4.0, osts=[0])
+
+
+@scenario("straggler")
+def _straggler(seed: int) -> FaultPlan:
+    """Rank 1's CPU runs 8x slower (oversubscribed/thermally-throttled
+    node) — the classic collective-I/O long pole."""
+    return FaultPlan(seed).straggler(factor=8.0, ranks=[1])
+
+
+@scenario("flaky-network")
+def _flaky_network(seed: int) -> FaultPlan:
+    """Delayed and dropped (retransmitted) messages."""
+    return FaultPlan(seed).net_delay(rate=0.1, delay=2e-3).net_drop(
+        rate=0.02, timeout=5e-3
+    )
+
+
+@scenario("lock-storm")
+def _lock_storm(seed: int) -> FaultPlan:
+    """Overloaded lock manager: acquisitions repeat their RPCs."""
+    return FaultPlan(seed).lock_storm(rate=0.5, extra_rpcs=3)
+
+
+@scenario("agg-crash")
+def _agg_crash(seed: int) -> FaultPlan:
+    """Aggregator rank 0 dies at the second phase boundary of the first
+    collective call; survivors adopt its file realm.  (Rank 0 holds an
+    aggregator role under every cb_nodes/cb_layout combination.)"""
+    return FaultPlan(seed).agg_crash(rank=0, round_index=1)
+
+
+@scenario("chaos")
+def _chaos(seed: int) -> FaultPlan:
+    """Everything at once, gently: the kitchen-sink soak scenario."""
+    return (
+        FaultPlan(seed)
+        .transient_io(rate=0.02)
+        .slow_disk(factor=2.0, osts=[0])
+        .straggler(factor=2.0, ranks=[0])
+        .net_delay(rate=0.05, delay=1e-3)
+        .net_drop(rate=0.01, timeout=4e-3)
+        .lock_storm(rate=0.2, extra_rpcs=2)
+    )

@@ -188,7 +188,9 @@ class PageCache:
         The dirty runs are snapshotted and REMOVED before the server
         call: the call yields the processor, and bytes dirtied during
         the yield must survive as fresh dirty state rather than being
-        clobbered by our post-flush cleanup."""
+        clobbered by our post-flush cleanup.  If the server call fails
+        (an injected transient fault fires before the store mutates),
+        the snapshot is restored so a caller's retry re-flushes it."""
         ps = self.page_size
         dirty = [p for p in sorted(pages) if p in self._dirty and p in self._pages]
         if not dirty:
@@ -196,13 +198,16 @@ class PageCache:
         offs: List[int] = []
         lens: List[int] = []
         parts: List[np.ndarray] = []
+        snapshot: List[Tuple[int, List[Tuple[int, int, np.ndarray]]]] = []
         for p in dirty:
             runs = self._dirty.pop(p)
+            saved: List[Tuple[int, int, np.ndarray]] = []
             for start, end in runs:
                 off = p * ps + start
                 length = end - start
                 # Copy now: the page may be rewritten during the yield.
                 part = self._pages[p][start:end].copy()
+                saved.append((start, end, part))
                 # Merge with the previous extent when byte-adjacent
                 # (common case: fully dirty neighbouring pages).
                 if offs and offs[-1] + lens[-1] == off:
@@ -211,18 +216,56 @@ class PageCache:
                     offs.append(off)
                     lens.append(length)
                 parts.append(part)
+            snapshot.append((p, saved))
         ctx.charge(len(dirty) * self.fs.cost.cache_flush_page)
-        self.fs.server_write(
-            ctx,
-            self.client_id,
-            self.path,
-            np.array(offs, dtype=np.int64),
-            np.array(lens, dtype=np.int64),
-            np.concatenate(parts) if parts else np.empty(0, dtype=np.uint8),
-            acquire_locks=acquire_locks,
-        )
+        try:
+            self.fs.server_write(
+                ctx,
+                self.client_id,
+                self.path,
+                np.array(offs, dtype=np.int64),
+                np.array(lens, dtype=np.int64),
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.uint8),
+                acquire_locks=acquire_locks,
+            )
+        except FileSystemError:
+            self._restore_dirty(snapshot)
+            raise
         self.stats_flushed_pages += len(dirty)
         return len(dirty)
+
+    def _restore_dirty(
+        self, snapshot: List[Tuple[int, List[Tuple[int, int, np.ndarray]]]]
+    ) -> None:
+        """Put snapshotted dirty bytes back after a failed writeback.
+
+        Bytes re-dirtied during the failed call's yield are newer than
+        the snapshot and win; everything else is restored byte-for-byte
+        (the page may have been dropped or re-fetched meanwhile)."""
+        ps = self.page_size
+        for p, saved in snapshot:
+            buf = self._pages.get(p)
+            if buf is None:
+                buf = np.zeros(ps, dtype=np.uint8)
+                self._pages[p] = buf
+            valid = self._valid.setdefault(p, ByteRuns())
+            dirty = self._dirty.setdefault(p, ByteRuns())
+            for start, end, part in saved:
+                cur = start
+                for s, e in dirty:
+                    if e <= cur:
+                        continue
+                    if s >= end:
+                        break
+                    if s > cur:
+                        buf[cur:s] = part[cur - start : s - start]
+                    cur = max(cur, e)
+                    if cur >= end:
+                        break
+                if cur < end:
+                    buf[cur:end] = part[cur - start : end - start]
+                valid.add(start, end)
+                dirty.add(start, end)
 
     # -- public operations -------------------------------------------------------
     def write(

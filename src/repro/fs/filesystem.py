@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
 from repro.errors import FileSystemError
+from repro.faults.plan import FAULTS_KEY
 from repro.fs.locks import ExtentLockManager, LockCharge
 from repro.fs.store import PageStore
 from repro.sim.engine import RankContext
@@ -125,6 +126,17 @@ class SimFileSystem:
     def register_cache(self, client_id: int, cache: "PageCache") -> None:
         self._caches.setdefault(client_id, []).append(cache)
 
+    # -- fault hooks ------------------------------------------------------
+    @staticmethod
+    def _maybe_io_fault(ctx: RankContext, client_id: int, path: str, site: str) -> None:
+        """Raise an injected :class:`~repro.errors.TransientIOError`
+        when a fault plan says this server call fails.  The client has
+        already paid the call overhead — a failed call costs real time,
+        which is what makes retry storms expensive."""
+        faults = ctx.shared.get(FAULTS_KEY)
+        if faults is not None:
+            faults.io_fault(client_id, path, site, ctx.now)
+
     # -- cost helpers ---------------------------------------------------------
     def _charge_locks(
         self,
@@ -143,6 +155,7 @@ class SimFileSystem:
             order = np.argsort(offsets, kind="stable")
             offsets = offsets[order]
             lengths = lengths[order]
+        faults = ctx.shared.get(FAULTS_KEY)
         charges: list[LockCharge] = []
         run_lo = run_hi = None
         for o, l in zip(offsets.tolist(), lengths.tolist()):
@@ -152,10 +165,14 @@ class SimFileSystem:
             elif lo <= run_hi + g - 1:  # same or adjacent granule: merge
                 run_hi = max(run_hi, hi)
             else:
-                charges.append(f.locks.acquire(client_id, run_lo, run_hi))
+                charges.append(
+                    f.locks.acquire(client_id, run_lo, run_hi, faults=faults, now=ctx.now)
+                )
                 run_lo, run_hi = lo, hi
         if run_lo is not None:
-            charges.append(f.locks.acquire(client_id, run_lo, run_hi))
+            charges.append(
+                f.locks.acquire(client_id, run_lo, run_hi, faults=faults, now=ctx.now)
+            )
         rpcs = sum(c.rpcs for c in charges)
         revoked = sum(c.revoked_granules for c in charges)
         f.stats.lock_rpcs += rpcs
@@ -220,6 +237,7 @@ class SimFileSystem:
     ) -> None:
         """Charge OST service for a batch, honoring per-OST queues."""
         cost = self.cost
+        faults = ctx.shared.get(FAULTS_KEY)
         bytes_per, reqs_per = self._split_over_osts(offsets, lengths)
         # Spread the RMW penalty over the OSTs proportionally to requests.
         total_reqs = int(reqs_per.sum())
@@ -234,6 +252,8 @@ class SimFileSystem:
                 + int(bytes_per[ost]) * cost.ost_byte_time
                 + share * cost.page_rmw_penalty
             )
+            if faults is not None:
+                service += faults.disk_penalty(ost, arrive, service)
             start = max(arrive, self._ost_available[ost])
             done = start + service
             self._ost_available[ost] = done
@@ -321,6 +341,9 @@ class SimFileSystem:
         ctx.charge(self.cost.io_call_overhead)
         if offs.size == 0:
             return
+        # Transient faults fire before the store is touched, so a
+        # failed call leaves no partial contents and a retry is safe.
+        self._maybe_io_fault(ctx, client_id, path, "server_write")
         if acquire_locks:
             self._charge_locks(ctx, f, client_id, offs, lens, path)
         rmw = self._partial_pages(offs, lens, self.cost.page_size)
@@ -351,6 +374,7 @@ class SimFileSystem:
         out = np.empty(total, dtype=np.uint8)
         if offs.size == 0:
             return out
+        self._maybe_io_fault(ctx, client_id, path, "server_read")
         if acquire_locks:
             self._charge_locks(ctx, f, client_id, offs, lens, path)
         f.stats.server_reads += 1

@@ -63,12 +63,24 @@ class ExtentLockManager:
         g = self.granularity
         return range(lo // g, (hi - 1) // g + 1)
 
-    def acquire(self, client: int, lo: int, hi: int) -> LockCharge:
-        """Ensure ``client`` holds every granule of [lo, hi)."""
+    def acquire(
+        self, client: int, lo: int, hi: int, *, faults=None, now: float = 0.0
+    ) -> LockCharge:
+        """Ensure ``client`` holds every granule of [lo, hi).
+
+        ``faults``/``now`` feed the lock-storm fault model: when an
+        installed :class:`repro.faults.FaultInjector` declares a storm
+        active at virtual time ``now``, an acquisition that needs an
+        RPC pays extra round-trips (the manager timing out and
+        re-enqueueing the request).  Covered grants stay free — a storm
+        punishes lock traffic, not lock locality."""
         granules = self._granules(lo, hi)
         missing = [g for g in granules if self._holder.get(g) != client]
         if not missing:
             return LockCharge(rpcs=0, revoked_granules=0, revoked_ranges=[])
+        rpcs = 1
+        if faults is not None:
+            rpcs += faults.lock_storm_rpcs(client, now)
         revoked: List[Tuple[int, int, int]] = []
         n_revoked = 0
         g_size = self.granularity
@@ -82,9 +94,9 @@ class ExtentLockManager:
                 else:
                     revoked.append((victim, g * g_size, (g + 1) * g_size))
             self._holder[g] = client
-        self.stats_rpcs += 1
+        self.stats_rpcs += rpcs
         self.stats_revocations += n_revoked
-        return LockCharge(rpcs=1, revoked_granules=n_revoked, revoked_ranges=revoked)
+        return LockCharge(rpcs=rpcs, revoked_granules=n_revoked, revoked_ranges=revoked)
 
     def holder_of(self, offset: int) -> int | None:
         """Current holder of the granule containing ``offset`` (tests)."""

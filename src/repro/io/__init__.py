@@ -15,10 +15,13 @@ package provides those methods:
   segments in a single list-I/O call;
 * :class:`~repro.io.adio.AdioFile` — the dispatching facade;
 * :func:`~repro.io.selection.choose_method` — hint-driven selection
-  including the paper's *conditional data sieving* by filetype extent.
+  including the paper's *conditional data sieving* by filetype extent;
+* :class:`~repro.io.retry.RetryPolicy` — transparent retry/backoff for
+  injected transient I/O faults, shared by every method above.
 """
 
 from repro.io.adio import AdioFile
+from repro.io.retry import RetryPolicy
 from repro.io.selection import choose_method
 
-__all__ = ["AdioFile", "choose_method"]
+__all__ = ["AdioFile", "RetryPolicy", "choose_method"]

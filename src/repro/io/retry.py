@@ -1,0 +1,73 @@
+"""Retry/backoff policy for transient I/O faults.
+
+The independent-I/O layer wraps every strided/contiguous operation in a
+:class:`RetryPolicy`: a :class:`~repro.errors.TransientIOError` raised
+anywhere below (server call, cache flush, sieve pre-read) aborts the
+attempt, the rank sleeps an exponentially growing *virtual* backoff,
+and the whole operation is reissued.  Reissue is safe because every
+strided method is idempotent — writes put the same bytes at the same
+offsets, reads have no side effects — and the injected fault fires
+before the server mutates the store.
+
+When the budget is exhausted (or retries are disabled with
+``io_retries=0``) the last fault is rethrown as
+:class:`~repro.errors.RetryExhausted`, carrying the injection site so
+chaos-test failures point at the faulting layer, not the facade.
+
+Backoff is charged with ``ctx.advance`` — it is simulated time, visible
+to the scheduler, so other ranks (and the fault window itself) make
+progress while this rank waits; riding out a timed outage window is
+exactly the behaviour the ``io-outage`` scenario verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.config import DEFAULT_FAULT_CONFIG, FaultConfig
+from repro.errors import RetryExhausted, TransientIOError
+from repro.faults.plan import FAULTS_KEY
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to reissue a faulted I/O operation, and how long
+    to back off (in virtual seconds) between attempts."""
+
+    retries: int = DEFAULT_FAULT_CONFIG.io_retries
+    backoff: float = DEFAULT_FAULT_CONFIG.retry_backoff
+    backoff_factor: float = DEFAULT_FAULT_CONFIG.retry_backoff_factor
+
+    @classmethod
+    def from_config(cls, config: FaultConfig) -> "RetryPolicy":
+        return cls(
+            retries=config.io_retries,
+            backoff=config.retry_backoff,
+            backoff_factor=config.retry_backoff_factor,
+        )
+
+    def run(self, ctx: Any, op: Callable[[], T]) -> T:
+        """Execute ``op`` under this policy; returns its result.
+
+        ``ctx`` is the rank's :class:`~repro.sim.engine.RankContext`
+        (for the backoff clock and injector stats discovery)."""
+        injector = ctx.shared.get(FAULTS_KEY)
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except TransientIOError as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    if injector is not None:
+                        injector.note_retry_exhausted()
+                    raise RetryExhausted(exc.site, attempt) from exc
+                delay = self.backoff * self.backoff_factor ** (attempt - 1)
+                if injector is not None:
+                    injector.note_retry(delay)
+                ctx.advance(delay)

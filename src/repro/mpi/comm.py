@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
 from repro.errors import MPIError
+from repro.faults.plan import FAULTS_KEY
 from repro.mpi.collectives import CollectiveMixin
 from repro.mpi.network import Network, payload_nbytes
 from repro.mpi.request import Request
@@ -90,6 +91,9 @@ class Communicator(CollectiveMixin):
         self.ctx = ctx
         self.cost = cost
         self.net = Network(cost)
+        # Fault injection (delayed/dropped messages), when a plan is
+        # installed on this simulator.
+        self.net.faults = ctx.shared.get(FAULTS_KEY)
         self.comm_id = _comm_id
         #: World ranks of the members, indexed by communicator rank.
         self.members = _members if _members is not None else tuple(range(ctx.nprocs))
@@ -128,7 +132,8 @@ class Communicator(CollectiveMixin):
         nbytes = payload_nbytes(obj)
         factor = self._overhead_factor(tag)
         self.ctx.charge(self.net.send_overhead() * factor)
-        self._enqueue(dest, tag, obj, self.ctx.now + self.net.transit_time(nbytes) * factor)
+        delay = self.net.delivery_delay(nbytes, self.rank, dest, self.ctx.now, factor)
+        self._enqueue(dest, tag, obj, self.ctx.now + delay)
         self.ctx.yield_now()
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -137,7 +142,8 @@ class Communicator(CollectiveMixin):
         nbytes = payload_nbytes(obj)
         factor = self._overhead_factor(tag)
         self.ctx.charge(self.net.post_overhead() * factor)
-        self._enqueue(dest, tag, obj, self.ctx.now + self.net.transit_time(nbytes) * factor)
+        delay = self.net.delivery_delay(nbytes, self.rank, dest, self.ctx.now, factor)
+        self._enqueue(dest, tag, obj, self.ctx.now + delay)
         return Request.completed()
 
     def _match(self, source: int, tag: int) -> Optional[_Message]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, Mapping, Optional
 
+from repro.config import DEFAULT_FAULT_CONFIG
 from repro.errors import HintError
 
 __all__ = ["Hints"]
@@ -40,6 +41,13 @@ def _boolean(value: Any) -> bool:
     if text in ("false", "no", "disable", "0", "off"):
         return False
     raise ValueError(f"not a boolean: {value!r}")
+
+
+def _non_negative_float(value: Any) -> float:
+    x = float(value)
+    if x < 0:
+        raise ValueError("must be non-negative")
+    return x
 
 
 def _choice(*options: str):
@@ -77,6 +85,13 @@ _SPEC: Dict[str, tuple] = {
     "cache_mode": (_choice("coherent", "incoherent", "writethrough", "off"), "coherent"),
     # Client cache capacity in pages (dirty overflow flushes early).
     "cache_pages": (_positive_int, 16384),
+    # Resilience (see config.FaultConfig and docs/faults.md): retries
+    # per independent-I/O operation after a transient fault, the first
+    # backoff in virtual seconds, and whether a dead aggregator's realm
+    # is failed over to survivors (off = raise AggregatorLost).
+    "io_retries": (_non_negative_int, DEFAULT_FAULT_CONFIG.io_retries),
+    "io_retry_backoff": (_non_negative_float, DEFAULT_FAULT_CONFIG.retry_backoff),
+    "failover": (_boolean, DEFAULT_FAULT_CONFIG.failover),
 }
 
 

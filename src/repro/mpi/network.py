@@ -24,6 +24,13 @@ def payload_nbytes(obj: object) -> int:
     numpy arrays and byte strings are exact; scalars are 8; containers
     sum their elements plus a small per-element header; anything else
     falls back to its pickle length.
+
+    Containers are sized independently of iteration order: dict items
+    and set elements are visited in sorted-key order, so two logically
+    equal payloads built in different insertion orders (or under
+    different ``PYTHONHASHSEED``) always price identically — a payload
+    whose cost depended on hash order would silently break run-to-run
+    determinism of every virtual timestamp downstream of the message.
     """
     if obj is None:
         return 0
@@ -38,21 +45,29 @@ def payload_nbytes(obj: object) -> int:
     if isinstance(obj, (tuple, list)):
         return 8 + sum(payload_nbytes(x) for x in obj)
     if isinstance(obj, dict):
-        return 8 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        return 8 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in items)
+    if isinstance(obj, (set, frozenset)):
+        return 8 + sum(payload_nbytes(x) for x in sorted(obj, key=repr))
     return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 class Network:
     """Charges virtual time for message events.
 
-    Stateless apart from the cost model; per-OST-style queuing is not
+    Stateless apart from the cost model and an optional fault injector
+    (delayed/dropped-message events); per-OST-style queuing is not
     modelled for the network (the paper's interconnect was far from
     saturated — the file system was the bottleneck)."""
 
-    __slots__ = ("cost",)
+    __slots__ = ("cost", "faults")
 
     def __init__(self, cost: CostModel = DEFAULT_COST_MODEL) -> None:
         self.cost = cost
+        #: Installed :class:`repro.faults.FaultInjector` (or ``None``);
+        #: wired by the :class:`~repro.mpi.comm.Communicator` from the
+        #: simulator's shared dict.
+        self.faults = None
 
     def send_overhead(self) -> float:
         """Sender-side fixed cost of a blocking send."""
@@ -63,8 +78,19 @@ class Network:
         return self.cost.net_post_overhead
 
     def transit_time(self, nbytes: int) -> float:
-        """Time the payload spends on the wire."""
+        """Fault-free time the payload spends on the wire."""
         return nbytes * self.cost.net_byte_time
+
+    def delivery_delay(
+        self, nbytes: int, src: int, dst: int, now: float, factor: float = 1.0
+    ) -> float:
+        """Transit time (scaled by the collective-network ``factor``)
+        plus any injected delay/retransmission penalty for one message
+        sent at virtual time ``now``."""
+        transit = self.transit_time(nbytes) * factor
+        if self.faults is not None:
+            transit += self.faults.net_penalty(src, dst, now, transit)
+        return transit
 
     def recv_overhead(self) -> float:
         """Receiver-side fixed cost of completing a receive."""

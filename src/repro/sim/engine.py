@@ -107,13 +107,28 @@ class RankContext:
         """This rank's current virtual time (seconds)."""
         return self._proc.clock.now
 
+    def _perturbed(self, dt: float) -> float:
+        """Apply the straggler fault model, if one is installed.
+
+        Relative CPU charges stretch by the rank's current slowdown
+        factor; absolute charges (message arrivals, OST completions)
+        are externally determined times and pass through untouched."""
+        faults = self._sim.faults
+        if faults is None or dt <= 0.0:
+            return dt
+        factor = faults.cpu_factor(self.rank, self._proc.clock.now)
+        if factor != 1.0:
+            faults.note_straggler(dt * (factor - 1.0))
+            return dt * factor
+        return dt
+
     def charge(self, dt: float) -> None:
         """Advance the local clock by ``dt`` without rescheduling.
 
         Use for bulk CPU accounting between synchronization points; the
         clock change becomes visible to the scheduler at the next
         reschedule (advance/block/finish)."""
-        self._proc.clock.advance(dt)
+        self._proc.clock.advance(self._perturbed(dt))
 
     def charge_to(self, t: float) -> None:
         """Advance the local clock to absolute time ``t`` (if future)."""
@@ -121,7 +136,7 @@ class RankContext:
 
     def advance(self, dt: float) -> None:
         """Charge ``dt`` and yield to whichever rank is now earliest."""
-        self._proc.clock.advance(dt)
+        self._proc.clock.advance(self._perturbed(dt))
         self._sim._reschedule(self._proc)
 
     def advance_to(self, t: float) -> None:
@@ -176,6 +191,11 @@ class Simulator:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: Shared hardware models (file system, network, ...) live here.
         self.shared: dict = {}
+        #: Installed :class:`repro.faults.FaultInjector`, or ``None``.
+        #: Set via ``FaultPlan.install(sim)``; consulted by
+        #: :meth:`RankContext.charge`/:meth:`RankContext.advance` for
+        #: the straggler model (other layers find it in ``shared``).
+        self.faults = None
         self._mu = threading.Lock()
         self._done_event = threading.Event()
         self._procs: list[_Proc] = []

@@ -50,6 +50,41 @@ class TestPageStore:
         assert s.size == 0
         assert s.allocated_pages == 0
 
+    def test_zero_length_write_past_eof_keeps_size(self):
+        s = PageStore(8)
+        s.write(5, np.zeros(3, dtype=np.uint8))
+        s.write(40, np.empty(0, dtype=np.uint8))
+        assert s.size == 8
+        assert s.allocated_pages == 1
+
+    def test_read_past_eof_straddling_page_boundary(self):
+        s = PageStore(8)
+        s.write(0, np.arange(6, dtype=np.uint8))  # EOF at 6, inside page 0
+        got = s.read(4, 12)  # spans pages 0-1, mostly past EOF
+        assert got.tolist() == [4, 5] + [0] * 10
+        assert s.allocated_pages == 1  # reads never allocate
+
+    def test_read_entirely_past_eof_across_pages(self):
+        s = PageStore(8)
+        s.write(0, np.array([1], dtype=np.uint8))
+        assert s.read(30, 20).tolist() == [0] * 20
+        assert s.allocated_pages == 1
+
+    def test_write_exactly_fills_page(self):
+        s = PageStore(8)
+        s.write(8, np.arange(8, dtype=np.uint8))  # exactly page 1
+        assert s.allocated_pages == 1
+        assert s.size == 16
+        assert s.read(8, 8).tolist() == list(range(8))
+        assert s.read(7, 10).tolist() == [0] + list(range(8)) + [0]
+
+    def test_write_exactly_fills_two_pages_from_zero(self):
+        s = PageStore(8)
+        s.write(0, np.arange(16, dtype=np.uint8))
+        assert s.allocated_pages == 2
+        assert s.size == 16
+        assert s.read(0, 16).tolist() == list(range(16))
+
     def test_negative_offset_rejected(self):
         s = PageStore(8)
         with pytest.raises(FileSystemError):

@@ -212,3 +212,28 @@ class TestPayloadNbytes:
 
     def test_string(self):
         assert payload_nbytes("héllo") == len("héllo".encode()) == 6
+
+    def test_dict_exact_and_insertion_order_independent(self):
+        import itertools
+
+        items = [("x", b"ab"), ("y", 1), ("zz", b"c")]
+        expect = 8 + (1 + 2) + (1 + 8) + (2 + 1)
+        for perm in itertools.permutations(items):
+            assert payload_nbytes(dict(perm)) == expect
+
+    def test_set_exact_and_insertion_order_independent(self):
+        import itertools
+
+        elems = ["a", "bb", "ccc"]
+        expect = 8 + 1 + 2 + 3
+        for perm in itertools.permutations(elems):
+            built = set()
+            for e in perm:
+                built.add(e)
+            assert payload_nbytes(built) == expect
+        assert payload_nbytes(frozenset(elems)) == expect
+
+    def test_nested_container_order_independence(self):
+        a = {"meta": {"b": 2, "a": 1}, "ids": {3, 1, 2}}
+        b = {"ids": {2, 3, 1}, "meta": {"a": 1, "b": 2}}
+        assert payload_nbytes(a) == payload_nbytes(b)
