@@ -62,15 +62,18 @@ from repro.errors import (
     DatatypeError,
     FileSystemError,
     HintError,
+    IntegrityError,
     MPIError,
     ReproError,
     RetryExhausted,
     SimDeadlock,
     SimulationError,
     TransientIOError,
+    TransientNetworkError,
 )
 from repro.faults import FaultInjector, FaultPlan, FaultStats, load_scenario
 from repro.fs import FSClient, SimFileSystem
+from repro.integrity import FsckReport, IntegrityConfig, fsck, scrub_store
 from repro.io import AdioFile, RetryPolicy
 from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, Hints
 from repro.sim import RankContext, Simulator, Tracer
@@ -124,6 +127,11 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "load_scenario",
+    # integrity
+    "IntegrityConfig",
+    "FsckReport",
+    "fsck",
+    "scrub_store",
     # errors
     "ReproError",
     "SimulationError",
@@ -134,6 +142,8 @@ __all__ = [
     "CollectiveIOError",
     "HintError",
     "TransientIOError",
+    "TransientNetworkError",
+    "IntegrityError",
     "RetryExhausted",
     "AggregatorLost",
 ]

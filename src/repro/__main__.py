@@ -7,12 +7,20 @@
 * ``info`` — version, default cost model, known hints, fault scenarios.
 * ``chaos`` — sweep a fault scenario's intensity and report the
   completion-time degradation (always data-verified).
+* ``fsck`` — demonstrate the scrub/repair pass: write a checksummed
+  file, corrupt it, scrub, repair from a reference image, verify.
 
 ``--faults NAME[:SEED]`` (e.g. ``--faults transient-io:42``) installs
 the named deterministic fault scenario into every simulated cluster the
 command builds, and prints a fault/retry summary table afterwards.  The
 selfcheck still requires byte-perfect results — that is the resilience
 machinery's contract under test.
+
+``--integrity`` arms the end-to-end integrity hints (page checksums,
+frame checksums, journaled collective writes) in the command's
+workloads; with corruption scenarios (``--faults bit-flip:SEED``) the
+chaos sweep then requires every injected flip to be *detected* — a
+wrong byte nobody flagged fails the run.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 
-def selfcheck(fault_spec: Optional[str] = None) -> int:
+def selfcheck(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
     from repro import (
         BYTE,
         CollectiveFile,
@@ -44,6 +52,13 @@ def selfcheck(fault_spec: Optional[str] = None) -> int:
         for method in ("datasieve", "naive", "listio", "conditional"):
             fs = SimFileSystem()
             hints = Hints(coll_impl=impl, io_method=method, cb_nodes=2)
+            if integrity:
+                hints = hints.replace(
+                    integrity_pages=True,
+                    integrity_network=True,
+                    # The journal rides the new implementation only.
+                    journal_writes=(impl == "new"),
+                )
 
             def main(ctx):
                 comm = Communicator(ctx)
@@ -84,20 +99,79 @@ def _print_fault_summary(spec, plan, stats) -> None:
         print(f"  {name:<26} {value}")
 
 
-def chaos(fault_spec: Optional[str] = None) -> int:
+def chaos(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
     from repro.bench import ChaosHarness
 
-    harness = ChaosHarness(fault_spec or "chaos")
+    harness = ChaosHarness(fault_spec or "chaos", integrity=integrity)
     report = harness.sweep()
     print(report.format())
     if not report.all_verified:
-        print("chaos: DATA CORRUPTION under faults")
+        print("chaos: SILENT DATA CORRUPTION under faults")
         return 1
-    print("chaos: all intensities verified byte-for-byte")
+    print("chaos: no silent corruption at any intensity")
     return 0
 
 
-def demo(fault_spec: Optional[str] = None) -> int:
+def fsck(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
+    """Scrub/repair demonstration on a deliberately corrupted store."""
+    from repro import (
+        BYTE,
+        CollectiveFile,
+        Communicator,
+        Hints,
+        SimFileSystem,
+        Simulator,
+        contiguous,
+        resized,
+    )
+    from repro.integrity import fsck as run_fsck
+
+    nprocs, region, count = 4, 64, 64
+    path = "/fsck"
+    fs = SimFileSystem()
+    hints = Hints(cb_nodes=2, integrity_pages=True)
+
+    def main(ctx):
+        comm = Communicator(ctx)
+        f = CollectiveFile(ctx, comm, fs, path, hints=hints)
+        tile = resized(contiguous(region, BYTE), 0, region * nprocs)
+        f.set_view(disp=comm.rank * region, filetype=tile)
+        data = (
+            np.arange(region * count, dtype=np.int64) * (comm.rank + 1) % 251
+        ).astype(np.uint8)
+        f.write_all(data)
+        f.close()
+
+    Simulator(nprocs).run(main)
+    total = nprocs * region * count
+    reference = fs.raw_bytes(path, 0, total)
+    store = fs.page_store(path)
+    last_page = (store.size - 1) // store.page_size
+    store.flip_bit(0, 12345)
+    if last_page != 0:
+        store.flip_bit(last_page, 7)
+    print(f"wrote {total} bytes ({store.allocated_pages} pages), then corrupted "
+          f"page(s) {sorted({0, last_page})}")
+    print("\nscrub (report only):")
+    scrub = run_fsck(fs)
+    for rep in scrub:
+        print(rep.format())
+    if all(rep.clean for rep in scrub):
+        print("fsck: corruption NOT detected")
+        return 1
+    print("\nrepair from reference image:")
+    for rep in run_fsck(fs, repair="reference", references={path: reference}):
+        print(rep.format())
+    clean = all(rep.clean for rep in run_fsck(fs))
+    restored = bool(np.array_equal(fs.raw_bytes(path, 0, total), reference))
+    if not (clean and restored):
+        print("fsck: repair FAILED")
+        return 1
+    print("fsck: corruption detected and repaired, contents verified")
+    return 0
+
+
+def demo(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
     import runpy
     from pathlib import Path
 
@@ -109,7 +183,7 @@ def demo(fault_spec: Optional[str] = None) -> int:
     return 1
 
 
-def info(fault_spec: Optional[str] = None) -> int:
+def info(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
     import dataclasses
 
     from repro import DEFAULT_COST_MODEL, __version__
@@ -139,12 +213,24 @@ def main(argv: list[str]) -> int:
             return 2
         fault_spec = args[i + 1]
         del args[i : i + 2]
+    integrity = "--integrity" in args
+    if integrity:
+        args.remove("--integrity")
     cmd = args[0] if args else "selfcheck"
-    commands = {"selfcheck": selfcheck, "demo": demo, "info": info, "chaos": chaos}
+    commands = {
+        "selfcheck": selfcheck,
+        "demo": demo,
+        "info": info,
+        "chaos": chaos,
+        "fsck": fsck,
+    }
     if cmd not in commands:
-        print(f"usage: python -m repro [{'|'.join(commands)}] [--faults NAME[:SEED]]")
+        print(
+            f"usage: python -m repro [{'|'.join(commands)}] "
+            "[--faults NAME[:SEED]] [--integrity]"
+        )
         return 2
-    return commands[cmd](fault_spec)
+    return commands[cmd](fault_spec, integrity)
 
 
 if __name__ == "__main__":

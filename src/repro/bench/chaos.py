@@ -8,6 +8,15 @@ byte-for-byte against a direct numpy oracle — a chaos run that degrades
 *correctness* instead of completion time is a failed run, whatever its
 timing says.
 
+Corruption scenarios refine "verified" into *no silent corruption*:
+with the integrity hints armed (``integrity=True``), a run whose bytes
+mismatch the oracle still passes if every mismatching page fails its
+checksum sidecar (the corruption was caught — an fsck would find and
+repair it), and a run killed by a typed
+:class:`~repro.errors.IntegrityError` (or by exhausting frame
+re-requests) also counts as detected.  A mismatch nobody flagged is a
+silent wrong answer: the one outcome integrity must make impossible.
+
 Each point rebuilds the whole simulated cluster from scratch (fresh
 file system, fresh injector), so points are independent and the whole
 sweep is deterministic for a given (scenario, seed).
@@ -25,6 +34,7 @@ from repro.core import CollectiveFile
 from repro.datatypes import BYTE, contiguous, resized
 from repro.datatypes.segments import FlatCursor
 from repro.datatypes.packing import scatter_segments
+from repro.errors import IntegrityError, ReproError, RetryExhausted
 from repro.faults import FaultPlan, FaultStats, load_scenario
 from repro.fs import SimFileSystem
 from repro.mpi import Communicator, Hints
@@ -35,6 +45,21 @@ __all__ = ["ChaosPoint", "ChaosReport", "ChaosHarness"]
 _PATH = "/chaos"
 
 
+def _detection_in_chain(exc: Optional[BaseException]) -> bool:
+    """True when a failure chain shows corruption was *caught*: a typed
+    IntegrityError anywhere, or frame re-requests exhausting at the
+    ``net-frame`` site."""
+    seen = set()
+    while exc is not None and id(exc) not in seen:
+        seen.add(id(exc))
+        if isinstance(exc, IntegrityError):
+            return True
+        if isinstance(exc, RetryExhausted) and exc.site == "net-frame":
+            return True
+        exc = exc.__cause__ or exc.__context__
+    return False
+
+
 @dataclass
 class ChaosPoint:
     """One intensity step of a chaos sweep."""
@@ -43,6 +68,9 @@ class ChaosPoint:
     sim_seconds: float
     slowdown: float
     verified: bool
+    #: Corruption was injected and caught (checksum mismatch flagged,
+    #: frame re-requested, or the run killed loudly) — never silent.
+    detected: bool = False
     fault_stats: Dict[str, float] = field(default_factory=dict)
 
 
@@ -72,9 +100,10 @@ class ChaosReport:
             fired = ", ".join(
                 f"{k}={v:g}" for k, v in p.fault_stats.items() if v
             ) or "-"
+            flag = "BAD" if not p.verified else ("det" if p.detected else "ok")
             lines.append(
                 f"  {p.rate_scale:6.2f} {p.sim_seconds * 1e3:10.3f} "
-                f"{p.slowdown:8.2f}x {'ok' if p.verified else 'BAD':>3}  {fired}"
+                f"{p.slowdown:8.2f}x {flag:>3}  {fired}"
             )
         return "\n".join(lines)
 
@@ -95,6 +124,7 @@ class ChaosHarness:
         count: int = 16,
         hints: Optional[Hints] = None,
         cost: CostModel = DEFAULT_COST_MODEL,
+        integrity: bool = False,
     ) -> None:
         if isinstance(scenario, FaultPlan):
             self.plan = scenario
@@ -111,6 +141,11 @@ class ChaosHarness:
         self.hints = (
             hints if hints is not None else Hints(cb_nodes=2, cb_buffer_size=512)
         )
+        self.integrity = integrity
+        if integrity:
+            self.hints = self.hints.replace(
+                integrity_pages=True, integrity_network=True
+            )
         self.cost = cost
         self.total_bytes = nprocs * region * count
 
@@ -132,11 +167,15 @@ class ChaosHarness:
             scatter_segments(out, batch, self._rank_buffer(rank))
         return out
 
-    def run_once(self, plan: Optional[FaultPlan]) -> tuple[float, bool, FaultStats]:
+    def run_once(
+        self, plan: Optional[FaultPlan]
+    ) -> tuple[float, bool, bool, FaultStats]:
         """One full run (open, write_all, close) under ``plan``.
 
-        Returns (virtual completion seconds, contents verified, fault
-        stats).  ``plan=None`` runs fault-free."""
+        Returns (virtual completion seconds, no-silent-corruption,
+        corruption-detected, fault stats).  ``plan=None`` runs
+        fault-free.  Failures unrelated to corruption detection
+        propagate (they are harness bugs, not chaos outcomes)."""
         fs = SimFileSystem(self.cost)
         region, nprocs = self.region, self.nprocs
         hints = self.hints
@@ -152,18 +191,37 @@ class ChaosHarness:
 
         sim = Simulator(nprocs)
         injector = plan.install(sim) if plan is not None else None
-        times = sim.run(main)
+        stats = injector.stats if injector is not None else FaultStats()
+        try:
+            times = sim.run(main)
+        except ReproError as exc:
+            if not _detection_in_chain(exc):
+                raise
+            # Killed loudly by detected corruption — the opposite of a
+            # silent wrong answer.  No meaningful completion time.
+            return 0.0, True, True, stats
         seconds = max(times)
         got = fs.raw_bytes(_PATH, 0, self.total_bytes)
-        verified = bool(np.array_equal(got, self._oracle()))
-        stats = injector.stats if injector is not None else FaultStats()
-        return seconds, verified, stats
+        diff = np.flatnonzero(got != self._oracle())
+        detected = bool(
+            stats.net_corruptions_detected or stats.page_corruptions_detected
+        )
+        if diff.size == 0:
+            return seconds, True, detected, stats
+        # Bytes are wrong.  That is still "caught" when every wrong page
+        # fails its sidecar (an fsck scrub flags exactly the damage);
+        # anything less is silent corruption.
+        store = fs.page_store(_PATH)
+        bad = set(store.verify_all())
+        wrong_pages = set((diff // store.page_size).tolist())
+        caught = bool(bad) and wrong_pages <= bad
+        return seconds, caught, caught or detected, stats
 
     def sweep(
         self, rate_scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0)
     ) -> ChaosReport:
         """Baseline plus one verified run per intensity."""
-        baseline, ok, _ = self.run_once(None)
+        baseline, ok, _, _ = self.run_once(None)
         report = ChaosReport(
             scenario=self.scenario_name,
             seed=self.plan.seed,
@@ -174,13 +232,14 @@ class ChaosHarness:
         if not ok:
             raise AssertionError("fault-free chaos baseline wrote corrupt data")
         for scale in rate_scales:
-            seconds, verified, stats = self.run_once(self.plan.scaled(scale))
+            seconds, verified, detected, stats = self.run_once(self.plan.scaled(scale))
             report.points.append(
                 ChaosPoint(
                     rate_scale=float(scale),
                     sim_seconds=seconds,
                     slowdown=seconds / baseline if baseline > 0 else float("inf"),
                     verified=verified,
+                    detected=detected,
                     fault_stats=stats.snapshot(),
                 )
             )

@@ -86,6 +86,12 @@ class CostModel:
     #: Cost per dirty page flushed from a client cache on revocation
     #: or sync (in addition to the write's normal service time).
     cache_flush_page: float = 3.0e-5
+    #: Seconds per byte to compute/verify a CRC32 frame or page checksum
+    #: (hardware-assisted CRC is cheaper than a copy, but not free).
+    crc_byte_time: float = 4.0e-10
+    #: Cost per shadow page published at journal commit (a block remap
+    #: in the server's metadata, not a data copy over the wire).
+    journal_commit_page: float = 2.0e-5
 
     # --- Geometry -------------------------------------------------------
     #: File-system page size in bytes (Lustre client page granularity).
@@ -129,6 +135,10 @@ class FaultConfig:
     retry_backoff: float = 1e-3
     #: Multiplier applied to the backoff after each failed attempt.
     retry_backoff_factor: float = 2.0
+    #: Ceiling on any single backoff sleep (virtual seconds): long retry
+    #: chains stop doubling here instead of advancing virtual time
+    #: unboundedly.
+    retry_backoff_max: float = 0.25
     #: Rebalance a dead aggregator's file realm across survivors
     #: instead of raising :class:`repro.errors.AggregatorLost`.
     failover: bool = True
@@ -146,6 +156,11 @@ class FaultConfig:
         if self.retry_backoff_factor < 1.0:
             raise ValueError(
                 f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+        if self.retry_backoff_max < self.retry_backoff:
+            raise ValueError(
+                f"retry_backoff_max ({self.retry_backoff_max}) must be >= "
+                f"retry_backoff ({self.retry_backoff})"
             )
 
 

@@ -36,6 +36,7 @@ from repro.datatypes.flatten import FlatType
 from repro.errors import CollectiveIOError
 from repro.fs.client import FSClient
 from repro.fs.filesystem import SimFileSystem
+from repro.integrity import IntegrityConfig, install_integrity
 from repro.io.adio import AdioFile
 from repro.io.retry import RetryPolicy
 from repro.mpi.comm import Communicator
@@ -70,11 +71,29 @@ class CollectiveFile:
             cache_capacity_pages=self.hints["cache_pages"],
         )
         retry = RetryPolicy(
-            retries=self.hints["io_retries"], backoff=self.hints["io_retry_backoff"]
+            retries=self.hints["io_retries"],
+            backoff=self.hints["io_retry_backoff"],
+            backoff_max=self.hints["retry_backoff_max"],
         )
         self.adio = AdioFile(
             self.local, ds_buffer_size=self.hints["ds_buffer_size"], retry=retry
         )
+        # End-to-end integrity (docs/integrity.md): arm the page sidecar
+        # on the server and publish the config for the transport.  Both
+        # default off, so the fast path never pays for the machinery.
+        if self.hints["integrity_pages"] or self.hints["integrity_network"]:
+            install_integrity(
+                ctx.shared,
+                IntegrityConfig(
+                    pages=self.hints["integrity_pages"],
+                    network=self.hints["integrity_network"],
+                    net_retries=self.hints["io_retries"],
+                    net_backoff=self.hints["io_retry_backoff"],
+                    net_backoff_max=self.hints["retry_backoff_max"],
+                ),
+            )
+        if self.hints["integrity_pages"]:
+            fs.enable_integrity(path)
         self.view = FileView(0, BYTE, BYTE)
         self.stats = CollStats()
         self.pfr = PFRState()
@@ -326,6 +345,27 @@ class CollectiveFile:
             self.ctx.charge(total * self.cost.cpu_per_byte_touch)
             scatter_segments(buf, mem_batch, data[:total])
         self._pointer += total // self.view.etype.size
+
+    # -- resize ---------------------------------------------------------------------
+    def set_size(self, size: int) -> None:
+        """Collective resize (MPI_File_set_size analogue).
+
+        Every rank flushes its cached dirty data first — bytes past the
+        cut are discarded server-side, not written back — then rank 0
+        performs the single server resize and a barrier publishes it."""
+        self._require_open()
+        if size < 0:
+            raise CollectiveIOError(f"file size must be non-negative, got {size}")
+        self.adio.retry.run(self.ctx, self.local.sync)
+        self.comm.barrier()
+        if self.comm.rank == 0:
+            self.adio.retry.run(
+                self.ctx,
+                lambda: self.fs.resize(
+                    self.ctx, self.local.client.client_id, self.path, size
+                ),
+            )
+        self.comm.barrier()
 
     # -- lifecycle ------------------------------------------------------------------
     def sync(self) -> None:

@@ -402,6 +402,30 @@ class _NullCursor:
         return SegmentBatch.empty_batch()
 
 
+def _journal_commit(env: CollEnv, plan: _Plan) -> None:
+    """Commit the collective call's shadow transaction.
+
+    Barrier — one committer publishes — barrier: the first barrier
+    guarantees every aggregator's journal writes have landed, the
+    second that no rank returns from the collective before the commit
+    is visible.  The committer is the first *surviving* aggregator, so
+    a crash-with-failover still commits; a crash with failover off
+    raises :class:`~repro.errors.AggregatorLost` before reaching here
+    and the transaction is simply never committed — the file stays at
+    its pre-collective image (the crash-consistency contract)."""
+    comm = env.comm
+    local = env.adio.local
+    comm.barrier()
+    alive = [a for a in plan.aggs if a not in plan._dead]
+    committer = alive[0] if alive else plan.aggs[0]
+    if comm.rank == committer:
+        env.adio.retry.run(
+            env.ctx,
+            lambda: local.fs.txn_commit(env.ctx, local.client.client_id, local.path),
+        )
+    comm.barrier()
+
+
 def _flush_merged(env: CollEnv, plan: _Plan, window, merged, cbuf: np.ndarray) -> None:
     offs, lens = merged
     if offs is None or offs.size == 0:
@@ -440,28 +464,44 @@ def write_all_new(
     plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     mode = env.hints["exchange"]
-    r = 0
-    while r < plan.nrounds:
-        if plan.maybe_failover(r):
-            r = 0
-            continue
-        env.stats.rounds += 1
-        with env.ctx.trace("tp:route", round=r):
-            send_plan = plan.client_send_plan(r)
-            window, recv_plan, merged = plan.agg_recv_layout(r)
-            cbuf = (
-                np.zeros(window.total_bytes, dtype=np.uint8)
-                if window is not None
-                else None
-            )
-        with env.ctx.trace("tp:exchange", round=r):
-            env.stats.bytes_exchanged += exchange_data(
-                comm, cost, mode, buf, send_plan, cbuf, recv_plan
-            )
-        with env.ctx.trace("tp:io", round=r):
-            if window is not None and cbuf is not None:
-                _flush_merged(env, plan, window, merged, cbuf)
-        r += 1
+
+    def run_rounds() -> None:
+        r = 0
+        while r < plan.nrounds:
+            if plan.maybe_failover(r):
+                r = 0
+                continue
+            env.stats.rounds += 1
+            with env.ctx.trace("tp:route", round=r):
+                send_plan = plan.client_send_plan(r)
+                window, recv_plan, merged = plan.agg_recv_layout(r)
+                cbuf = (
+                    np.zeros(window.total_bytes, dtype=np.uint8)
+                    if window is not None
+                    else None
+                )
+            with env.ctx.trace("tp:exchange", round=r):
+                env.stats.bytes_exchanged += exchange_data(
+                    comm, cost, mode, buf, send_plan, cbuf, recv_plan
+                )
+            with env.ctx.trace("tp:io", round=r):
+                if window is not None and cbuf is not None:
+                    _flush_merged(env, plan, window, merged, cbuf)
+            r += 1
+
+    if env.hints["journal_writes"]:
+        # Crash-consistent path: aggregator flushes land in a shadow
+        # transaction keyed by the collective-call ordinal (identical
+        # on every rank without communication; a leftover transaction
+        # under a *different* ordinal is a crashed call's journal and
+        # is discarded by txn_begin).
+        local = env.adio.local
+        local.fs.txn_begin(local.path, plan._call_index)
+        with env.adio.journaled():
+            run_rounds()
+        _journal_commit(env, plan)
+    else:
+        run_rounds()
     env.stats.collective_writes += 1
 
 

@@ -63,6 +63,35 @@ class TransientIOError(FileSystemError):
         self.path = path
 
 
+class TransientNetworkError(TransientIOError):
+    """A detected in-flight frame corruption that a retransmission can
+    fix.  Subclasses :class:`TransientIOError` so the existing
+    :class:`~repro.io.retry.RetryPolicy` drives the bounded re-request
+    without new machinery."""
+
+    def __init__(self, site: str, rank: int) -> None:
+        super().__init__(site, rank)
+
+
+class IntegrityError(FileSystemError):
+    """Stored data failed its checksum: silent corruption detected.
+
+    Unlike :class:`TransientIOError`, re-reading cannot help — the
+    authoritative copy itself is damaged — so retry policies do NOT
+    catch this.  ``page_index`` is the corrupt page in its store and
+    ``site`` names the verification point (``"page-read"``,
+    ``"journal-commit"``, ``"fsck"``, ...)."""
+
+    def __init__(self, site: str, page_index: int, path: str = "") -> None:
+        super().__init__(
+            f"checksum mismatch on page {page_index} at {site}"
+            + (f" (file {path!r})" if path else "")
+        )
+        self.site = site
+        self.page_index = page_index
+        self.path = path
+
+
 class RetryExhausted(FileSystemError):
     """A retry policy gave up on a transient fault.
 

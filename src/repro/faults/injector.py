@@ -48,6 +48,11 @@ class FaultStats:
     retries: int = 0
     retry_backoff_seconds: float = 0.0
     retries_exhausted: int = 0
+    page_bits_flipped: int = 0
+    net_bits_flipped: int = 0
+    page_corruptions_detected: int = 0
+    net_corruptions_detected: int = 0
+    net_redeliveries: int = 0
 
     def merge(self, other: "FaultStats") -> None:
         for name, value in vars(other).items():
@@ -103,6 +108,20 @@ class FaultInjector:
 
     def enabled(self, kind: str) -> bool:
         return kind in self._active_kinds
+
+    def _draw(self, kind: str, actor: int) -> int:
+        """Seeded 64-bit draw (position choice, not a coin flip).
+
+        Keyed like :meth:`_chance` but under its own counter namespace,
+        so interleaving position draws with coin flips never perturbs
+        either sequence."""
+        key = (kind + "#pos", actor)
+        n = self._counters.get(key, 0)
+        self._counters[key] = n + 1
+        digest = hashlib.blake2b(
+            f"{self.plan.seed}/{kind}#pos/{actor}/{n}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
 
     # -- sim.engine hook --------------------------------------------------
     def cpu_factor(self, rank: int, now: float) -> float:
@@ -183,6 +202,45 @@ class FaultInjector:
         if extra:
             self.stats.net_extra_seconds += extra
         return extra
+
+    # -- corruption hooks ---------------------------------------------------
+    def corrupt_stored(self, store, pages, client: int, now: float) -> None:
+        """Maybe flip one bit of one just-written page of ``store``.
+
+        ``pages`` are the (allocated) page indices the write touched;
+        the flip happens *after* the sidecar update, which is exactly
+        the window a real medium corrupts in.  The sidecar is left
+        stale on purpose — that mismatch is what detection detects."""
+        if not pages or "bit_flip_page" not in self._active_kinds:
+            return
+        for e in self.plan.of_kind("bit_flip_page"):
+            if e.active(now) and e.applies_to(client):
+                if self._chance("bit_flip_page", client, e.rate):
+                    draw = self._draw("bit_flip_page", client)
+                    store.flip_bit(pages[draw % len(pages)], draw // len(pages))
+                    self.stats.page_bits_flipped += 1
+
+    def corrupt_net(self, src: int, dst: int, now: float) -> Optional[int]:
+        """Position draw for flipping one bit of an in-flight payload,
+        or ``None`` when this message travels clean.  The transport owns
+        the actual flip (it holds the payload copy)."""
+        if "bit_flip_net" not in self._active_kinds:
+            return None
+        for e in self.plan.of_kind("bit_flip_net"):
+            if e.active(now) and e.applies_to(src):
+                if self._chance("bit_flip_net", src, e.rate):
+                    self.stats.net_bits_flipped += 1
+                    return self._draw("bit_flip_net", src)
+        return None
+
+    def note_page_corruption_detected(self) -> None:
+        self.stats.page_corruptions_detected += 1
+
+    def note_net_corruption_detected(self) -> None:
+        self.stats.net_corruptions_detected += 1
+
+    def note_net_redelivery(self) -> None:
+        self.stats.net_redeliveries += 1
 
     # -- core.two_phase hooks ----------------------------------------------
     def begin_collective(self, rank: int) -> int:

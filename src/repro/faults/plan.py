@@ -38,6 +38,17 @@ Event kinds
     process is fine; its I/O delegate died) and the collective layer
     fails the realm over to the surviving aggregators — or raises
     :class:`~repro.errors.AggregatorLost` when failover is disabled.
+``bit_flip_page``
+    With probability ``rate`` per server write, one bit of one just-
+    written store page flips *after* the checksum sidecar was updated
+    (media/DMA corruption).  Silent unless the ``integrity_pages``
+    hint arms verification.
+``bit_flip_net``
+    With probability ``rate`` per data-frame message, one bit of the
+    in-flight payload copy flips (link-level corruption slipping past
+    a weak hardware CRC).  Silent unless ``integrity_network`` arms
+    frame checksums, in which case the receiver detects it and
+    re-requests the frame.
 
 Scenario strings (``name[:seed]``, e.g. ``transient-io:42``) are
 resolved by :func:`repro.faults.scenarios.load_scenario`.
@@ -64,6 +75,8 @@ EVENT_KINDS = (
     "net_drop",
     "lock_storm",
     "agg_crash",
+    "bit_flip_page",
+    "bit_flip_net",
 )
 
 
@@ -217,6 +230,20 @@ class FaultPlan:
             )
         )
 
+    def page_bitflip(
+        self, rate: float, *, start: float = 0.0, end: float = math.inf, ranks=None
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("bit_flip_page", start, end, rate, ranks=_rankset(ranks))
+        )
+
+    def net_bitflip(
+        self, rate: float, *, start: float = 0.0, end: float = math.inf, ranks=None
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("bit_flip_net", start, end, rate, ranks=_rankset(ranks))
+        )
+
     # -- queries ---------------------------------------------------------
     def of_kind(self, kind: str) -> Iterator[FaultEvent]:
         return (e for e in self.events if e.kind == kind)
@@ -245,8 +272,12 @@ class FaultPlan:
         ``rate_scale`` (clamped to 1); used by the chaos harness to
         sweep fault intensity with one scenario definition."""
         out = FaultPlan(seed=self.seed)
+        scalable = (
+            "transient_io", "net_delay", "net_drop", "lock_storm",
+            "bit_flip_page", "bit_flip_net",
+        )
         for e in self.events:
-            if e.kind in ("transient_io", "net_delay", "net_drop", "lock_storm"):
+            if e.kind in scalable:
                 out.add(replace(e, rate=min(e.rate * rate_scale, 1.0)))
             else:
                 out.add(e)
@@ -257,7 +288,10 @@ class FaultPlan:
         rows = []
         for e in self.events:
             bits = []
-            if e.kind in ("transient_io", "net_delay", "net_drop", "lock_storm"):
+            if e.kind in (
+                "transient_io", "net_delay", "net_drop", "lock_storm",
+                "bit_flip_page", "bit_flip_net",
+            ):
                 bits.append(f"rate={e.rate:g}")
             if e.kind in ("slow_disk", "straggler"):
                 bits.append(f"factor={e.factor:g}")

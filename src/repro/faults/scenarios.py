@@ -99,6 +99,29 @@ def _agg_crash(seed: int) -> FaultPlan:
     return FaultPlan(seed).agg_crash(rank=0, round_index=1)
 
 
+@scenario("bit-flip-pages")
+def _bit_flip_pages(seed: int) -> FaultPlan:
+    """Stored pages silently corrupt after writes (bad medium/DMA).
+    Run with the ``integrity_pages`` hint to see detection; without it,
+    this is the silent-wrong-answer scenario."""
+    return FaultPlan(seed).page_bitflip(rate=0.25)
+
+
+@scenario("bit-flip-net")
+def _bit_flip_net(seed: int) -> FaultPlan:
+    """In-flight data frames corrupt on the wire.  With the
+    ``integrity_network`` hint the receiver detects and re-requests;
+    without it, corrupt exchange bytes land in the file."""
+    return FaultPlan(seed).net_bitflip(rate=0.05)
+
+
+@scenario("bit-flip")
+def _bit_flip(seed: int) -> FaultPlan:
+    """Both corruption surfaces at once — the end-to-end integrity
+    soak (pair with integrity_pages + integrity_network)."""
+    return FaultPlan(seed).page_bitflip(rate=0.2).net_bitflip(rate=0.05)
+
+
 @scenario("chaos")
 def _chaos(seed: int) -> FaultPlan:
     """Everything at once, gently: the kitchen-sink soak scenario."""

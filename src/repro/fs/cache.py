@@ -361,6 +361,30 @@ class PageCache:
         self._valid.clear()
         self._dirty.clear()
 
+    def invalidate_range(self, lo: int, hi: int, *, keep_dirty: bool = False) -> int:
+        """Drop cached pages intersecting [lo, hi) without flushing.
+
+        Used when the server-side contents of a range changed out of
+        band (file truncation, journal commit): cached copies are stale
+        and must be refetched.  Dirty bytes in the range are discarded
+        — callers sync first when they must survive — unless
+        ``keep_dirty`` is set, in which case pages holding dirty bytes
+        are left alone (their writes are newer than the out-of-band
+        change and still owed to the server).  Returns the number of
+        pages dropped."""
+        if hi <= lo:
+            return 0
+        ps = self.page_size
+        p_lo, p_hi = lo // ps, -(-hi // ps)
+        inside = [
+            p
+            for p in self._pages
+            if p_lo <= p < p_hi and not (keep_dirty and p in self._dirty)
+        ]
+        for p in inside:
+            self._drop(p)
+        return len(inside)
+
     def flush_and_invalidate_range(self, ctx: RankContext, lo: int, hi: int) -> int:
         """Revocation callback: flush dirty bytes in [lo, hi) without
         re-acquiring the (already transferred) locks, then drop the pages."""

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -55,6 +56,7 @@ class LocalFile:
             capacity_pages=cache_capacity_pages,
         )
         self._open = True
+        self._journal_mode = False
 
     # -- basic ops ----------------------------------------------------------
     def _require_open(self) -> None:
@@ -65,8 +67,7 @@ class LocalFile:
         """Write one contiguous extent."""
         self._require_open()
         data = np.asarray(data, dtype=np.uint8)
-        self.cache.write(
-            self.ctx,
+        self.write_batch(
             np.array([offset], dtype=np.int64),
             np.array([data.size], dtype=np.int64),
             data,
@@ -75,8 +76,7 @@ class LocalFile:
     def read(self, offset: int, nbytes: int) -> np.ndarray:
         """Read one contiguous extent."""
         self._require_open()
-        return self.cache.read(
-            self.ctx,
+        return self.read_batch(
             np.array([offset], dtype=np.int64),
             np.array([nbytes], dtype=np.int64),
         )
@@ -89,12 +89,19 @@ class LocalFile:
     ) -> None:
         """Write many extents in one call (list-I/O style)."""
         self._require_open()
-        self.cache.write(
-            self.ctx,
-            np.asarray(offsets, dtype=np.int64),
-            np.asarray(lengths, dtype=np.int64),
-            np.asarray(data, dtype=np.uint8),
-        )
+        offs = np.asarray(offsets, dtype=np.int64)
+        lens = np.asarray(lengths, dtype=np.int64)
+        data = np.asarray(data, dtype=np.uint8)
+        if self._journal_mode:
+            # Journaled writes bypass the cache: shadow bytes must reach
+            # the server before commit, and a cached copy would go stale
+            # the moment the transaction publishes.
+            self.fs.server_write(
+                self.ctx, self.client.client_id, self.path, offs, lens, data,
+                journaled=True,
+            )
+            return
+        self.cache.write(self.ctx, offs, lens, data)
 
     def read_batch(
         self,
@@ -103,11 +110,46 @@ class LocalFile:
     ) -> np.ndarray:
         """Read many extents in one call (list-I/O style)."""
         self._require_open()
-        return self.cache.read(
-            self.ctx,
-            np.asarray(offsets, dtype=np.int64),
-            np.asarray(lengths, dtype=np.int64),
-        )
+        offs = np.asarray(offsets, dtype=np.int64)
+        lens = np.asarray(lengths, dtype=np.int64)
+        if self._journal_mode:
+            # Direct read with the transaction's bytes overlaid, so data
+            # sieving's read-modify-write sees its own journaled writes.
+            return self.fs.server_read(
+                self.ctx, self.client.client_id, self.path, offs, lens,
+                journaled=True,
+            )
+        return self.cache.read(self.ctx, offs, lens)
+
+    # -- journal mode -----------------------------------------------------------
+    @contextmanager
+    def journaled(self) -> Iterator["LocalFile"]:
+        """Route writes/reads through the file's open shadow transaction.
+
+        On entry the cache is synced and dropped (journal-mode reads
+        must see the server's committed bytes plus the journal overlay,
+        never a private cached view).  The caller is responsible for
+        the transaction lifecycle (:meth:`txn_begin` / commit / abort
+        on the file system) — this context only switches the data
+        path."""
+        self._require_open()
+        if self._journal_mode:
+            yield self
+            return
+        self.cache.sync(self.ctx)
+        self.cache.invalidate()
+        self._journal_mode = True
+        try:
+            yield self
+        finally:
+            self._journal_mode = False
+
+    def truncate(self, size: int) -> None:
+        """Resize the file (flushes dirty cached data first: bytes past
+        the cut are discarded server-side, not written back)."""
+        self._require_open()
+        self.cache.sync(self.ctx)
+        self.fs.resize(self.ctx, self.client.client_id, self.path, size)
 
     # -- lifecycle --------------------------------------------------------------
     def sync(self) -> int:

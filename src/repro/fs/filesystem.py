@@ -27,9 +27,10 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
-from repro.errors import FileSystemError
+from repro.errors import FileSystemError, IntegrityError
 from repro.faults.plan import FAULTS_KEY
 from repro.fs.locks import ExtentLockManager, LockCharge
+from repro.fs.runs import ByteRuns
 from repro.fs.store import PageStore
 from repro.sim.engine import RankContext
 
@@ -51,6 +52,10 @@ class FileStats:
         "lock_rpcs",
         "lock_revocations",
         "revoke_flush_pages",
+        "journal_writes",
+        "journal_commits",
+        "journal_aborts",
+        "journal_pages_committed",
     )
 
     def __init__(self) -> None:
@@ -62,18 +67,50 @@ class FileStats:
         self.lock_rpcs = 0
         self.lock_revocations = 0
         self.revoke_flush_pages = 0
+        self.journal_writes = 0
+        self.journal_commits = 0
+        self.journal_aborts = 0
+        self.journal_pages_committed = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
+class _Txn:
+    """An open shadow-write transaction (the journal) for one file.
+
+    Journaled writes land in a private shadow :class:`PageStore` at
+    their final file offsets; ``valid`` records, per page, which byte
+    runs the journal owns.  Commit publishes those runs into the main
+    store atomically (no yield point between the first and last byte);
+    abort — or simply never committing, which is what a crash looks
+    like — discards them, leaving the main store at its pre-transaction
+    image."""
+
+    __slots__ = ("txid", "store", "valid")
+
+    def __init__(self, txid: int, page_size: int, integrity: bool) -> None:
+        self.txid = txid
+        self.store = PageStore(page_size, integrity=integrity)
+        self.valid: Dict[int, ByteRuns] = {}
+
+    def record(self, offset: int, nbytes: int) -> None:
+        ps = self.store.page_size
+        lo, hi = offset, offset + nbytes
+        for pidx in range(lo // ps, -(-hi // ps)):
+            s = max(lo, pidx * ps) - pidx * ps
+            e = min(hi, (pidx + 1) * ps) - pidx * ps
+            self.valid.setdefault(pidx, ByteRuns()).add(s, e)
+
+
 class _File:
-    __slots__ = ("store", "locks", "stats")
+    __slots__ = ("store", "locks", "stats", "txn")
 
     def __init__(self, page_size: int, lock_granularity: int) -> None:
         self.store = PageStore(page_size)
         self.locks = ExtentLockManager(lock_granularity)
         self.stats = FileStats()
+        self.txn: Optional[_Txn] = None
 
 
 class SimFileSystem:
@@ -114,9 +151,25 @@ class SimFileSystem:
     def stats(self, path: str) -> FileStats:
         return self._file(path).stats
 
+    def paths(self) -> List[str]:
+        """Every file in the namespace (fsck's iteration order)."""
+        return sorted(self._files)
+
+    def page_store(self, path: str) -> PageStore:
+        """Direct access to a file's page store (fsck, tests)."""
+        return self._file(path).store
+
+    def enable_integrity(self, path: str) -> None:
+        """Arm the CRC32 page sidecar for ``path`` (idempotent)."""
+        self.ensure_file(path)
+        self._file(path).store.enable_integrity()
+
     def raw_bytes(self, path: str, offset: int, nbytes: int) -> np.ndarray:
-        """Server-side contents, for verification only (no cost)."""
-        return self._file(path).store.read(offset, nbytes)
+        """Server-side contents, for verification only (no cost).
+
+        Deliberately unverified: oracles compare these bytes against
+        expectations even when pages are known-corrupt."""
+        return self._file(path).store.read(offset, nbytes, verify=False)
 
     def raw_write(self, path: str, offset: int, data: np.ndarray) -> None:
         """Install contents directly, for test setup only (no cost)."""
@@ -325,10 +378,15 @@ class SimFileSystem:
         data: np.ndarray,
         *,
         acquire_locks: bool = True,
+        journaled: bool = False,
     ) -> None:
         """One write call carrying a batch of contiguous extents.
 
         ``data`` holds the extents' bytes concatenated in batch order.
+        With ``journaled=True`` the bytes land in the file's open shadow
+        transaction instead of the main store (same locks, same costs,
+        same fault exposure); they become visible only at
+        :meth:`txn_commit`.
         """
         f = self._file(path)
         offs, lens = self._as_batch(offsets, lengths)
@@ -350,11 +408,38 @@ class SimFileSystem:
         f.stats.rmw_pages += rmw
         f.stats.server_writes += 1
         f.stats.bytes_written += total
+        target = f.store
+        txn = None
+        if journaled:
+            txn = f.txn
+            if txn is None:
+                raise FileSystemError(
+                    f"journaled write on {path!r} without an open transaction"
+                )
+            target = txn.store
+            f.stats.journal_writes += 1
         pos = 0
         for o, l in zip(offs.tolist(), lens.tolist()):
-            f.store.write(o, data[pos : pos + l])
+            target.write(o, data[pos : pos + l])
+            if txn is not None:
+                txn.record(o, l)
             pos += l
+        # Silent-corruption injection: bits flip in whichever store the
+        # bytes landed in, after the checksum sidecar was updated.
+        faults = ctx.shared.get(FAULTS_KEY)
+        if faults is not None and faults.enabled("bit_flip_page"):
+            faults.corrupt_stored(
+                target, self._touched_pages(offs, lens), client_id, ctx.now
+            )
         self._serve(ctx, offs, lens, rmw)
+
+    def _touched_pages(self, offs: np.ndarray, lens: np.ndarray) -> List[int]:
+        """Sorted page indices covered by a batch (corruption targets)."""
+        ps = self.cost.page_size
+        touched: set[int] = set()
+        for o, l in zip(offs.tolist(), lens.tolist()):
+            touched.update(range(o // ps, (o + l - 1) // ps + 1))
+        return sorted(touched)
 
     def server_read(
         self,
@@ -365,8 +450,13 @@ class SimFileSystem:
         lengths: Iterable[int] | np.ndarray,
         *,
         acquire_locks: bool = True,
+        journaled: bool = False,
     ) -> np.ndarray:
-        """One read call for a batch of extents; returns concatenated bytes."""
+        """One read call for a batch of extents; returns concatenated bytes.
+
+        With ``journaled=True`` and an open transaction, bytes the
+        journal owns overlay the main store (read-your-writes inside
+        the transaction — data sieving's pre-reads need it)."""
         f = self._file(path)
         offs, lens = self._as_batch(offsets, lengths)
         ctx.charge(self.cost.io_call_overhead)
@@ -380,8 +470,131 @@ class SimFileSystem:
         f.stats.server_reads += 1
         f.stats.bytes_read += total
         pos = 0
-        for o, l in zip(offs.tolist(), lens.tolist()):
-            out[pos : pos + l] = f.store.read(o, l)
-            pos += l
+        try:
+            for o, l in zip(offs.tolist(), lens.tolist()):
+                piece = f.store.read(o, l)
+                if journaled and f.txn is not None:
+                    self._overlay_txn(f.txn, o, piece)
+                out[pos : pos + l] = piece
+                pos += l
+        except IntegrityError as exc:
+            self._note_page_corruption(ctx)
+            raise IntegrityError(exc.site, exc.page_index, path) from exc
         self._serve(ctx, offs, lens, 0)
         return out
+
+    @staticmethod
+    def _overlay_txn(txn: _Txn, offset: int, out: np.ndarray) -> None:
+        """Patch journal-owned byte runs over a main-store read."""
+        ps = txn.store.page_size
+        lo, hi = offset, offset + int(out.size)
+        for pidx in range(lo // ps, -(-hi // ps)):
+            runs = txn.valid.get(pidx)
+            if runs is None:
+                continue
+            base = pidx * ps
+            for s, e in runs:
+                g_lo, g_hi = max(lo, base + s), min(hi, base + e)
+                if g_hi > g_lo:
+                    out[g_lo - lo : g_hi - lo] = txn.store.read(g_lo, g_hi - g_lo)
+
+    @staticmethod
+    def _note_page_corruption(ctx: RankContext) -> None:
+        faults = ctx.shared.get(FAULTS_KEY)
+        if faults is not None:
+            faults.note_page_corruption_detected()
+
+    # -- shadow-write transactions (the journal) -----------------------------
+    def txn_begin(self, path: str, txid: int) -> None:
+        """Open (or join) shadow transaction ``txid`` on ``path``.
+
+        Collective callers all pass the same txid, so the first one
+        creates the journal and the rest join it.  A *different* txid
+        found open means the previous transaction never committed — a
+        crashed collective call — and is discarded, which is exactly
+        the crash-recovery contract: uncommitted journal bytes never
+        reach the file."""
+        f = self._file(path)
+        if f.txn is not None and f.txn.txid != txid:
+            f.txn = None
+            f.stats.journal_aborts += 1
+        if f.txn is None:
+            f.txn = _Txn(txid, self.cost.page_size, f.store.integrity)
+
+    def txn_active(self, path: str) -> bool:
+        return self._file(path).txn is not None
+
+    def txn_abort(self, path: str) -> None:
+        """Discard the open transaction (its bytes were never visible)."""
+        f = self._file(path)
+        if f.txn is not None:
+            f.txn = None
+            f.stats.journal_aborts += 1
+
+    def txn_commit(self, ctx: RankContext, client_id: int, path: str) -> int:
+        """Atomically publish the open transaction into the main store.
+
+        The injected-fault point fires *before* any byte is applied and
+        the apply loop has no yield point, so the commit is all-or-
+        nothing: a retried commit (transient fault) re-applies from an
+        untouched journal, and a crash before commit leaves the file at
+        its pre-transaction image.  Shadow pages are verified against
+        their sidecars as they are read, so corruption that hit the
+        journal itself surfaces here as a typed
+        :class:`~repro.errors.IntegrityError` instead of being
+        laundered into freshly-checksummed file pages.  Returns the
+        number of pages published."""
+        f = self._file(path)
+        ctx.charge(self.cost.io_call_overhead)
+        txn = f.txn
+        if txn is None:
+            return 0
+        self._maybe_io_fault(ctx, client_id, path, "txn_commit")
+        pages = sorted(txn.valid)
+        ctx.charge(len(pages) * self.cost.journal_commit_page)
+        ps = self.cost.page_size
+        for pidx in pages:
+            base = pidx * ps
+            for s, e in txn.valid[pidx]:
+                try:
+                    good = txn.store.read(base + s, e - s)
+                except IntegrityError as exc:
+                    self._note_page_corruption(ctx)
+                    raise IntegrityError("journal-commit", pidx, path) from exc
+                f.store.write(base + s, good)
+        f.txn = None
+        f.stats.journal_commits += 1
+        f.stats.journal_pages_committed += len(pages)
+        # Cached pre-commit copies of the published pages are stale in
+        # every client; drop clean copies (dirty bytes are newer than
+        # the commit and must survive to their own flush).
+        for caches in self._caches.values():
+            for cache in caches:
+                if cache.path == path and cache.caching:
+                    for pidx in pages:
+                        cache.invalidate_range(
+                            pidx * ps, (pidx + 1) * ps, keep_dirty=True
+                        )
+        ctx.yield_now()
+        return len(pages)
+
+    # -- resize --------------------------------------------------------------
+    def resize(self, ctx: RankContext, client_id: int, path: str, size: int) -> None:
+        """Set the file's logical size (MPI_File_set_size's server op).
+
+        Shrinking trims store pages and drops every client's cached
+        pages from the truncation point on — callers flush dirty data
+        first (the collective ``set_size`` does), because cached bytes
+        past the cut are discarded, not written back."""
+        f = self._file(path)
+        ctx.charge(self.cost.io_call_overhead)
+        self._maybe_io_fault(ctx, client_id, path, "server_resize")
+        old = f.store.size
+        f.store.truncate(size)
+        if size < old:
+            ps = self.cost.page_size
+            cut = (size // ps) * ps
+            for caches in self._caches.values():
+                for cache in caches:
+                    if cache.path == path:
+                        cache.invalidate_range(cut, max(old, cut + ps))

@@ -2,15 +2,25 @@
 
 Pages are allocated lazily; unwritten bytes read back as zero, like a
 POSIX sparse file.  The store is pure data: no cost accounting here.
+
+With integrity enabled (:meth:`PageStore.enable_integrity`, gated by
+the ``integrity_pages`` hint upstream) every allocated page carries a
+CRC32 sidecar word: writes update it, reads verify it, and a mismatch
+raises :class:`~repro.errors.IntegrityError` carrying the page index —
+silent corruption (e.g. the fault model's ``bit_flip_page`` events,
+which mutate page bytes *without* touching the sidecar) becomes a loud,
+typed failure at the first read.  :meth:`verify_all` is the offline
+scrub used by ``repro fsck``.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import zlib
+from typing import Dict, List
 
 import numpy as np
 
-from repro.errors import FileSystemError
+from repro.errors import FileSystemError, IntegrityError
 
 __all__ = ["PageStore"]
 
@@ -18,15 +28,19 @@ __all__ = ["PageStore"]
 class PageStore:
     """A sparse file as a dict of fixed-size numpy pages."""
 
-    __slots__ = ("page_size", "_pages", "size")
+    __slots__ = ("page_size", "_pages", "size", "integrity", "_crcs")
 
-    def __init__(self, page_size: int) -> None:
+    def __init__(self, page_size: int, *, integrity: bool = False) -> None:
         if page_size <= 0:
             raise FileSystemError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
         self._pages: Dict[int, np.ndarray] = {}
         #: Logical file size (highest byte written + 1).
         self.size = 0
+        #: When True, a CRC32 sidecar per page is maintained and
+        #: verified on read.
+        self.integrity = integrity
+        self._crcs: Dict[int, int] = {}
 
     def _page(self, index: int) -> np.ndarray:
         page = self._pages.get(index)
@@ -35,6 +49,68 @@ class PageStore:
             self._pages[index] = page
         return page
 
+    # -- checksum sidecar ---------------------------------------------------
+    def _crc(self, index: int) -> int:
+        return zlib.crc32(self._pages[index].tobytes()) & 0xFFFFFFFF
+
+    def enable_integrity(self) -> None:
+        """Turn on the CRC sidecar, fingerprinting any existing pages.
+
+        Idempotent; existing content is trusted as-is (the sidecar
+        protects from here on)."""
+        if self.integrity:
+            return
+        self.integrity = True
+        for idx in self._pages:
+            self._crcs[idx] = self._crc(idx)
+
+    def verify_page(self, index: int) -> bool:
+        """True when the page's bytes still match its sidecar (holes
+        are vacuously good)."""
+        if index not in self._pages:
+            return True
+        return self._crcs.get(index) == self._crc(index)
+
+    def verify_all(self) -> List[int]:
+        """Page indices whose contents fail their sidecar (a scrub)."""
+        if not self.integrity:
+            return []
+        return [idx for idx in sorted(self._pages) if not self.verify_page(idx)]
+
+    def flip_bit(self, page_index: int, bit_index: int) -> None:
+        """Silently flip one bit of an allocated page — the corruption
+        model's entry point.  Deliberately does NOT update the sidecar:
+        that mismatch is what detection detects."""
+        page = self._pages.get(page_index)
+        if page is None:
+            raise FileSystemError(f"cannot corrupt unallocated page {page_index}")
+        nbits = self.page_size * 8
+        bit = bit_index % nbits
+        page[bit >> 3] ^= np.uint8(1 << (bit & 7))
+
+    # -- repair (fsck) ------------------------------------------------------
+    def zero_page(self, index: int) -> None:
+        """Repair a page by dropping it back to a hole."""
+        self._pages.pop(index, None)
+        self._crcs.pop(index, None)
+
+    def accept_page(self, index: int) -> None:
+        """Repair a page by blessing its current bytes (recompute CRC)."""
+        if index in self._pages and self.integrity:
+            self._crcs[index] = self._crc(index)
+
+    def rewrite_page(self, index: int, data: np.ndarray) -> None:
+        """Repair a page by rewriting it from a known-good copy."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.page_size:
+            raise FileSystemError(
+                f"rewrite_page needs exactly {self.page_size} bytes, got {data.size}"
+            )
+        self._page(index)[:] = data
+        if self.integrity:
+            self._crcs[index] = self._crc(index)
+
+    # -- data plane ---------------------------------------------------------
     def write(self, offset: int, data: np.ndarray) -> None:
         """Write ``data`` (uint8) at ``offset``, extending the file."""
         if offset < 0:
@@ -46,21 +122,33 @@ class PageStore:
         ps = self.page_size
         pos = offset
         written = 0
+        touched = [] if self.integrity else None
         while written < n:
             pidx, poff = divmod(pos, ps)
             chunk = min(n - written, ps - poff)
             self._page(pidx)[poff : poff + chunk] = data[written : written + chunk]
+            if touched is not None:
+                touched.append(pidx)
             written += chunk
             pos += chunk
         self.size = max(self.size, offset + n)
+        if touched is not None:
+            for pidx in touched:
+                self._crcs[pidx] = self._crc(pidx)
 
-    def read(self, offset: int, nbytes: int) -> np.ndarray:
-        """Read ``nbytes`` from ``offset``; holes and EOF read as zero."""
+    def read(self, offset: int, nbytes: int, *, verify: bool = True) -> np.ndarray:
+        """Read ``nbytes`` from ``offset``; holes and EOF read as zero.
+
+        With integrity enabled (and ``verify`` true), every allocated
+        page touched is checked against its sidecar first; a mismatch
+        raises :class:`~repro.errors.IntegrityError`.  ``verify=False``
+        is for out-of-band access (verification oracles, fsck itself)."""
         if offset < 0 or nbytes < 0:
             raise FileSystemError(f"invalid read range ({offset}, {nbytes})")
         out = np.zeros(nbytes, dtype=np.uint8)
         if nbytes == 0:
             return out
+        check = self.integrity and verify
         ps = self.page_size
         pos = offset
         got = 0
@@ -69,19 +157,50 @@ class PageStore:
             chunk = min(nbytes - got, ps - poff)
             page = self._pages.get(pidx)
             if page is not None:
+                if check and not self.verify_page(pidx):
+                    raise IntegrityError("page-read", pidx)
                 out[got : got + chunk] = page[poff : poff + chunk]
             got += chunk
             pos += chunk
         return out
+
+    def truncate(self, size: int) -> None:
+        """Set the logical file size, POSIX-style.
+
+        Shrinking trims whole pages past the new end and zeroes the
+        tail of a partially covered boundary page (those bytes must
+        read as zero if the file regrows); growing just extends the
+        logical size — the new bytes are a hole."""
+        if size < 0:
+            raise FileSystemError(f"negative truncate size {size}")
+        if size < self.size:
+            ps = self.page_size
+            boundary, keep = divmod(size, ps)
+            for idx in [p for p in self._pages if p > boundary or (p == boundary and keep == 0)]:
+                del self._pages[idx]
+                self._crcs.pop(idx, None)
+            if keep and boundary in self._pages:
+                self._pages[boundary][keep:] = 0
+                if self.integrity:
+                    self._crcs[boundary] = self._crc(boundary)
+        self.size = size
 
     @property
     def allocated_pages(self) -> int:
         return len(self._pages)
 
     def checksum(self) -> int:
-        """Cheap content fingerprint for tests."""
+        """Cheap content fingerprint for tests.
+
+        All-zero pages are skipped when folding: an explicitly
+        allocated page of zeros is logically identical to a hole, and
+        two stores with identical logical bytes must hash identically
+        regardless of allocation history."""
         acc = self.size
         for idx in sorted(self._pages):
+            page = self._pages[idx]
+            if not page.any():
+                continue
             acc = (acc * 1000003 + idx) & 0xFFFFFFFFFFFF
-            acc = (acc + int(self._pages[idx].astype(np.uint64).sum())) & 0xFFFFFFFFFFFF
+            acc = (acc + int(page.astype(np.uint64).sum())) & 0xFFFFFFFFFFFF
         return acc

@@ -1,0 +1,71 @@
+"""Checksum primitives shared by the page store and the transport.
+
+Both sides use the same CRC32 (zlib's, the Castagnoli-free classic):
+pages checksum their full ``page_size`` bytes into a per-page sidecar
+word, the network checksums a frame's payload bytes into the message
+envelope.  CRC32 is what real parallel file systems (and TCP offload
+engines) deploy for this job: cheap, and certain to catch the single
+bit flips the fault model injects.
+
+The transport can only protect payloads whose bytes it can see:
+:func:`corruptible` is the predicate (contiguous numpy arrays and byte
+strings — i.e. the data frames moved by the exchange phase and the
+list-I/O layer).  Structured control payloads (tuples of scalars,
+encoded filetypes) are not bit-flippable by the fault model either, so
+the protection boundary and the threat model coincide.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["crc32_of", "corruptible", "flip_payload_bit", "payload_crc"]
+
+
+def crc32_of(data: bytes | np.ndarray) -> int:
+    """CRC32 of raw bytes or a numpy array's buffer."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def corruptible(obj: Any) -> bool:
+    """True when the fault model can flip bits in this payload (and the
+    transport can checksum it): raw byte strings and numpy arrays."""
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) > 0
+    if isinstance(obj, np.ndarray):
+        return obj.size > 0
+    return False
+
+
+def payload_crc(obj: Any) -> Optional[int]:
+    """Frame checksum of a payload, or ``None`` when not corruptible."""
+    if not corruptible(obj):
+        return None
+    if isinstance(obj, (bytes, bytearray)):
+        return crc32_of(bytes(obj))
+    return crc32_of(obj)
+
+
+def flip_payload_bit(obj: Any, draw: int) -> Any:
+    """A copy of ``obj`` with one bit flipped, chosen by ``draw``.
+
+    The caller keeps the pristine original; the copy models what the
+    wire delivered.  ``draw`` is a deterministic 64-bit value from the
+    injector, so the same seed flips the same bit."""
+    if isinstance(obj, (bytes, bytearray)):
+        buf = bytearray(obj)
+        bit = draw % (len(buf) * 8)
+        buf[bit >> 3] ^= 1 << (bit & 7)
+        return bytes(buf)
+    if isinstance(obj, np.ndarray):
+        out = np.ascontiguousarray(obj).copy()
+        view = out.view(np.uint8).reshape(-1)
+        bit = draw % (view.size * 8)
+        view[bit >> 3] ^= 1 << (bit & 7)
+        return out
+    raise TypeError(f"cannot flip bits in payload of type {type(obj).__name__}")

@@ -52,6 +52,12 @@ class AdioFile:
     def _count(self, method: str) -> None:
         self.method_counts[method] = self.method_counts.get(method, 0) + 1
 
+    def journaled(self):
+        """Route this file's I/O through its open shadow transaction
+        (see :meth:`repro.fs.client.LocalFile.journaled`) for the
+        duration of the context."""
+        return self.local.journaled()
+
     # -- contiguous ---------------------------------------------------------
     def write_contig(self, offset: int, data: np.ndarray) -> None:
         self._count("contig")

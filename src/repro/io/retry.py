@@ -42,6 +42,11 @@ class RetryPolicy:
     retries: int = DEFAULT_FAULT_CONFIG.io_retries
     backoff: float = DEFAULT_FAULT_CONFIG.retry_backoff
     backoff_factor: float = DEFAULT_FAULT_CONFIG.retry_backoff_factor
+    #: Ceiling on one backoff sleep: exponential growth is the right
+    #: shape for the first few attempts, but with a deep retry budget
+    #: the uncapped tail (factor^n) dominates total recovery time for
+    #: no extra politeness — real clients cap it.
+    backoff_max: float = DEFAULT_FAULT_CONFIG.retry_backoff_max
 
     @classmethod
     def from_config(cls, config: FaultConfig) -> "RetryPolicy":
@@ -49,6 +54,7 @@ class RetryPolicy:
             retries=config.io_retries,
             backoff=config.retry_backoff,
             backoff_factor=config.retry_backoff_factor,
+            backoff_max=config.retry_backoff_max,
         )
 
     def run(self, ctx: Any, op: Callable[[], T]) -> T:
@@ -67,7 +73,10 @@ class RetryPolicy:
                     if injector is not None:
                         injector.note_retry_exhausted()
                     raise RetryExhausted(exc.site, attempt) from exc
-                delay = self.backoff * self.backoff_factor ** (attempt - 1)
+                delay = min(
+                    self.backoff * self.backoff_factor ** (attempt - 1),
+                    self.backoff_max,
+                )
                 if injector is not None:
                     injector.note_retry(delay)
                 ctx.advance(delay)

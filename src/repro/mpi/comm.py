@@ -19,8 +19,16 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
-from repro.errors import MPIError
+from repro.errors import MPIError, TransientNetworkError
 from repro.faults.plan import FAULTS_KEY
+from repro.integrity import (
+    INTEGRITY_KEY,
+    IntegrityConfig,
+    corruptible,
+    flip_payload_bit,
+    payload_crc,
+)
+from repro.io.retry import RetryPolicy
 from repro.mpi.collectives import CollectiveMixin
 from repro.mpi.network import Network, payload_nbytes
 from repro.mpi.request import Request
@@ -40,15 +48,32 @@ COLLECTIVE_TAG_BASE = 1 << 20
 
 
 class _Message:
-    __slots__ = ("src", "dst", "tag", "payload", "t_avail", "seq")
+    __slots__ = ("src", "dst", "tag", "payload", "t_avail", "seq", "crc", "pristine")
 
-    def __init__(self, src: int, dst: int, tag: int, payload: Any, t_avail: float, seq: int):
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: Any,
+        t_avail: float,
+        seq: int,
+        crc: Optional[int] = None,
+        pristine: Any = None,
+    ):
         self.src = src
         self.dst = dst
         self.tag = tag
         self.payload = payload
         self.t_avail = t_avail
         self.seq = seq
+        #: Frame checksum computed at send time (``integrity_network``
+        #: armed and the payload is a data frame), else ``None``.
+        self.crc = crc
+        #: The uncorrupted payload copy when a bit flip was injected in
+        #: flight — the sender's send buffer, which a re-request
+        #: retransmits from.  ``None`` for clean messages.
+        self.pristine = pristine
 
 
 class _CommState:
@@ -119,7 +144,26 @@ class Communicator(CollectiveMixin):
 
     def _enqueue(self, dest: int, tag: int, obj: Any, t_avail: float) -> None:
         state = self._state
-        msg = _Message(self.rank, dest, tag, _copy_payload(obj), t_avail, state.next_seq)
+        payload = _copy_payload(obj)
+        crc = None
+        pristine = None
+        if corruptible(payload):
+            # Data frame (raw bytes on the wire).  Control messages are
+            # tuples/scalars and are out of the corruption model — the
+            # protection boundary and the threat model coincide.
+            cfg = self.ctx.shared.get(INTEGRITY_KEY)
+            if cfg is not None and cfg.network:
+                crc = payload_crc(payload)
+                self.ctx.charge(payload_nbytes(payload) * self.cost.crc_byte_time)
+            faults = self.net.faults
+            if faults is not None:
+                draw = faults.corrupt_net(self.rank, dest, self.ctx.now)
+                if draw is not None:
+                    pristine = payload  # the sender's intact buffer
+                    payload = flip_payload_bit(payload, draw)
+        msg = _Message(
+            self.rank, dest, tag, payload, t_avail, state.next_seq, crc, pristine
+        )
         state.next_seq += 1
         state.queues[dest].append(msg)
 
@@ -161,8 +205,61 @@ class Communicator(CollectiveMixin):
     def _complete_recv(self, msg: _Message) -> Any:
         self._state.queues[self.rank].remove(msg)
         self.ctx.charge_to(msg.t_avail)
-        self.ctx.charge(self.net.recv_overhead() * self._overhead_factor(msg.tag))
-        return msg.payload
+        factor = self._overhead_factor(msg.tag)
+        self.ctx.charge(self.net.recv_overhead() * factor)
+        if msg.crc is None:
+            # Unprotected: a corrupted frame is delivered as-is — the
+            # silent wrong answer the integrity_network hint exists to
+            # prevent.
+            return msg.payload
+        nbytes = payload_nbytes(msg.payload)
+        self.ctx.charge(nbytes * self.cost.crc_byte_time)
+        if payload_crc(msg.payload) == msg.crc:
+            return msg.payload
+        return self._redeliver(msg, factor, nbytes)
+
+    def _redeliver(self, msg: _Message, factor: float, nbytes: int) -> Any:
+        """Bounded re-request of a frame whose checksum failed.
+
+        Corruption on the wire is transient — the sender's buffered
+        copy is intact — so the receiver NACKs and the sender
+        retransmits, under the same retry/backoff machinery the I/O
+        stack uses (each re-request can itself be corrupted and is
+        redrawn from the fault plan).  Exhaustion surfaces as
+        :class:`~repro.errors.RetryExhausted` from site ``net-frame``."""
+        faults = self.net.faults
+        if faults is not None:
+            faults.note_net_corruption_detected()
+        good = msg.pristine if msg.pristine is not None else msg.payload
+
+        def attempt() -> Any:
+            # One NACK to the sender plus a fresh transit of the frame;
+            # advance (not charge) so the wait is scheduler-visible.
+            self.ctx.advance(
+                self.net.send_overhead() * factor
+                + self.net.delivery_delay(nbytes, msg.src, self.rank, self.ctx.now, factor)
+            )
+            payload = good
+            if faults is not None:
+                draw = faults.corrupt_net(msg.src, self.rank, self.ctx.now)
+                if draw is not None:
+                    payload = flip_payload_bit(good, draw)
+            self.ctx.charge(nbytes * self.cost.crc_byte_time)
+            if payload_crc(payload) != msg.crc:
+                if faults is not None:
+                    faults.note_net_corruption_detected()
+                raise TransientNetworkError("net-frame", self.rank)
+            if faults is not None:
+                faults.note_net_redelivery()
+            return payload
+
+        cfg = self.ctx.shared.get(INTEGRITY_KEY) or IntegrityConfig(network=True)
+        policy = RetryPolicy(
+            retries=cfg.net_retries,
+            backoff=cfg.net_backoff,
+            backoff_max=cfg.net_backoff_max,
+        )
+        return policy.run(self.ctx, attempt)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload."""

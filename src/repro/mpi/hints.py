@@ -91,7 +91,14 @@ _SPEC: Dict[str, tuple] = {
     # is failed over to survivors (off = raise AggregatorLost).
     "io_retries": (_non_negative_int, DEFAULT_FAULT_CONFIG.io_retries),
     "io_retry_backoff": (_non_negative_float, DEFAULT_FAULT_CONFIG.retry_backoff),
+    # Ceiling on one exponential-backoff sleep (virtual seconds).
+    "retry_backoff_max": (_non_negative_float, DEFAULT_FAULT_CONFIG.retry_backoff_max),
     "failover": (_boolean, DEFAULT_FAULT_CONFIG.failover),
+    # End-to-end integrity (docs/integrity.md).  Off by default: the
+    # fault-free fast path pays nothing for the machinery.
+    "integrity_pages": (_boolean, False),     # CRC32 sidecar per store page
+    "integrity_network": (_boolean, False),   # frame checksums + re-request
+    "journal_writes": (_boolean, False),      # crash-consistent collective writes
 }
 
 

@@ -97,8 +97,10 @@ class TestPlanDSL:
             .net_drop(rate=0.1, timeout=2e-3)
             .lock_storm(rate=0.5, extra_rpcs=4)
             .agg_crash(rank=1, round_index=2)
+            .page_bitflip(rate=0.3)
+            .net_bitflip(rate=0.05, ranks=[2])
         )
-        assert len(plan.events) == 7
+        assert len(plan.events) == 9
         assert sorted({e.kind for e in plan.events}) == sorted(EVENT_KINDS)
 
     def test_bad_rate_rejected(self):
@@ -401,7 +403,7 @@ class TestCLIFaults:
         assert cli.main(["chaos", "--faults", "straggler:1"]) == 0
         out = capsys.readouterr().out
         assert "chaos sweep" in out
-        assert "verified byte-for-byte" in out
+        assert "no silent corruption" in out
 
     def test_faults_flag_requires_spec(self, capsys):
         import repro.__main__ as cli
