@@ -35,7 +35,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
-from repro.config import CostModel, DEFAULT_COST_MODEL, FaultConfig
+from repro.config import CostModel, DEFAULT_COST_MODEL, FaultConfig, LivenessConfig
 from repro.core import CollectiveFile, CollStats, FileView
 from repro.datatypes import (
     BYTE,
@@ -60,13 +60,16 @@ from repro.errors import (
     AggregatorLost,
     CollectiveIOError,
     DatatypeError,
+    DeadlineExceeded,
     FileSystemError,
     HintError,
     IntegrityError,
+    LockDeadlock,
     MPIError,
     ReproError,
     RetryExhausted,
     SimDeadlock,
+    SimHang,
     SimulationError,
     TransientIOError,
     TransientNetworkError,
@@ -75,8 +78,9 @@ from repro.faults import FaultInjector, FaultPlan, FaultStats, load_scenario
 from repro.fs import FSClient, SimFileSystem
 from repro.integrity import FsckReport, IntegrityConfig, fsck, scrub_store
 from repro.io import AdioFile, RetryPolicy
+from repro.liveness import LivenessState, find_liveness, install_liveness
 from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, Hints
-from repro.sim import RankContext, Simulator, Tracer
+from repro.sim import RankContext, Simulator, Tracer, Watchdog
 
 __version__ = "1.0.0"
 
@@ -86,6 +90,7 @@ __all__ = [
     "Simulator",
     "RankContext",
     "Tracer",
+    "Watchdog",
     # config
     "CostModel",
     "DEFAULT_COST_MODEL",
@@ -127,6 +132,11 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "load_scenario",
+    # liveness
+    "LivenessConfig",
+    "LivenessState",
+    "install_liveness",
+    "find_liveness",
     # integrity
     "IntegrityConfig",
     "FsckReport",
@@ -136,6 +146,7 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "SimDeadlock",
+    "SimHang",
     "MPIError",
     "DatatypeError",
     "FileSystemError",
@@ -146,4 +157,6 @@ __all__ = [
     "IntegrityError",
     "RetryExhausted",
     "AggregatorLost",
+    "DeadlineExceeded",
+    "LockDeadlock",
 ]

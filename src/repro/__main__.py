@@ -21,6 +21,12 @@ frame checksums, journaled collective writes) in the command's
 workloads; with corruption scenarios (``--faults bit-flip:SEED``) the
 chaos sweep then requires every injected flip to be *detected* — a
 wrong byte nobody flagged fails the run.
+
+``--liveness`` (alias ``--deadline``) arms the liveness hints (a
+per-collective deadline plus suspect-driven failover) in the command's
+workloads; with stall scenarios (``--faults stall:SEED``,
+``--faults gray:SEED``) every run must terminate within the deadline
+budget — verified data or a typed error, never a hang.
 """
 
 from __future__ import annotations
@@ -31,7 +37,11 @@ from typing import Optional
 import numpy as np
 
 
-def selfcheck(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
+def selfcheck(
+    fault_spec: Optional[str] = None,
+    integrity: bool = False,
+    liveness: bool = False,
+) -> int:
     from repro import (
         BYTE,
         CollectiveFile,
@@ -58,6 +68,12 @@ def selfcheck(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
                     integrity_network=True,
                     # The journal rides the new implementation only.
                     journal_writes=(impl == "new"),
+                )
+            if liveness:
+                # Suspect-driven failover rides the new implementation
+                # only; the deadline guards both.
+                hints = hints.replace(
+                    coll_deadline=0.5, liveness=(impl == "new")
                 )
 
             def main(ctx):
@@ -99,10 +115,14 @@ def _print_fault_summary(spec, plan, stats) -> None:
         print(f"  {name:<26} {value}")
 
 
-def chaos(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
+def chaos(
+    fault_spec: Optional[str] = None,
+    integrity: bool = False,
+    liveness: bool = False,
+) -> int:
     from repro.bench import ChaosHarness
 
-    harness = ChaosHarness(fault_spec or "chaos", integrity=integrity)
+    harness = ChaosHarness(fault_spec or "chaos", integrity=integrity, liveness=liveness)
     report = harness.sweep()
     print(report.format())
     if not report.all_verified:
@@ -112,7 +132,11 @@ def chaos(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
     return 0
 
 
-def fsck(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
+def fsck(
+    fault_spec: Optional[str] = None,
+    integrity: bool = False,
+    liveness: bool = False,
+) -> int:
     """Scrub/repair demonstration on a deliberately corrupted store."""
     from repro import (
         BYTE,
@@ -171,7 +195,11 @@ def fsck(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
     return 0
 
 
-def demo(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
+def demo(
+    fault_spec: Optional[str] = None,
+    integrity: bool = False,
+    liveness: bool = False,
+) -> int:
     import runpy
     from pathlib import Path
 
@@ -183,7 +211,11 @@ def demo(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
     return 1
 
 
-def info(fault_spec: Optional[str] = None, integrity: bool = False) -> int:
+def info(
+    fault_spec: Optional[str] = None,
+    integrity: bool = False,
+    liveness: bool = False,
+) -> int:
     import dataclasses
 
     from repro import DEFAULT_COST_MODEL, __version__
@@ -216,6 +248,11 @@ def main(argv: list[str]) -> int:
     integrity = "--integrity" in args
     if integrity:
         args.remove("--integrity")
+    liveness = False
+    for flag in ("--liveness", "--deadline"):
+        if flag in args:
+            liveness = True
+            args.remove(flag)
     cmd = args[0] if args else "selfcheck"
     commands = {
         "selfcheck": selfcheck,
@@ -227,10 +264,10 @@ def main(argv: list[str]) -> int:
     if cmd not in commands:
         print(
             f"usage: python -m repro [{'|'.join(commands)}] "
-            "[--faults NAME[:SEED]] [--integrity]"
+            "[--faults NAME[:SEED]] [--integrity] [--liveness]"
         )
         return 2
-    return commands[cmd](fault_spec, integrity)
+    return commands[cmd](fault_spec, integrity, liveness)
 
 
 if __name__ == "__main__":

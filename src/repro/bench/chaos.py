@@ -17,6 +17,15 @@ repair it), and a run killed by a typed
 re-requests) also counts as detected.  A mismatch nobody flagged is a
 silent wrong answer: the one outcome integrity must make impossible.
 
+Stall scenarios refine "terminates" into *bounded*: with the liveness
+hints armed (``liveness=True``), every run must end within the
+collective deadline budget — either completing with verified bytes
+(suspects failed over) or dying with a typed liveness error
+(:class:`~repro.errors.DeadlineExceeded`,
+:class:`~repro.errors.LockDeadlock`,
+:class:`~repro.errors.AggregatorLost`).  A hang is the one outcome the
+liveness layer must make impossible.
+
 Each point rebuilds the whole simulated cluster from scratch (fresh
 file system, fresh injector), so points are independent and the whole
 sweep is deterministic for a given (scenario, seed).
@@ -34,7 +43,14 @@ from repro.core import CollectiveFile
 from repro.datatypes import BYTE, contiguous, resized
 from repro.datatypes.segments import FlatCursor
 from repro.datatypes.packing import scatter_segments
-from repro.errors import IntegrityError, ReproError, RetryExhausted
+from repro.errors import (
+    AggregatorLost,
+    DeadlineExceeded,
+    IntegrityError,
+    LockDeadlock,
+    ReproError,
+    RetryExhausted,
+)
 from repro.faults import FaultPlan, FaultStats, load_scenario
 from repro.fs import SimFileSystem
 from repro.mpi import Communicator, Hints
@@ -45,19 +61,34 @@ __all__ = ["ChaosPoint", "ChaosReport", "ChaosHarness"]
 _PATH = "/chaos"
 
 
+def _chain(exc: Optional[BaseException]):
+    """Walk an exception's cause/context chain (cycle-safe)."""
+    seen = set()
+    while exc is not None and id(exc) not in seen:
+        seen.add(id(exc))
+        yield exc
+        exc = exc.__cause__ or exc.__context__
+
+
 def _detection_in_chain(exc: Optional[BaseException]) -> bool:
     """True when a failure chain shows corruption was *caught*: a typed
     IntegrityError anywhere, or frame re-requests exhausting at the
     ``net-frame`` site."""
-    seen = set()
-    while exc is not None and id(exc) not in seen:
-        seen.add(id(exc))
-        if isinstance(exc, IntegrityError):
+    for e in _chain(exc):
+        if isinstance(e, IntegrityError):
             return True
-        if isinstance(exc, RetryExhausted) and exc.site == "net-frame":
+        if isinstance(e, RetryExhausted) and e.site == "net-frame":
             return True
-        exc = exc.__cause__ or exc.__context__
     return False
+
+
+def _liveness_in_chain(exc: Optional[BaseException]) -> bool:
+    """True when a failure chain ends in a typed liveness error — the
+    loud, bounded alternative to a hang."""
+    return any(
+        isinstance(e, (DeadlineExceeded, LockDeadlock, AggregatorLost))
+        for e in _chain(exc)
+    )
 
 
 @dataclass
@@ -125,6 +156,8 @@ class ChaosHarness:
         hints: Optional[Hints] = None,
         cost: CostModel = DEFAULT_COST_MODEL,
         integrity: bool = False,
+        liveness: bool = False,
+        deadline: float = 0.25,
     ) -> None:
         if isinstance(scenario, FaultPlan):
             self.plan = scenario
@@ -146,6 +179,10 @@ class ChaosHarness:
             self.hints = self.hints.replace(
                 integrity_pages=True, integrity_network=True
             )
+        self.liveness = liveness
+        self.deadline = deadline
+        if liveness:
+            self.hints = self.hints.replace(coll_deadline=deadline, liveness=True)
         self.cost = cost
         self.total_bytes = nprocs * region * count
 
@@ -195,6 +232,12 @@ class ChaosHarness:
         try:
             times = sim.run(main)
         except ReproError as exc:
+            if self.liveness and _liveness_in_chain(exc):
+                # Killed loudly by a typed liveness error — the bounded
+                # (and reported) alternative to a hang.  The raising
+                # rank's clock was at most one deadline past the call's
+                # start, so boundedness holds by construction.
+                return 0.0, True, True, stats
             if not _detection_in_chain(exc):
                 raise
             # Killed loudly by detected corruption — the opposite of a

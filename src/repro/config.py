@@ -27,7 +27,14 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL", "FaultConfig", "DEFAULT_FAULT_CONFIG"]
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "FaultConfig",
+    "DEFAULT_FAULT_CONFIG",
+    "LivenessConfig",
+    "DEFAULT_LIVENESS_CONFIG",
+]
 
 
 @dataclass(frozen=True)
@@ -164,8 +171,48 @@ class FaultConfig:
             )
 
 
+@dataclass(frozen=True)
+class LivenessConfig:
+    """Liveness knobs: deadlines, suspicion, and lock leases.
+
+    Installed into the simulation by the ``coll_deadline`` / ``liveness``
+    hints (see :mod:`repro.liveness`); everything here is measured in
+    *virtual* seconds except ``join_timeout``, which bounds real
+    wall-clock waiting in :class:`repro.sim.Simulator`.
+    """
+
+    #: Per-collective-call virtual-time budget (0 = no deadline).
+    deadline: float = 0.0
+    #: Lease on a pinned extent lock: a lock wedged by a stalled holder
+    #: is reclaimed after this many virtual seconds.
+    lock_lease: float = 0.02
+    #: Watchdog heartbeat: a rank making no progress marks for this many
+    #: virtual seconds is declared *suspect*.
+    watchdog_heartbeat: float = 0.05
+    #: Wall-clock seconds the engine waits for rank threads to finish
+    #: before aborting with :class:`repro.errors.SimHang`.
+    join_timeout: float = 600.0
+
+    def replace(self, **kwargs: object) -> "LivenessConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any parameter is nonsensical."""
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(
+                    f"LivenessConfig.{field.name} must be >= 0, got {value}"
+                )
+        if self.join_timeout <= 0:
+            raise ValueError("join_timeout must be positive")
+
+
 #: Shared default instances; treat as immutable.
 DEFAULT_COST_MODEL = CostModel()
 DEFAULT_COST_MODEL.validate()
 DEFAULT_FAULT_CONFIG = FaultConfig()
 DEFAULT_FAULT_CONFIG.validate()
+DEFAULT_LIVENESS_CONFIG = LivenessConfig()
+DEFAULT_LIVENESS_CONFIG.validate()

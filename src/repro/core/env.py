@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.config import CostModel
 from repro.core.file_view import FileView
@@ -43,6 +43,16 @@ class CollStats:
     flush_methods: Dict[str, int] = field(default_factory=dict)
     #: cache pages flushed by realm-coherence syncs (non-PFR epilogues).
     coherence_flush_pages: int = 0
+    #: virtual seconds this rank spent servicing its aggregator role
+    #: (routing + flushing), cumulative across collective calls.
+    agg_service_seconds: float = 0.0
+    #: the same, for the most recent collective call only — the
+    #: balanced strategy's straggler-aware feedback signal.
+    last_agg_service_seconds: float = 0.0
+    #: per-aggregator assigned realm bytes of the most recent call
+    #: (pre-clip; identical on every rank).  Lets tests observe
+    #: balanced-strategy boundary movement between calls.
+    last_realm_bytes: List[int] = field(default_factory=list)
 
     def note_flush(self, method: str) -> None:
         self.flush_methods[method] = self.flush_methods.get(method, 0) + 1
@@ -50,6 +60,7 @@ class CollStats:
     def snapshot(self) -> Dict[str, object]:
         d = self.__dict__.copy()
         d["flush_methods"] = dict(self.flush_methods)
+        d["last_realm_bytes"] = list(self.last_realm_bytes)
         return d
 
 

@@ -45,6 +45,7 @@ def exchange_data(
     send_batches: Sequence[Optional[SegmentBatch]],
     recvbuf: Optional[np.ndarray],
     recv_batches: Sequence[Optional[SegmentBatch]],
+    skip: frozenset = frozenset(),
 ) -> int:
     """Run one exchange round; returns bytes this rank sent.
 
@@ -52,12 +53,18 @@ def exchange_data(
     ``p``; ``recv_batches[p]`` addresses where peer ``p``'s bytes land
     in ``recvbuf``.  Batches must agree pairwise on byte counts (their
     data_offsets are order keys; both sides order by the client's
-    monotonic file order).  Every rank must call this, every round."""
+    monotonic file order).  Every rank must call this, every round.
+
+    ``skip`` names suspect ranks excluded from the exchange (their
+    batches must already be None/empty).  The alltoallw backend needs
+    the set explicitly to keep its pairwise rounds matched; the
+    nonblocking backend only posts non-empty batches, so empty batches
+    exclude a suspect automatically."""
     if mode not in EXCHANGE_MODES:
         raise CollectiveIOError(f"unknown exchange mode {mode!r}; options {EXCHANGE_MODES}")
     sent = sum(b.total_bytes for b in send_batches if b is not None)
     if mode == "alltoallw":
-        comm.alltoallw(sendbuf, list(send_batches), recvbuf, list(recv_batches))
+        comm.alltoallw(sendbuf, list(send_batches), recvbuf, list(recv_batches), skip=skip)
         return sent
     _nonblocking(comm, cost, sendbuf, send_batches, recvbuf, recv_batches)
     return sent

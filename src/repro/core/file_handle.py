@@ -38,6 +38,8 @@ from repro.fs.client import FSClient
 from repro.fs.filesystem import SimFileSystem
 from repro.integrity import IntegrityConfig, install_integrity
 from repro.io.adio import AdioFile
+from repro.liveness import LivenessState, install_liveness
+from repro.config import LivenessConfig
 from repro.io.retry import RetryPolicy
 from repro.mpi.comm import Communicator
 from repro.mpi.hints import Hints
@@ -94,6 +96,17 @@ class CollectiveFile:
             )
         if self.hints["integrity_pages"]:
             fs.enable_integrity(path)
+        # Liveness (docs/faults.md): a per-collective deadline and/or
+        # suspect-driven failover.  Same dynamic-discovery pattern as
+        # integrity — off by default, zero fast-path cost.
+        if self.hints["coll_deadline"] > 0.0 or self.hints["liveness"]:
+            install_liveness(
+                ctx.shared,
+                LivenessState(
+                    LivenessConfig(deadline=self.hints["coll_deadline"]),
+                    failover=self.hints["liveness"],
+                ),
+            )
         self.view = FileView(0, BYTE, BYTE)
         self.stats = CollStats()
         self.pfr = PFRState()

@@ -272,7 +272,15 @@ class RealmStrategy:
         aar_hi: int,
         naggs: int,
         histogram: Optional[np.ndarray] = None,
+        weights: Optional[Sequence[float]] = None,
     ) -> List[FileRealm]:
+        """One realm per aggregator covering [aar_lo, aar_hi).
+
+        ``weights`` (one non-negative value per aggregator) scales each
+        aggregator's *share* of the data — the straggler-aware
+        rebalancing feed: a slow aggregator gets a small weight and
+        therefore a small realm.  Strategies that ignore load simply
+        ignore it."""
         raise NotImplementedError
 
 
@@ -281,7 +289,7 @@ class EvenPartition(RealmStrategy):
 
     name = "even"
 
-    def assign(self, aar_lo, aar_hi, naggs, histogram=None):
+    def assign(self, aar_lo, aar_hi, naggs, histogram=None, weights=None):
         span = max(aar_hi - aar_lo, 0)
         chunk = -(-span // naggs) if span else 0
         bounds = [min(aar_lo + i * chunk, aar_hi) for i in range(naggs)] + [aar_hi]
@@ -302,7 +310,7 @@ class AlignedPartition(RealmStrategy):
             raise CollectiveIOError(f"alignment must be positive, got {alignment}")
         self.alignment = alignment
 
-    def assign(self, aar_lo, aar_hi, naggs, histogram=None):
+    def assign(self, aar_lo, aar_hi, naggs, histogram=None, weights=None):
         span = max(aar_hi - aar_lo, 0)
         chunk = -(-span // naggs) if span else 0
         a = self.alignment
@@ -321,7 +329,9 @@ class BalancedPartition(RealmStrategy):
     The histogram is bytes-accessed per equal-width bin across the
     aggregate access region (the driver computes and allreduces it).
     This is the aggregator load balancing the paper names as the
-    obvious datatype-realm payoff."""
+    obvious datatype-realm payoff.  ``weights`` tilts the shares: with
+    per-aggregator service-time feedback (straggler-aware rebalancing)
+    a slow aggregator's weight shrinks and its boundary moves in."""
 
     name = "balanced"
     needs_histogram = True
@@ -331,16 +341,46 @@ class BalancedPartition(RealmStrategy):
             raise CollectiveIOError("alignment must be non-negative")
         self.alignment = alignment
 
-    def assign(self, aar_lo, aar_hi, naggs, histogram=None):
-        if histogram is None or histogram.sum() == 0:
-            return EvenPartition().assign(aar_lo, aar_hi, naggs)
+    @staticmethod
+    def _shares(naggs: int, weights: Optional[Sequence[float]]) -> List[float]:
+        """Per-aggregator fraction of the data, normalized to sum 1."""
+        if weights is None:
+            return [1.0 / naggs] * naggs
+        w = [max(float(x), 0.0) for x in weights]
+        if len(w) != naggs:
+            raise CollectiveIOError(
+                f"balanced weights need {naggs} entries, got {len(w)}"
+            )
+        total = sum(w)
+        if total <= 0:
+            return [1.0 / naggs] * naggs
+        return [x / total for x in w]
+
+    def assign(self, aar_lo, aar_hi, naggs, histogram=None, weights=None):
+        shares = self._shares(naggs, weights)
         span = aar_hi - aar_lo
+        if histogram is None or histogram.sum() == 0:
+            if weights is None:
+                return EvenPartition().assign(aar_lo, aar_hi, naggs)
+            # No histogram yet: split the file span itself by weight.
+            bounds = [aar_lo]
+            acc = 0.0
+            for i in range(1, naggs):
+                acc += shares[i - 1]
+                raw = aar_lo + int(round(span * acc))
+                if self.alignment:
+                    raw = (raw // self.alignment) * self.alignment
+                bounds.append(min(max(raw, bounds[-1]), aar_hi))
+            bounds.append(aar_hi)
+            return make_contiguous_realms(bounds)
         nbins = histogram.size
         cum = np.concatenate([[0], np.cumsum(histogram)])
         total = cum[-1]
         bounds = [aar_lo]
+        acc = 0.0
         for i in range(1, naggs):
-            target = total * i / naggs
+            acc += shares[i - 1]
+            target = total * acc
             b = int(np.searchsorted(cum, target, side="left"))
             raw = aar_lo + min(b, nbins) * span // nbins
             if self.alignment:

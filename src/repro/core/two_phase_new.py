@@ -43,11 +43,13 @@ from repro.core.plan import (
 )
 from repro.core.realms import FileRealm, RealmDomain, resolve_strategy
 from repro.datatypes.flatten import FlatType
+from repro.datatypes.packing import gather_segments, scatter_segments
 from repro.datatypes.segments import FlatCursor, SegmentBatch
 from repro.datatypes.serialize import decode_flat, encode_flat
 from repro.errors import AggregatorLost, CollectiveIOError
 from repro.faults.plan import FAULTS_KEY
 from repro.io.selection import choose_method
+from repro.liveness import LIVENESS_KEY
 
 __all__ = ["write_all_new", "read_all_new"]
 
@@ -91,6 +93,18 @@ class _Plan:
         )
         self._boundary = 0
         self._dead: set[int] = set()
+        # Liveness state (suspect-driven failover): ranks stalled by a
+        # ``rank_stall`` fault become *suspect* and are completed
+        # around; ``skip`` feeds the exchange layer's exclusion.
+        self._liveness = ctx.shared.get(LIVENESS_KEY)
+        self._suspects: set[int] = set()
+        self.skip: frozenset = frozenset()
+        self.i_am_suspect = False
+        self._suspect_tails: Optional[List[RealmDomain]] = None
+        #: Virtual seconds this rank spent servicing its aggregator
+        #: role this call (routing + flushing); feeds the balanced
+        #: strategy's straggler-aware weights on the *next* call.
+        self.service_seconds = 0.0
         if self._injector is not None:
             # Aggregators that died in *earlier* collective calls never
             # regain the role: drop them before realm assignment so
@@ -109,6 +123,11 @@ class _Plan:
         self.domains: List[RealmDomain] = [
             r.domain(self.aar_lo, self.aar_hi) for r in self.realms
         ]
+        # Assigned (pre-clip) per-aggregator realm bytes: what the
+        # strategy decided, before request bounds shrink the iteration
+        # space.  Tests use this to see balanced-strategy boundary
+        # movement between calls.
+        env.stats.last_realm_bytes = [int(d.total_bytes) for d in self.domains]
         cb = hints["cb_buffer_size"]
         self.cb = cb
         # The conditional-sieving metric: the largest filetype extent in
@@ -154,6 +173,7 @@ class _Plan:
             )
         strategy = resolve_strategy(hints)
         histogram = None
+        weights = None
         if strategy.needs_histogram:
             local = access_histogram(
                 (lambda: env.view.cursor(self.data_hi, self.data_lo))
@@ -163,7 +183,19 @@ class _Plan:
                 self.aar_hi,
             )
             histogram = env.comm.allreduce(local, op=lambda a, b: a + b)
-        return strategy.assign(self.aar_lo, self.aar_hi, naggs, histogram=histogram)
+            # Straggler-aware rebalancing: feed each aggregator's
+            # observed service time from the *previous* collective call
+            # back as an inverse weight, so a slow aggregator's realm
+            # shrinks.  One allgather, paid only on the balanced path.
+            times = env.comm.allgather(env.stats.last_agg_service_seconds)
+            per_agg = [float(times[a]) for a in self.aggs]
+            if any(t > 0.0 for t in per_agg):
+                known = [1.0 / t for t in per_agg if t > 0.0]
+                fresh = sum(known) / len(known)  # no history = average share
+                weights = [1.0 / t if t > 0.0 else fresh for t in per_agg]
+        return strategy.assign(
+            self.aar_lo, self.aar_hi, naggs, histogram=histogram, weights=weights
+        )
 
     # -- metadata exchange -------------------------------------------------------
     def _exchange_access_descriptions(self) -> None:
@@ -328,60 +360,117 @@ class _Plan:
 
     # -- aggregator failover ------------------------------------------------
     def maybe_failover(self, r: int) -> bool:
-        """Phase-boundary crash check, called before each round.
+        """Phase-boundary fault check, called before each round.
 
         ``r`` is the next round of the current epoch (== rounds
         completed since the last rebalance, so ``r * cb`` linear bytes
         of every domain are already flushed).  Detection needs no
-        communication: the dead set is a pure function of the
-        per-rank collective-call ordinal and a monotonic boundary
-        counter, both of which every rank tracks identically.
+        communication: both fault classes evaluated here are pure
+        functions of the per-rank collective-call ordinal and a
+        monotonic boundary counter, which every rank tracks
+        identically:
+
+        * ``agg_crash`` — permanent loss of an aggregator role;
+        * ``rank_stall`` — a transient stall.  The stall itself always
+          fires (the fault model does not read the hints); with the
+          ``liveness`` hint armed, the stalled rank is additionally
+          declared *suspect* and completed around — its aggregator
+          realm merges into survivors, its already-exchanged access
+          description is dropped from the aggregation, and its own
+          remaining access becomes independent tail I/O
+          (:meth:`run_suspect_tail`).
 
         Returns True when realms were rebalanced — the caller must
         restart its round counter at zero (``nrounds`` has been
-        recomputed for the new domains)."""
+        recomputed for the new domains), or, when ``i_am_suspect``,
+        leave the round loop and run the tail."""
         inj = self._injector
-        if inj is None or not inj.enabled("agg_crash"):
+        if inj is None:
             return False
-        boundary = self._boundary
-        self._boundary += 1
-        dead = inj.dead_aggregators(self._call_index, boundary)
-        newly = [a for a in self.aggs if a in dead and a not in self._dead]
-        if not newly:
+        crash_on = inj.enabled("agg_crash")
+        stall_on = inj.enabled("rank_stall")
+        if not crash_on and not stall_on:
             return False
         env = self.env
-        if not env.hints["failover"]:
-            raise AggregatorLost(newly[0])
-        survivors = [ai for ai, a in enumerate(self.aggs) if a not in dead]
+        rank = env.comm.rank
+        liv = self._liveness
+        boundary = self._boundary
+        self._boundary += 1
+
+        stalls = inj.stalled_ranks(self._call_index, boundary) if stall_on else {}
+        if rank in stalls:
+            delay = stalls[rank]
+            with env.ctx.trace("fault:stall", round=r):
+                env.ctx.advance(delay)
+            inj.note_stall(delay)
+            if liv is not None:
+                # Renew my own budget: the deadline guards against
+                # waiting on *others*, not against having been slow.
+                liv.begin_call(rank, env.ctx.now)
+
+        dead = (
+            inj.dead_aggregators(self._call_index, boundary)
+            if crash_on
+            else frozenset()
+        )
+        newly_dead = [a for a in self.aggs if a in dead and a not in self._dead]
+        new_suspects: List[int] = []
+        if stalls and liv is not None and liv.failover:
+            new_suspects = sorted(
+                s for s in stalls if s not in self._suspects and s not in dead
+            )
+        if not newly_dead and not new_suspects:
+            return False
+        if newly_dead and not env.hints["failover"]:
+            raise AggregatorLost(newly_dead[0])
+        lost_ranks = set(newly_dead) | set(new_suspects)
+        gone = self._dead | set(dead) | self._suspects | lost_ranks
+        survivors = [ai for ai, a in enumerate(self.aggs) if a not in gone]
         if not survivors:
-            raise AggregatorLost(newly[0])
+            raise AggregatorLost(min(lost_ranks))
         consumed = r * self.cb
-        # Everyone's remaining work is its linear tail; a dead
+        # Everyone's remaining work is its linear tail; a lost
         # aggregator's tail is carved evenly across the survivors.
         # Every aggregator already holds every client's filetype cursor
         # (the metadata exchange is all-to-all-aggregators), so
         # adopting file ranges needs no new communication.
         tails = [d.slice_linear(consumed, d.total_bytes) for d in self.domains]
+        if rank in new_suspects:
+            # The union of these tails is exactly the un-flushed file
+            # region; my remaining access inside it is mine to carry.
+            self.i_am_suspect = True
+            self._suspect_tails = list(tails)
         shares: List[List[RealmDomain]] = [[] for _ in self.aggs]
         for ai in survivors:
             shares[ai].append(tails[ai])
         nsurv = len(survivors)
+        dead_set = set(newly_dead)
         for ai, a in enumerate(self.aggs):
-            if a not in newly:
+            if a not in lost_ranks:
                 continue
             tail = tails[ai]
             total = tail.total_bytes
-            if env.comm.rank == 0:
+            if env.comm.rank == 0 and a in dead_set:
                 inj.note_failover(a, total)
             chunk = -(-total // nsurv) if total else 0
             for k, si in enumerate(survivors):
                 shares[si].append(tail.slice_linear(k * chunk, (k + 1) * chunk))
         empty = RealmDomain(_EMPTY64, _EMPTY64)
+        surv = set(survivors)
         self.domains = [
-            RealmDomain.merge(shares[ai]) if ai in set(survivors) else empty
+            RealmDomain.merge(shares[ai]) if ai in surv else empty
             for ai in range(len(self.aggs))
         ]
-        self._dead.update(newly)
+        self._dead.update(newly_dead)
+        for s in new_suspects:
+            self._suspects.add(s)
+            if liv is not None and liv.mark_suspect(s):
+                inj.note_suspect()
+            # Survivors stop expecting the suspect's data: its access
+            # description simply drops out of the aggregation.
+            if self.agg_cursors is not None:
+                self.agg_cursors[s] = None
+        self.skip = frozenset(self._suspects)
         # Adopted intervals may precede a cursor's current position:
         # every monotonic scan restarts from the top.
         if self.client_cursors is not None:
@@ -393,6 +482,60 @@ class _Plan:
                     cur.reset()
         self.nrounds = max((d.nrounds(self.cb) for d in self.domains), default=0)
         return True
+
+    # -- suspect tail I/O ----------------------------------------------------
+    def run_suspect_tail(self, buf: np.ndarray, *, write: bool) -> None:
+        """Independent I/O for my remaining access after being declared
+        suspect.
+
+        The collective completes around a suspect: aggregators dropped
+        my access description, so the bytes they will no longer move
+        are mine to carry through the independent layer (on the write
+        path this runs inside the call's journal, so crash consistency
+        is preserved).  The remaining file region is the union of every
+        domain's un-flushed linear tail, frozen at the boundary where I
+        was suspected."""
+        env = self.env
+        if self._suspect_tails is None or self.total_bytes == 0:
+            return
+        remaining = RealmDomain.merge(self._suspect_tails)
+        cur = env.view.cursor(self.data_hi, self.data_lo)
+        parts: List[SegmentBatch] = []
+        pairs = 0
+        tiles = 0
+        with env.ctx.trace("tp:suspect-tail"):
+            for lo, hi in zip(remaining.starts.tolist(), remaining.ends.tolist()):
+                b = cur.intersect(int(lo), int(hi))
+                pairs += b.pairs_evaluated
+                tiles += b.tiles_skipped
+                if not b.empty:
+                    parts.append(b)
+            env.ctx.charge(
+                pairs * env.cost.cpu_per_flat_pair + tiles * env.cost.cpu_tile_skip
+            )
+            env.stats.client_pairs += pairs
+            env.stats.client_tiles_skipped += tiles
+            batch = concat_batches(parts)
+            if batch.empty:
+                return
+            # File batch with *dense* data offsets: the strided layer
+            # expects data_offsets to index the packed stream it is
+            # handed, and gather/scatter produce exactly that stream.
+            dense = np.zeros(batch.lengths.size, dtype=np.int64)
+            np.cumsum(batch.lengths[:-1], out=dense[1:])
+            fbatch = SegmentBatch(batch.file_offsets, batch.lengths.copy(), dense)
+            membatch = mem_batch_for(
+                self.memflat, batch.data_offsets - self.data_lo, batch.lengths
+            )
+            method = choose_method(env.hints, self.ft_extent, fbatch)
+            env.stats.note_flush(method)
+            total = int(batch.total_bytes)
+            env.ctx.charge(total * env.cost.cpu_per_byte_touch)
+            if write:
+                env.adio.write_strided(fbatch, gather_segments(buf, membatch), method)
+            else:
+                data = env.adio.read_strided(fbatch, method)
+                scatter_segments(buf, membatch, data[:total])
 
 
 class _NullCursor:
@@ -416,7 +559,7 @@ def _journal_commit(env: CollEnv, plan: _Plan) -> None:
     comm = env.comm
     local = env.adio.local
     comm.barrier()
-    alive = [a for a in plan.aggs if a not in plan._dead]
+    alive = [a for a in plan.aggs if a not in plan._dead and a not in plan._suspects]
     committer = alive[0] if alive else plan.aggs[0]
     if comm.rank == committer:
         env.adio.retry.run(
@@ -464,45 +607,70 @@ def write_all_new(
     plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     mode = env.hints["exchange"]
+    liv = plan._liveness
+    rank = comm.rank
+    if liv is not None:
+        liv.begin_call(rank, env.ctx.now)
 
     def run_rounds() -> None:
         r = 0
         while r < plan.nrounds:
             if plan.maybe_failover(r):
+                if plan.i_am_suspect:
+                    plan.run_suspect_tail(buf, write=True)
+                    return
                 r = 0
                 continue
             env.stats.rounds += 1
+            if liv is not None:
+                liv.set_phase(rank, f"route[{r}]")
             with env.ctx.trace("tp:route", round=r):
                 send_plan = plan.client_send_plan(r)
+                t0 = env.ctx.now
                 window, recv_plan, merged = plan.agg_recv_layout(r)
+                if window is not None:
+                    plan.service_seconds += env.ctx.now - t0
                 cbuf = (
                     np.zeros(window.total_bytes, dtype=np.uint8)
                     if window is not None
                     else None
                 )
+            if liv is not None:
+                liv.set_phase(rank, f"exchange[{r}]")
             with env.ctx.trace("tp:exchange", round=r):
                 env.stats.bytes_exchanged += exchange_data(
-                    comm, cost, mode, buf, send_plan, cbuf, recv_plan
+                    comm, cost, mode, buf, send_plan, cbuf, recv_plan,
+                    skip=plan.skip,
                 )
+            if liv is not None:
+                liv.set_phase(rank, f"io[{r}]")
             with env.ctx.trace("tp:io", round=r):
                 if window is not None and cbuf is not None:
+                    t0 = env.ctx.now
                     _flush_merged(env, plan, window, merged, cbuf)
+                    plan.service_seconds += env.ctx.now - t0
             r += 1
 
-    if env.hints["journal_writes"]:
-        # Crash-consistent path: aggregator flushes land in a shadow
-        # transaction keyed by the collective-call ordinal (identical
-        # on every rank without communication; a leftover transaction
-        # under a *different* ordinal is a crashed call's journal and
-        # is discarded by txn_begin).
-        local = env.adio.local
-        local.fs.txn_begin(local.path, plan._call_index)
-        with env.adio.journaled():
+    try:
+        if env.hints["journal_writes"]:
+            # Crash-consistent path: aggregator flushes land in a shadow
+            # transaction keyed by the collective-call ordinal (identical
+            # on every rank without communication; a leftover transaction
+            # under a *different* ordinal is a crashed call's journal and
+            # is discarded by txn_begin).
+            local = env.adio.local
+            local.fs.txn_begin(local.path, plan._call_index)
+            with env.adio.journaled():
+                run_rounds()
+            _journal_commit(env, plan)
+        else:
             run_rounds()
-        _journal_commit(env, plan)
-    else:
-        run_rounds()
+    finally:
+        if liv is not None:
+            liv.end_call(rank)
     env.stats.collective_writes += 1
+    env.stats.agg_service_seconds += plan.service_seconds
+    env.stats.last_agg_service_seconds = plan.service_seconds
 
 
 def read_all_new(
@@ -517,23 +685,51 @@ def read_all_new(
     plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     mode = env.hints["exchange"]
-    r = 0
-    while r < plan.nrounds:
-        if plan.maybe_failover(r):
-            r = 0
-            continue
-        env.stats.rounds += 1
-        with env.ctx.trace("tp:route", round=r):
-            # On reads, data flows aggregator -> client: the aggregator's
-            # per-client layouts become SEND batches, the client's
-            # memory batches become RECV batches.
-            recv_plan = plan.client_send_plan(r)
-            window, send_plan, merged = plan.agg_recv_layout(r)
-        with env.ctx.trace("tp:io", round=r):
-            cbuf = _fill_merged(env, plan, window, merged) if window is not None else None
-        with env.ctx.trace("tp:exchange", round=r):
-            env.stats.bytes_exchanged += exchange_data(
-                comm, cost, mode, cbuf, send_plan, buf, recv_plan
-            )
-        r += 1
+    liv = plan._liveness
+    rank = comm.rank
+    if liv is not None:
+        liv.begin_call(rank, env.ctx.now)
+    try:
+        r = 0
+        while r < plan.nrounds:
+            if plan.maybe_failover(r):
+                if plan.i_am_suspect:
+                    plan.run_suspect_tail(buf, write=False)
+                    break
+                r = 0
+                continue
+            env.stats.rounds += 1
+            if liv is not None:
+                liv.set_phase(rank, f"route[{r}]")
+            with env.ctx.trace("tp:route", round=r):
+                # On reads, data flows aggregator -> client: the aggregator's
+                # per-client layouts become SEND batches, the client's
+                # memory batches become RECV batches.
+                recv_plan = plan.client_send_plan(r)
+                t0 = env.ctx.now
+                window, send_plan, merged = plan.agg_recv_layout(r)
+                if window is not None:
+                    plan.service_seconds += env.ctx.now - t0
+            if liv is not None:
+                liv.set_phase(rank, f"io[{r}]")
+            with env.ctx.trace("tp:io", round=r):
+                if window is not None:
+                    t0 = env.ctx.now
+                    cbuf = _fill_merged(env, plan, window, merged)
+                    plan.service_seconds += env.ctx.now - t0
+                else:
+                    cbuf = None
+            if liv is not None:
+                liv.set_phase(rank, f"exchange[{r}]")
+            with env.ctx.trace("tp:exchange", round=r):
+                env.stats.bytes_exchanged += exchange_data(
+                    comm, cost, mode, cbuf, send_plan, buf, recv_plan,
+                    skip=plan.skip,
+                )
+            r += 1
+    finally:
+        if liv is not None:
+            liv.end_call(rank)
     env.stats.collective_reads += 1
+    env.stats.agg_service_seconds += plan.service_seconds
+    env.stats.last_agg_service_seconds = plan.service_seconds

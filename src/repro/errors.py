@@ -23,6 +23,18 @@ class SimDeadlock(SimulationError):
     """
 
 
+class SimHang(SimulationError):
+    """The engine gave up waiting for rank threads to terminate.
+
+    Unlike :class:`SimDeadlock` (a *virtual-time* standstill the
+    scheduler can prove), a hang is a *wall-clock* failure: some rank
+    thread is stuck outside the engine's control (an infinite Python
+    loop, a real `time.sleep`, a wedged syscall).  Carries a dump of
+    each unfinished rank's state and its last trace event so the abort
+    names the culprit instead of spinning silently.
+    """
+
+
 class RankFailed(SimulationError):
     """A rank's main function raised; the original traceback is chained."""
 
@@ -92,6 +104,25 @@ class IntegrityError(FileSystemError):
         self.path = path
 
 
+class LockDeadlock(TransientIOError):
+    """The extent-lock manager found a waits-for cycle and broke it.
+
+    Raised at the waiter chosen as victim; the cycle is released and
+    the acquisition is safe to reissue, so this subclasses
+    :class:`TransientIOError` and rides the existing
+    :class:`~repro.io.retry.RetryPolicy` backoff loop.  ``cycle`` is
+    the tuple of client ids forming the loop, victim first."""
+
+    def __init__(self, client: int, cycle: tuple, path: str = "") -> None:
+        super().__init__("lock-deadlock", client, path)
+        self.cycle = tuple(cycle)
+        self.args = (
+            f"lock deadlock broken at client {client}: waits-for cycle "
+            + " -> ".join(str(c) for c in self.cycle)
+            + (f" (file {path!r})" if path else ""),
+        )
+
+
 class RetryExhausted(FileSystemError):
     """A retry policy gave up on a transient fault.
 
@@ -125,3 +156,26 @@ class AggregatorLost(CollectiveIOError):
 
 class HintError(CollectiveIOError):
     """An MPI-Info style hint has an unrecognized key or malformed value."""
+
+
+class DeadlineExceeded(CollectiveIOError):
+    """A collective call blew its ``coll_deadline`` budget.
+
+    Raised on the rank whose blocking receive would have carried it
+    past the deadline — the typed alternative to hanging on a stalled
+    peer.  ``site`` names the blocking operation, ``phase`` the
+    collective phase label active when the budget ran out."""
+
+    def __init__(
+        self, site: str, rank: int, phase: str = "", deadline: float = 0.0
+    ) -> None:
+        super().__init__(
+            f"collective deadline exceeded at {site} (rank {rank}"
+            + (f", phase {phase!r}" if phase else "")
+            + (f", budget {deadline:g}s" if deadline else "")
+            + ")"
+        )
+        self.site = site
+        self.rank = rank
+        self.phase = phase
+        self.deadline = deadline

@@ -37,14 +37,23 @@ class FaultStats:
     io_faults: int = 0
     disk_slowdowns: int = 0
     disk_extra_seconds: float = 0.0
+    straggler_events: int = 0
     straggler_extra_seconds: float = 0.0
+    rank_stalls: int = 0
+    stall_seconds: float = 0.0
     messages_delayed: int = 0
     messages_dropped: int = 0
     net_extra_seconds: float = 0.0
     lock_storm_rpcs: int = 0
+    lock_holds: int = 0
+    lock_hold_seconds: float = 0.0
+    lock_lease_reclaims: int = 0
+    lock_deadlocks: int = 0
     agg_crashes: int = 0
     failovers: int = 0
     realm_bytes_rebalanced: int = 0
+    suspects_declared: int = 0
+    deadlines_exceeded: int = 0
     retries: int = 0
     retry_backoff_seconds: float = 0.0
     retries_exhausted: int = 0
@@ -135,7 +144,25 @@ class FaultInjector:
         return f
 
     def note_straggler(self, extra: float) -> None:
+        self.stats.straggler_events += 1
         self.stats.straggler_extra_seconds += extra
+
+    # -- liveness hooks ---------------------------------------------------
+    def stalled_ranks(self, call_index: int, boundary: int) -> Dict[int, float]:
+        """``{rank: stall seconds}`` frozen at exactly this boundary."""
+        if "rank_stall" not in self._active_kinds:
+            return {}
+        return self.plan.stalls_at(call_index, boundary)
+
+    def note_stall(self, seconds: float) -> None:
+        self.stats.rank_stalls += 1
+        self.stats.stall_seconds += seconds
+
+    def note_suspect(self) -> None:
+        self.stats.suspects_declared += 1
+
+    def note_deadline_exceeded(self) -> None:
+        self.stats.deadlines_exceeded += 1
 
     # -- fs.filesystem hooks ----------------------------------------------
     def io_fault(self, client: int, path: str, site: str, now: float) -> None:
@@ -176,6 +203,27 @@ class FaultInjector:
         if extra:
             self.stats.lock_storm_rpcs += extra
         return extra
+
+    def lock_hold_seconds(self, client: int, now: float) -> float:
+        """Seconds the locks just granted to ``client`` stay pinned
+        (0 = the holder's callback thread is healthy)."""
+        if "lock_hold" not in self._active_kinds:
+            return 0.0
+        hold = 0.0
+        for e in self.plan.of_kind("lock_hold"):
+            if e.active(now) and e.applies_to(client):
+                if self._chance("lock_hold", client, e.rate):
+                    hold = max(hold, e.delay)
+        if hold > 0.0:
+            self.stats.lock_holds += 1
+            self.stats.lock_hold_seconds += hold
+        return hold
+
+    def note_lock_reclaim(self, granules: int) -> None:
+        self.stats.lock_lease_reclaims += granules
+
+    def note_lock_deadlock(self) -> None:
+        self.stats.lock_deadlocks += 1
 
     # -- mpi.network hook --------------------------------------------------
     def net_penalty(self, src: int, dst: int, now: float, transit: float) -> float:

@@ -49,6 +49,21 @@ Event kinds
     a weak hardware CRC).  Silent unless ``integrity_network`` arms
     frame checksums, in which case the receiver detects it and
     re-requests the frame.
+``rank_stall``
+    Rank ``ranks`` freeze for ``delay`` virtual seconds at the
+    ``round_index``-th phase boundary of collective call
+    ``call_index`` (a GC pause, page-fault storm, OS jitter burst).
+    Deterministic and boundary-addressed like ``agg_crash``, but
+    transient: the rank resumes after the stall.  With the
+    ``liveness`` hint on, peers declare the rank *suspect* and
+    complete the collective without waiting for it.
+``lock_hold``
+    With probability ``rate`` per lock acquisition, the just-granted
+    extent locks stay *pinned* for ``delay`` virtual seconds (a
+    wedged lock-callback thread that cannot service revocations).
+    Conflicting acquirers must wait; the liveness layer's lock lease
+    caps the wait and a waits-for cycle among pinned holders is broken
+    with a typed :class:`~repro.errors.LockDeadlock`.
 
 Scenario strings (``name[:seed]``, e.g. ``transient-io:42``) are
 resolved by :func:`repro.faults.scenarios.load_scenario`.
@@ -77,6 +92,8 @@ EVENT_KINDS = (
     "agg_crash",
     "bit_flip_page",
     "bit_flip_net",
+    "rank_stall",
+    "lock_hold",
 )
 
 
@@ -139,6 +156,13 @@ class FaultEvent:
             raise FaultPlanError("call_index/round_index must be >= 0")
         if self.kind == "agg_crash" and self.ranks is None:
             raise FaultPlanError("agg_crash events must name the crashing ranks")
+        if self.kind == "rank_stall":
+            if self.ranks is None:
+                raise FaultPlanError("rank_stall events must name the stalling ranks")
+            if self.delay <= 0:
+                raise FaultPlanError("rank_stall events need a positive delay")
+        if self.kind == "lock_hold" and self.delay <= 0:
+            raise FaultPlanError("lock_hold events need a positive hold (delay)")
 
     def active(self, t: float) -> bool:
         """True when virtual time ``t`` falls inside the event window."""
@@ -230,6 +254,24 @@ class FaultPlan:
             )
         )
 
+    def rank_stall(
+        self, rank: int, *, delay: float, call_index: int = 0, round_index: int = 0
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent(
+                "rank_stall", ranks=_rankset([rank]), delay=delay,
+                call_index=call_index, round_index=round_index,
+            )
+        )
+
+    def lock_hold(
+        self, rate: float, *, hold: float = 5e-2, start: float = 0.0,
+        end: float = math.inf, ranks=None,
+    ) -> "FaultPlan":
+        return self.add(
+            FaultEvent("lock_hold", start, end, rate, delay=hold, ranks=_rankset(ranks))
+        )
+
     def page_bitflip(
         self, rate: float, *, start: float = 0.0, end: float = math.inf, ranks=None
     ) -> "FaultPlan":
@@ -263,6 +305,20 @@ class FaultPlan:
                 dead.update(e.ranks or ())
         return frozenset(dead)
 
+    def stalls_at(self, call_index: int, boundary: int) -> dict:
+        """``{rank: stall seconds}`` for ranks frozen at exactly phase
+        boundary ``boundary`` of collective call ``call_index``.
+
+        Unlike crashes, stalls are transient — they match one boundary
+        exactly and the rank resumes afterwards.  Like crash detection,
+        this is a pure function every rank evaluates identically."""
+        out: dict[int, float] = {}
+        for e in self.of_kind("rank_stall"):
+            if (e.call_index, e.round_index) == (call_index, boundary):
+                for r in e.ranks or ():
+                    out[r] = max(out.get(r, 0.0), e.delay)
+        return out
+
     def reseed(self, seed: int) -> "FaultPlan":
         """The same schedule under a different seed."""
         return FaultPlan(seed=seed, events=list(self.events))
@@ -274,7 +330,7 @@ class FaultPlan:
         out = FaultPlan(seed=self.seed)
         scalable = (
             "transient_io", "net_delay", "net_drop", "lock_storm",
-            "bit_flip_page", "bit_flip_net",
+            "bit_flip_page", "bit_flip_net", "lock_hold",
         )
         for e in self.events:
             if e.kind in scalable:
@@ -290,14 +346,14 @@ class FaultPlan:
             bits = []
             if e.kind in (
                 "transient_io", "net_delay", "net_drop", "lock_storm",
-                "bit_flip_page", "bit_flip_net",
+                "bit_flip_page", "bit_flip_net", "lock_hold",
             ):
                 bits.append(f"rate={e.rate:g}")
             if e.kind in ("slow_disk", "straggler"):
                 bits.append(f"factor={e.factor:g}")
             if e.delay:
                 bits.append(f"delay={e.delay:g}s")
-            if e.kind == "agg_crash":
+            if e.kind in ("agg_crash", "rank_stall"):
                 bits.append(
                     f"ranks={sorted(e.ranks or ())} call={e.call_index} "
                     f"boundary={e.round_index}"

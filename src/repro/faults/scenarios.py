@@ -122,6 +122,43 @@ def _bit_flip(seed: int) -> FaultPlan:
     return FaultPlan(seed).page_bitflip(rate=0.2).net_bitflip(rate=0.05)
 
 
+@scenario("stall")
+def _stall(seed: int) -> FaultPlan:
+    """Ranks wedge mid-collective (GC pause, NFS hiccup, ptrace stop):
+    aggregator rank 0 stalls at the second phase boundary of the first
+    call, client rank 3 at the first boundary of the second.  With the
+    ``liveness`` hint the stalled ranks are suspected and completed
+    around; with only ``coll_deadline`` armed, waiting ranks raise
+    :class:`~repro.errors.DeadlineExceeded` instead of hanging."""
+    return (
+        FaultPlan(seed)
+        .rank_stall(0, delay=5e-2, call_index=0, round_index=1)
+        .rank_stall(3, delay=5e-2, call_index=1, round_index=0)
+    )
+
+
+@scenario("lock-hold")
+def _lock_hold(seed: int) -> FaultPlan:
+    """Wedged lock-callback threads: granted locks stay pinned so
+    conflicting acquirers must wait for pin expiry — or for the
+    liveness layer's lease reclaim / deadlock breaking."""
+    return FaultPlan(seed).lock_hold(rate=0.3, hold=3e-2)
+
+
+@scenario("gray")
+def _gray(seed: int) -> FaultPlan:
+    """Gray failure: nothing is down, everything is sick.  A stalling
+    aggregator, a slow rank, a lossy network, and sticky locks — the
+    combination that turns into a hang without a liveness layer."""
+    return (
+        FaultPlan(seed)
+        .rank_stall(0, delay=4e-2, call_index=0, round_index=1)
+        .straggler(factor=3.0, ranks=[1])
+        .net_drop(rate=0.02, timeout=4e-3)
+        .lock_hold(rate=0.2, hold=2e-2)
+    )
+
+
 @scenario("chaos")
 def _chaos(seed: int) -> FaultPlan:
     """Everything at once, gently: the kitchen-sink soak scenario."""

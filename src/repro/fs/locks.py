@@ -17,8 +17,9 @@ coherent caches can flush/invalidate the victim's pages.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FileSystemError
 
@@ -43,15 +44,42 @@ class LockCharge:
 
 
 class ExtentLockManager:
-    """Per-file granule->holder map with transfer accounting."""
+    """Per-file granule->holder map with transfer accounting.
 
-    __slots__ = ("granularity", "_holder", "stats_rpcs", "stats_revocations")
+    Revocation is normally instant (a cost, not a wait).  The
+    ``lock_hold`` fault model breaks that: a *pinned* granule's holder
+    has a wedged lock-callback thread and cannot service revocations,
+    so a conflicting acquirer must wait — until the holder recovers
+    (pin expiry), the liveness layer's lease reclaims the lock early,
+    or a waits-for cycle is broken with a typed
+    :class:`~repro.errors.LockDeadlock`.  The waits-for graph and pin
+    table live here; the *waiting* itself (virtual-time blocking) is
+    done by :class:`~repro.fs.filesystem.SimFileSystem`, which owns a
+    rank context."""
+
+    __slots__ = (
+        "granularity",
+        "_holder",
+        "_pins",
+        "_waiting",
+        "last_pin_release",
+        "stats_rpcs",
+        "stats_revocations",
+    )
 
     def __init__(self, granularity: int) -> None:
         if granularity <= 0:
             raise FileSystemError(f"lock granularity must be positive, got {granularity}")
         self.granularity = granularity
         self._holder: Dict[int, int] = {}
+        #: granule -> (holder, t_pinned, expires): the holder's callback
+        #: thread is wedged until ``expires`` (fault-injected only).
+        self._pins: Dict[int, Tuple[int, float, float]] = {}
+        #: waiter client -> holder client it is blocked on (waits-for).
+        self._waiting: Dict[int, int] = {}
+        #: Virtual time of the most recent voluntary pin release — the
+        #: causal wake time for a waiter whose holder unlocked early.
+        self.last_pin_release = 0.0
         self.stats_rpcs = 0
         self.stats_revocations = 0
 
@@ -106,9 +134,106 @@ class ExtentLockManager:
         """True when ``client`` currently holds every granule of [lo, hi)."""
         return all(self._holder.get(g) == client for g in self._granules(lo, hi))
 
-    def release_all(self, client: int) -> int:
-        """Drop every granule held by ``client``; returns the count."""
+    def release_all(self, client: int, now: float = 0.0) -> int:
+        """Drop every granule held by ``client``; returns the count.
+
+        Also drops the client's pins (a closing client's callback
+        thread is gone with it) and its waits-for edge."""
         mine = [g for g, c in self._holder.items() if c == client]
         for g in mine:
             del self._holder[g]
+        self.release_pins(client, now)
+        self._waiting.pop(client, None)
         return len(mine)
+
+    # -- pins (the lock_hold fault model) -------------------------------
+    @property
+    def pinned(self) -> bool:
+        """Cheap fast-path guard: any pin outstanding at all?"""
+        return bool(self._pins)
+
+    def pin_range(self, client: int, lo: int, hi: int, now: float, expires: float) -> int:
+        """Pin every [lo, hi) granule ``client`` holds until ``expires``.
+
+        Models the holder's lock-callback thread wedging *after* the
+        grant: the holder keeps computing (and may itself wait on other
+        pins — that is what makes genuine deadlock cycles possible),
+        but nobody can revoke these granules until the pin clears.
+        Returns the number of granules pinned."""
+        n = 0
+        for g in self._granules(lo, hi):
+            if self._holder.get(g) == client:
+                self._pins[g] = (client, now, expires)
+                n += 1
+        return n
+
+    def release_pins(self, client: int, now: float = 0.0) -> int:
+        """Drop every pin held by ``client``; returns the count."""
+        mine = [g for g, pin in self._pins.items() if pin[0] == client]
+        for g in mine:
+            del self._pins[g]
+        if mine:
+            self.last_pin_release = max(self.last_pin_release, now)
+        return len(mine)
+
+    def blocking_pin(
+        self, client: int, lo: int, hi: int
+    ) -> Optional[Tuple[int, float, float]]:
+        """The first pin in [lo, hi) held by *another* client, or None.
+
+        A client's own pins never block it — the wedged thread only
+        fails to service revocations from others."""
+        for g in self._granules(lo, hi):
+            pin = self._pins.get(g)
+            if pin is not None and pin[0] != client:
+                return pin
+        return None
+
+    def reclaim_pins(self, lo: int, hi: int, now: float, lease: float = math.inf) -> int:
+        """Clear expired pins in [lo, hi); returns lease *reclaims*.
+
+        A pin is cleared once ``now`` reaches its natural expiry (the
+        holder's callback thread recovered) or ``t_pinned + lease``
+        (the lock server's lease ran out and it revoked unilaterally).
+        Only the latter counts toward the returned reclaim count."""
+        reclaimed = 0
+        for g in list(self._granules(lo, hi)):
+            pin = self._pins.get(g)
+            if pin is None:
+                continue
+            holder, t_pinned, expires = pin
+            if now >= expires:
+                del self._pins[g]
+            elif now >= t_pinned + lease:
+                del self._pins[g]
+                reclaimed += 1
+        return reclaimed
+
+    # -- waits-for graph (deadlock detection) ---------------------------
+    def note_wait(self, waiter: int, holder: int) -> None:
+        """Record that ``waiter`` is blocked on a pin held by ``holder``."""
+        self._waiting[waiter] = holder
+
+    def clear_wait(self, waiter: int) -> None:
+        self._waiting.pop(waiter, None)
+
+    def find_cycle(self, start: int) -> Optional[Tuple[int, ...]]:
+        """The waits-for cycle through ``start``, or None.
+
+        Walks the single outgoing edge per waiter; a client blocked on
+        a pin whose holder is (transitively) blocked on one of *its*
+        pins can never make progress without intervention."""
+        path = [start]
+        seen = {start}
+        cur = start
+        while True:
+            nxt = self._waiting.get(cur)
+            if nxt is None:
+                return None
+            if nxt == start:
+                return tuple(path)
+            if nxt in seen:
+                return None  # a cycle exists, but start is not on it
+            seen.add(nxt)
+            path.append(nxt)
+            cur = nxt

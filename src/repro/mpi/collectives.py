@@ -191,6 +191,7 @@ class CollectiveMixin:
         send_batches: Sequence[Optional[SegmentBatch]],
         recvbuf: Optional[np.ndarray],
         recv_batches: Sequence[Optional[SegmentBatch]],
+        skip: frozenset = frozenset(),
     ) -> None:
         """Exchange non-contiguous regions directly between buffers.
 
@@ -202,10 +203,18 @@ class CollectiveMixin:
         (``cpu_per_byte_touch``) but no intermediate pack buffer exists,
         so no ``cpu_per_byte_copy`` is charged — the Section 5.4
         optimization.
+
+        ``skip`` names ranks excluded from the exchange (liveness:
+        suspects being completed *around*).  Every participating rank
+        must pass the same set — a skipped peer gets no send and is
+        expected to send nothing, keeping the pairwise rounds matched;
+        a rank that is itself in ``skip`` does nothing at all.
         """
         size, rank = self.size, self.rank
         if len(send_batches) != size or len(recv_batches) != size:
             raise MPIError("alltoallw needs one batch (or None) per peer")
+        if rank in skip:
+            return
         touch = self.cost.cpu_per_byte_touch  # type: ignore[attr-defined]
         ctx = self.ctx  # type: ignore[attr-defined]
 
@@ -237,6 +246,15 @@ class CollectiveMixin:
         for step in range(1, size):
             dst = (rank + step) % size
             src = (rank - step) % size
+            if skip:
+                # Keep legs matched without ever touching a skipped
+                # peer: a skipped dst receives nothing from us, a
+                # skipped src sends nothing to us.
+                if dst not in skip:
+                    self.isend(pull(send_batches[dst]), dst, _TAG_ALLTOALLW)
+                if src not in skip:
+                    push(recv_batches[src], self.recv(src, _TAG_ALLTOALLW))
+                continue
             received = self.sendrecv(
                 pull(send_batches[dst]), dst, src, _TAG_ALLTOALLW, _TAG_ALLTOALLW
             )

@@ -19,8 +19,9 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
-from repro.errors import MPIError, TransientNetworkError
+from repro.errors import DeadlineExceeded, MPIError, TransientNetworkError
 from repro.faults.plan import FAULTS_KEY
+from repro.liveness import LIVENESS_KEY
 from repro.integrity import (
     INTEGRITY_KEY,
     IntegrityConfig,
@@ -32,7 +33,7 @@ from repro.io.retry import RetryPolicy
 from repro.mpi.collectives import CollectiveMixin
 from repro.mpi.network import Network, payload_nbytes
 from repro.mpi.request import Request
-from repro.sim.engine import RankContext
+from repro.sim.engine import BLOCK_TIMEOUT, RankContext
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator"]
 
@@ -261,15 +262,44 @@ class Communicator(CollectiveMixin):
         )
         return policy.run(self.ctx, attempt)
 
+    def _blocking_recv(self, source: int, tag: int, site: str) -> Any:
+        """The shared blocking path of recv/irecv-wait.
+
+        With an armed per-collective deadline (the ``coll_deadline``
+        hint, installed as :data:`~repro.liveness.LIVENESS_KEY` state),
+        the wait is timed: if no matching message can arrive within the
+        budget, a typed :class:`~repro.errors.DeadlineExceeded` is
+        raised instead of blocking forever on a stalled peer.  A
+        message *queued* but only available past the deadline counts as
+        missed too (it is the same hang, just scheduled).  Unarmed, the
+        path is byte-identical to the untimed block."""
+        reason = f"{site}(src={source}, tag={tag}, comm={self.comm_id})"
+        liv = self.ctx.shared.get(LIVENESS_KEY)
+        deadline = liv.deadline_for(self.ctx.rank) if liv is not None else None
+        if deadline is None:
+            msg = self.ctx.block(lambda: self._match(source, tag), reason=reason)
+            return self._complete_recv(msg)
+        msg = self.ctx.block(
+            lambda: self._match(source, tag), reason=reason, timeout_at=deadline
+        )
+        if msg is BLOCK_TIMEOUT or msg.t_avail > deadline:
+            self.ctx.charge_to(deadline)
+            faults = self.ctx.shared.get(FAULTS_KEY)
+            if faults is not None:
+                faults.note_deadline_exceeded()
+            raise DeadlineExceeded(
+                f"{site}(src={source}, tag={tag})",
+                self.ctx.rank,
+                liv.phase_of(self.ctx.rank),
+                liv.config.deadline,
+            )
+        return self._complete_recv(msg)
+
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload."""
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
-        msg = self.ctx.block(
-            lambda: self._match(source, tag),
-            reason=f"recv(src={source}, tag={tag}, comm={self.comm_id})",
-        )
-        return self._complete_recv(msg)
+        return self._blocking_recv(source, tag, "recv")
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Nonblocking receive; ``wait()`` yields the payload."""
@@ -277,11 +307,7 @@ class Communicator(CollectiveMixin):
             self._check_peer(source, "source")
 
         def wait_fn() -> Any:
-            msg = self.ctx.block(
-                lambda: self._match(source, tag),
-                reason=f"irecv(src={source}, tag={tag}, comm={self.comm_id})",
-            )
-            return self._complete_recv(msg)
+            return self._blocking_recv(source, tag, "irecv")
 
         def test_fn() -> tuple[bool, Any]:
             msg = self._match(source, tag)

@@ -99,6 +99,13 @@ _SPEC: Dict[str, tuple] = {
     "integrity_pages": (_boolean, False),     # CRC32 sidecar per store page
     "integrity_network": (_boolean, False),   # frame checksums + re-request
     "journal_writes": (_boolean, False),      # crash-consistent collective writes
+    # Liveness (docs/faults.md).  ``coll_deadline`` arms a per-collective
+    # virtual-time budget (0 = none): blocking receives past it raise
+    # DeadlineExceeded instead of hanging.  ``liveness`` additionally
+    # arms suspect-driven failover (stalled aggregators merged away
+    # mid-call, stalled clients served by survivors) and lock leases.
+    "coll_deadline": (_non_negative_float, 0.0),
+    "liveness": (_boolean, False),
 }
 
 

@@ -17,7 +17,15 @@ The public pieces are :class:`~repro.sim.engine.Simulator`,
 """
 
 from repro.sim.clock import VirtualClock
-from repro.sim.engine import RankContext, Simulator
+from repro.sim.engine import BLOCK_TIMEOUT, RankContext, Simulator, Watchdog
 from repro.sim.trace import TraceEvent, Tracer
 
-__all__ = ["VirtualClock", "Simulator", "RankContext", "Tracer", "TraceEvent"]
+__all__ = [
+    "VirtualClock",
+    "Simulator",
+    "RankContext",
+    "Tracer",
+    "TraceEvent",
+    "Watchdog",
+    "BLOCK_TIMEOUT",
+]

@@ -34,11 +34,11 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterator, Optional, Sequence
 
-from repro.errors import RankFailed, SimDeadlock, SimulationError
+from repro.errors import RankFailed, SimDeadlock, SimHang, SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.trace import Tracer
 
-__all__ = ["Simulator", "RankContext"]
+__all__ = ["Simulator", "RankContext", "Watchdog", "BLOCK_TIMEOUT"]
 
 # Rank thread states.
 _READY = "ready"
@@ -47,6 +47,20 @@ _BLOCKED = "blocked"
 _DONE = "done"
 
 _JOIN_TIMEOUT = 600.0  # wall-clock safety net for runaway simulations
+
+
+class _BlockTimeout:
+    """Singleton wake value for a timed block that expired."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BLOCK_TIMEOUT"
+
+
+#: Returned by :meth:`RankContext.block` when ``timeout_at`` expired
+#: before the predicate held.  Compare with ``is``.
+BLOCK_TIMEOUT = _BlockTimeout()
 
 
 class _SimAborted(BaseException):
@@ -68,6 +82,8 @@ class _Proc:
         "check",
         "wake_value",
         "blocked_on",
+        "timeout_at",
+        "last_progress",
         "result",
         "event",
     )
@@ -80,6 +96,11 @@ class _Proc:
         self.check: Optional[Callable[[], Any]] = None
         self.wake_value: Any = None
         self.blocked_on: str = ""
+        #: Virtual time at which a timed block gives up (None = untimed).
+        self.timeout_at: Optional[float] = None
+        #: Virtual time of this rank's last scheduler interaction — the
+        #: progress mark the watchdog compares against the frontier.
+        self.last_progress: float = 0.0
         self.result: Any = None
         #: Set exactly when this rank is dispatched to run.
         self.event = threading.Event()
@@ -149,13 +170,24 @@ class RankContext:
         self._sim._reschedule(self._proc)
 
     # -- blocking --------------------------------------------------------
-    def block(self, check: Callable[[], Any], reason: str = "") -> Any:
+    def block(
+        self,
+        check: Callable[[], Any],
+        reason: str = "",
+        timeout_at: Optional[float] = None,
+    ) -> Any:
         """Block until ``check()`` returns non-``None``; return that value.
 
         ``check`` runs under the engine's single-thread invariant, so it
         may freely read shared state.  It is re-evaluated at every
-        scheduling decision."""
-        return self._sim._block(self._proc, check, reason)
+        scheduling decision.
+
+        With ``timeout_at`` (absolute virtual time), the wait is
+        *timed*: if the predicate still fails once no other rank can
+        run before ``timeout_at``, the clock advances to the timeout
+        and :data:`BLOCK_TIMEOUT` is returned instead.  A predicate
+        that becomes true at exactly the timeout wins the tie."""
+        return self._sim._block(self._proc, check, reason, timeout_at)
 
     # -- shared state and tracing ----------------------------------------
     @property
@@ -172,6 +204,37 @@ class RankContext:
         return self.tracer.interval(self.rank, state, self._proc.clock, **info)
 
 
+class Watchdog:
+    """Virtual-time progress monitor over a simulation's ranks.
+
+    Every dispatch stamps the rank's ``last_progress`` mark; a rank
+    whose mark trails the frontier (the most advanced rank clock) by
+    more than ``heartbeat`` virtual seconds is *suspect* — it exists
+    but is not keeping up.  Purely observational: consulted by the
+    liveness layer and by the engine's hang diagnostics, never blocks
+    or wakes anything itself."""
+
+    __slots__ = ("_sim", "heartbeat")
+
+    def __init__(self, sim: "Simulator", heartbeat: float = 0.05) -> None:
+        self._sim = sim
+        self.heartbeat = heartbeat
+
+    def frontier(self) -> float:
+        """The most advanced rank clock (0 before the run starts)."""
+        procs = self._sim._procs
+        return max((p.clock.now for p in procs), default=0.0)
+
+    def suspects(self) -> list[int]:
+        """Ranks alive but trailing the frontier by > heartbeat."""
+        frontier = self.frontier()
+        return [
+            p.rank
+            for p in self._sim._procs
+            if p.state != _DONE and frontier - p.last_progress > self.heartbeat
+        ]
+
+
 class Simulator:
     """Runs ``nprocs`` rank functions under deterministic virtual time.
 
@@ -184,11 +247,23 @@ class Simulator:
         results = sim.run(main)   # [0, 10, 20, 30]
     """
 
-    def __init__(self, nprocs: int, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        nprocs: int,
+        tracer: Optional[Tracer] = None,
+        join_timeout: float = _JOIN_TIMEOUT,
+    ) -> None:
         if nprocs <= 0:
             raise ValueError(f"nprocs must be positive, got {nprocs}")
+        if join_timeout <= 0:
+            raise ValueError(f"join_timeout must be positive, got {join_timeout}")
         self.nprocs = nprocs
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Wall-clock seconds to wait for rank threads before declaring
+        #: a hang (see :class:`repro.errors.SimHang`).
+        self.join_timeout = join_timeout
+        #: Virtual-time progress monitor over the rank procs.
+        self.watchdog = Watchdog(self)
         #: Shared hardware models (file system, network, ...) live here.
         self.shared: dict = {}
         #: Installed :class:`repro.faults.FaultInjector`, or ``None``.
@@ -240,18 +315,56 @@ class Simulator:
             t.start()
         with self._mu:
             self._dispatch_next()
-        while not self._done_event.wait(timeout=_JOIN_TIMEOUT):
+        while not self._done_event.wait(timeout=self.join_timeout):
             if self._fatal is not None or all(p.state == _DONE for p in self._procs):
                 break  # pragma: no cover - safety net
+            # Wall-clock hang: some rank thread is stuck outside the
+            # engine's control.  Diagnose it instead of spinning.
+            with self._mu:
+                if self._fatal is None:
+                    self._fatal = SimHang(
+                        "simulation hung (wall-clock "
+                        f"{self.join_timeout:g}s with no progress): "
+                        + self._hang_dump()
+                    )
+                self._abort_all()
+            break
 
         for t in threads:
-            t.join(timeout=_JOIN_TIMEOUT)
-            if t.is_alive():  # pragma: no cover - wall-clock safety net
-                raise SimulationError(f"thread {t.name} failed to terminate")
+            t.join(timeout=self.join_timeout)
+            if t.is_alive():
+                # A truly wedged (daemon) thread cannot be reclaimed;
+                # stop joining and report the hang with diagnostics.
+                if self._fatal is None:
+                    self._fatal = SimHang(
+                        f"thread {t.name} failed to terminate: "
+                        + self._hang_dump()
+                    )
+                break
 
         if self._fatal is not None:
             raise self._fatal
         return [p.result for p in self._procs]
+
+    def _hang_dump(self) -> str:
+        """Per-rank diagnosis for a wall-clock hang: state, blocked-on
+        reason, clock, watchdog suspicion, and last trace event."""
+        suspects = set(self.watchdog.suspects())
+        parts = []
+        for p in self._procs:
+            if p.state == _DONE:
+                continue
+            line = f"rank {p.rank}: {p.state}"
+            if p.state == _BLOCKED and p.blocked_on:
+                line += f" on {p.blocked_on}"
+            line += f" at t={p.clock.now:.6f}"
+            if p.rank in suspects:
+                line += " [suspect]"
+            last = self.tracer.last_event(p.rank)
+            if last is not None:
+                line += f"; last event {last.state!r} [{last.t0:.6f}..{last.t1:.6f}]"
+            parts.append(line)
+        return "; ".join(parts) if parts else "(all ranks done)"
 
     @property
     def times(self) -> list[float]:
@@ -268,20 +381,40 @@ class Simulator:
 
     def _runnable(self) -> Optional[_Proc]:
         """Wake any blocked rank whose predicate now holds, then return
-        the ready rank with the smallest (clock, rank)."""
+        the ready rank with the smallest (clock, rank).
+
+        A *timed* blocked rank competes as a candidate scheduled at
+        ``max(clock, timeout_at)``: it fires (waking with
+        :data:`BLOCK_TIMEOUT`) only when no ready rank could run before
+        its timeout — so any message that could still arrive in virtual
+        time beats the timeout."""
         best: Optional[_Proc] = None
+        best_key = None
+        timed: Optional[_Proc] = None
+        timed_key = None
         for p in self._procs:
             if p.state == _BLOCKED:
                 value = p.check() if p.check is not None else None
                 if value is not None:
                     p.wake_value = value
                     p.check = None
+                    p.timeout_at = None
                     p.state = _READY
-            if p.state == _READY and (
-                best is None
-                or (p.clock.now, p.rank) < (best.clock.now, best.rank)
-            ):
-                best = p
+                elif p.timeout_at is not None:
+                    key = (max(p.clock.now, p.timeout_at), p.rank)
+                    if timed is None or key < timed_key:
+                        timed, timed_key = p, key
+            if p.state == _READY:
+                key = (p.clock.now, p.rank)
+                if best is None or key < best_key:
+                    best, best_key = p, key
+        if timed is not None and (best is None or timed_key < best_key):
+            timed.clock.advance_to(timed.timeout_at)
+            timed.wake_value = BLOCK_TIMEOUT
+            timed.check = None
+            timed.timeout_at = None
+            timed.state = _READY
+            return timed
         return best
 
     def _dispatch_next(self) -> None:
@@ -292,6 +425,7 @@ class Simulator:
         nxt = self._runnable()
         if nxt is not None:
             nxt.state = _RUNNING
+            nxt.last_progress = nxt.clock.now
             nxt.event.set()
             return
         if all(p.state == _DONE for p in self._procs):
@@ -301,6 +435,7 @@ class Simulator:
         dump = "; ".join(
             f"rank {p.rank}: {p.state}"
             + (f" on {p.blocked_on}" if p.state == _BLOCKED and p.blocked_on else "")
+            + f" at t={p.clock.now:.6f}"
             for p in self._procs
             if p.state != _DONE
         )
@@ -316,7 +451,7 @@ class Simulator:
     # -- handoff (called by rank threads) ------------------------------------
     def _park(self, proc: _Proc) -> None:
         """Wait (outside the mutex) until this rank is dispatched."""
-        while not proc.event.wait(timeout=_JOIN_TIMEOUT):
+        while not proc.event.wait(timeout=self.join_timeout):
             if self._fatal is not None:  # pragma: no cover - safety net
                 break
         proc.event.clear()
@@ -330,10 +465,17 @@ class Simulator:
             self._dispatch_next()
         self._park(proc)
 
-    def _block(self, proc: _Proc, check: Callable[[], Any], reason: str) -> Any:
+    def _block(
+        self,
+        proc: _Proc,
+        check: Callable[[], Any],
+        reason: str,
+        timeout_at: Optional[float] = None,
+    ) -> Any:
         with self._mu:
             proc.check = check
             proc.blocked_on = reason
+            proc.timeout_at = timeout_at
             proc.state = _BLOCKED
             self._dispatch_next()
         self._park(proc)

@@ -74,6 +74,17 @@ class Tracer:
     def ranks(self) -> List[int]:
         return sorted({ev.rank for ev in self.events})
 
+    def last_event(self, rank: int) -> Optional[TraceEvent]:
+        """The most recently *closed* interval on ``rank`` (or None).
+
+        Used by the engine's hang diagnostics: when a rank never
+        terminates, its last closed interval is the best available clue
+        to where it got stuck."""
+        for ev in reversed(self.events):
+            if ev.rank == rank:
+                return ev
+        return None
+
     def summary(self) -> str:
         """Human-readable table: per-state totals across all ranks."""
         totals = self.time_by_state()

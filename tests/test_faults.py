@@ -99,8 +99,10 @@ class TestPlanDSL:
             .agg_crash(rank=1, round_index=2)
             .page_bitflip(rate=0.3)
             .net_bitflip(rate=0.05, ranks=[2])
+            .rank_stall(0, delay=5e-2, round_index=1)
+            .lock_hold(rate=0.4, hold=1e-2)
         )
-        assert len(plan.events) == 9
+        assert len(plan.events) == 11
         assert sorted({e.kind for e in plan.events}) == sorted(EVENT_KINDS)
 
     def test_bad_rate_rejected(self):
