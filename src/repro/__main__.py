@@ -27,6 +27,11 @@ per-collective deadline plus suspect-driven failover) in the command's
 workloads; with stall scenarios (``--faults stall:SEED``,
 ``--faults gray:SEED``) every run must terminate within the deadline
 budget — verified data or a typed error, never a hang.
+
+``--ppn N`` arms the node topology at N ranks per node in the
+command's workloads (the ``procs_per_node``/``node_aggregation``
+hints): the new implementation's exchanges run through the two-layer
+intra-node aggregation path, still held to byte-perfect results.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ def selfcheck(
     fault_spec: Optional[str] = None,
     integrity: bool = False,
     liveness: bool = False,
+    ppn: int = 0,
 ) -> int:
     from repro import (
         BYTE,
@@ -74,6 +80,12 @@ def selfcheck(
                 # only; the deadline guards both.
                 hints = hints.replace(
                     coll_deadline=0.5, liveness=(impl == "new")
+                )
+            if ppn > 1:
+                # Two-layer exchange rides the new implementation only
+                # (the old one hardwires its nonblocking exchange).
+                hints = hints.replace(
+                    procs_per_node=ppn, node_aggregation=(impl == "new")
                 )
 
             def main(ctx):
@@ -119,10 +131,19 @@ def chaos(
     fault_spec: Optional[str] = None,
     integrity: bool = False,
     liveness: bool = False,
+    ppn: int = 0,
 ) -> int:
     from repro.bench import ChaosHarness
+    from repro.mpi import Hints
 
-    harness = ChaosHarness(fault_spec or "chaos", integrity=integrity, liveness=liveness)
+    hints = None
+    if ppn > 1:
+        hints = Hints(
+            cb_nodes=2, cb_buffer_size=512, procs_per_node=ppn, node_aggregation=True
+        )
+    harness = ChaosHarness(
+        fault_spec or "chaos", integrity=integrity, liveness=liveness, hints=hints
+    )
     report = harness.sweep()
     print(report.format())
     if not report.all_verified:
@@ -136,6 +157,7 @@ def fsck(
     fault_spec: Optional[str] = None,
     integrity: bool = False,
     liveness: bool = False,
+    ppn: int = 0,
 ) -> int:
     """Scrub/repair demonstration on a deliberately corrupted store."""
     from repro import (
@@ -199,6 +221,7 @@ def demo(
     fault_spec: Optional[str] = None,
     integrity: bool = False,
     liveness: bool = False,
+    ppn: int = 0,
 ) -> int:
     import runpy
     from pathlib import Path
@@ -215,6 +238,7 @@ def info(
     fault_spec: Optional[str] = None,
     integrity: bool = False,
     liveness: bool = False,
+    ppn: int = 0,
 ) -> int:
     import dataclasses
 
@@ -253,6 +277,21 @@ def main(argv: list[str]) -> int:
         if flag in args:
             liveness = True
             args.remove(flag)
+    ppn = 0
+    if "--ppn" in args:
+        i = args.index("--ppn")
+        if i + 1 >= len(args):
+            print("--ppn requires a ranks-per-node count")
+            return 2
+        try:
+            ppn = int(args[i + 1])
+        except ValueError:
+            print(f"--ppn requires an integer, got {args[i + 1]!r}")
+            return 2
+        if ppn < 1:
+            print(f"--ppn must be >= 1, got {ppn}")
+            return 2
+        del args[i : i + 2]
     cmd = args[0] if args else "selfcheck"
     commands = {
         "selfcheck": selfcheck,
@@ -264,10 +303,10 @@ def main(argv: list[str]) -> int:
     if cmd not in commands:
         print(
             f"usage: python -m repro [{'|'.join(commands)}] "
-            "[--faults NAME[:SEED]] [--integrity] [--liveness]"
+            "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N]"
         )
         return 2
-    return commands[cmd](fault_spec, integrity, liveness)
+    return commands[cmd](fault_spec, integrity, liveness, ppn)
 
 
 if __name__ == "__main__":

@@ -265,24 +265,31 @@ def ablation_heap(cost: CostModel = DEFAULT_COST_MODEL) -> List[BenchResult]:
 
 
 def ablation_exchange(cost: CostModel = DEFAULT_COST_MODEL) -> List[BenchResult]:
-    """MPI_Alltoallw vs nonblocking data exchange (§5.4).
+    """MPI_Alltoallw vs nonblocking vs two_layer data exchange (§5.4).
 
     Run on two networks: a commodity one (collective messages cost the
     same as point-to-point) and a BG/L-style one whose interconnect is
     specialized for collectives (``net_collective_factor`` 0.25).  The
     paper's argument is exactly that the alltoallw path pays off on the
-    latter."""
+    latter.  The two_layer rows run on the same networks but with an
+    8-ranks-per-node topology armed, which is where intra-node
+    aggregation has something to aggregate."""
     pattern = _ablation_pattern()
     out = []
     for net_label, factor in (("commodity", 1.0), ("collective-net", 0.25)):
         net_cost = cost.replace(net_collective_factor=factor)
-        for mode in ("alltoallw", "nonblocking"):
+        for mode in ("alltoallw", "nonblocking", "two_layer"):
+            run_cost = (
+                net_cost.replace(procs_per_node=8)
+                if mode == "two_layer"
+                else net_cost
+            )
             r = run_hpio_write(
                 pattern,
                 impl="new",
                 representation="succinct",
                 hints=Hints(cb_nodes=8, exchange=mode),
-                cost=net_cost,
+                cost=run_cost,
                 label=f"exchange={mode} net={net_label}",
             )
             r.params.update({"exchange": mode, "network": net_label})

@@ -109,6 +109,11 @@ def run_collective(
     }
     if trace:
         counters["time_by_state"] = sim.tracer.time_by_state()
+    from repro.mpi.topology import TOPOLOGY_KEY
+
+    topo_stats = sim.shared.get(TOPOLOGY_KEY)
+    if topo_stats is not None:
+        counters["topology"] = topo_stats.snapshot()
     result = BenchResult(
         label=label,
         nprocs=nprocs,

@@ -75,6 +75,25 @@ class CostModel:
     #: the MPI_Alltoallw exchange pays off.
     net_collective_factor: float = 1.0
 
+    # --- Network topology (two tiers: intra-node vs inter-node) --------
+    #: Ranks per simulated node.  1 (the default) means every rank is
+    #: its own node: no intra-node tier exists and every message prices
+    #: exactly as the flat model above — the fast path pays nothing for
+    #: the topology machinery.  Values > 1 arm the two-tier model: node
+    #: of world rank ``r`` is ``r // procs_per_node``.
+    procs_per_node: int = 1
+    #: Per-message overhead between ranks sharing a node (shared-memory
+    #: transport: no NIC traversal, no TCP stack).
+    net_intra_latency: float = 1.5e-6
+    #: Seconds per byte between ranks sharing a node (~6 GB/s memcpy
+    #: bandwidth through a shared-memory segment).
+    net_intra_byte_time: float = 1.0 / (6.0 * 1024 * 1024 * 1024)
+    #: Wire envelope (header + matching metadata) accounted per message
+    #: in the inter/intra-node traffic *counters*.  Accounting only —
+    #: it never enters transit timing, so arming the topology changes
+    #: no virtual timestamp of same-tier traffic.
+    net_envelope_bytes: int = 64
+
     # --- File system (Lustre-like) -------------------------------------
     #: Client-side fixed cost per file-system call issued.
     io_call_overhead: float = 1.1e-4
@@ -124,6 +143,8 @@ class CostModel:
             raise ValueError("stripe_size must be a positive multiple of page_size")
         if self.num_osts <= 0:
             raise ValueError("num_osts must be positive")
+        if self.procs_per_node <= 0:
+            raise ValueError("procs_per_node must be positive")
 
 
 @dataclass(frozen=True)

@@ -9,12 +9,20 @@ across the machine's nodes in the common block rank-placement.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import CollectiveIOError
+from repro.mpi.topology import NodeTopology
 
 __all__ = ["select_aggregators"]
 
 
-def select_aggregators(size: int, cb_nodes: int, layout: str = "spread") -> list[int]:
+def select_aggregators(
+    size: int,
+    cb_nodes: int,
+    layout: str = "spread",
+    topology: Optional[NodeTopology] = None,
+) -> list[int]:
     """Ranks acting as aggregators.
 
     ``cb_nodes == 0`` (the hint default) means every process
@@ -24,6 +32,14 @@ def select_aggregators(size: int, cb_nodes: int, layout: str = "spread") -> list
       default choice of one process per node under block placement);
     * ``"packed"`` — the first ``cb_nodes`` ranks (what a
       ``cb_config_list`` pinning aggregators to the first nodes does).
+
+    With an armed node ``topology``, the spread layout becomes
+    *leader-aware*: aggregators land on node leaders first (lowest rank
+    per node, nodes evenly spaced), so the two-layer exchange's
+    leader↔aggregator hop is free whenever an aggregator count up to
+    the node count allows it.  Beyond one per node, additional
+    aggregators fill nodes round-robin.  The packed layout is already
+    node-packed under block placement and is left alone.
     """
     if size <= 0:
         raise CollectiveIOError(f"communicator size must be positive, got {size}")
@@ -36,4 +52,41 @@ def select_aggregators(size: int, cb_nodes: int, layout: str = "spread") -> list
         return list(range(size))
     if layout == "packed":
         return list(range(naggs))
+    if topology is not None and topology.procs_per_node > 1:
+        return _spread_on_leaders(size, naggs, topology)
     return sorted({(i * size) // naggs for i in range(naggs)})
+
+
+def _spread_on_leaders(size: int, naggs: int, topology: NodeTopology) -> list[int]:
+    """Leader-first spread: one aggregator per evenly spaced node, then
+    fill nodes round-robin with their next-lowest ranks."""
+    groups = topology.groups(tuple(range(size)))
+    node_ids = sorted(groups)
+    nnodes = len(node_ids)
+    if naggs <= nnodes:
+        chosen_nodes = sorted({(i * nnodes) // naggs for i in range(naggs)})
+        picked = [groups[node_ids[n]][0] for n in chosen_nodes]
+        # Spacing collisions can under-fill; take remaining leaders in order.
+        if len(picked) < naggs:
+            for nid in node_ids:
+                leader = groups[nid][0]
+                if leader not in picked:
+                    picked.append(leader)
+                if len(picked) == naggs:
+                    break
+        return sorted(picked)
+    picked = [groups[nid][0] for nid in node_ids]
+    depth = 1
+    while len(picked) < naggs:
+        progressed = False
+        for nid in node_ids:
+            members = groups[nid]
+            if depth < len(members):
+                picked.append(members[depth])
+                progressed = True
+                if len(picked) == naggs:
+                    break
+        if not progressed:
+            break
+        depth += 1
+    return sorted(picked[:naggs])

@@ -50,6 +50,7 @@ from repro.errors import AggregatorLost, CollectiveIOError
 from repro.faults.plan import FAULTS_KEY
 from repro.io.selection import choose_method
 from repro.liveness import LIVENESS_KEY
+from repro.mpi.topology import resolve_topology
 
 __all__ = ["write_all_new", "read_all_new"]
 
@@ -78,8 +79,12 @@ class _Plan:
 
         lo, hi = view.access_span(self.data_hi, data_lo)
         self.aar_lo, self.aar_hi = compute_aar(comm, lo, hi, total_bytes > 0)
+        # Node topology for this call: leader-aware aggregator placement
+        # and the two_layer exchange's grouping.  None on flat clusters,
+        # so the default path is untouched.
+        self.topology = resolve_topology(hints, env.cost)
         self.aggs = select_aggregators(
-            comm.size, hints["cb_nodes"], hints["cb_layout"]
+            comm.size, hints["cb_nodes"], hints["cb_layout"], topology=self.topology
         )
         # Resilience state: which collective call this is (a pure
         # function of per-rank program order, so every rank agrees
@@ -545,6 +550,14 @@ class _NullCursor:
         return SegmentBatch.empty_batch()
 
 
+def _exchange_mode(env: CollEnv) -> str:
+    """Effective exchange backend: ``node_aggregation`` forces
+    two_layer regardless of the ``exchange`` hint."""
+    if env.hints["node_aggregation"]:
+        return "two_layer"
+    return env.hints["exchange"]
+
+
 def _journal_commit(env: CollEnv, plan: _Plan) -> None:
     """Commit the collective call's shadow transaction.
 
@@ -606,7 +619,7 @@ def write_all_new(
     position ``data_lo`` (the individual file pointer)."""
     plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
-    mode = env.hints["exchange"]
+    mode = _exchange_mode(env)
     liv = plan._liveness
     rank = comm.rank
     if liv is not None:
@@ -640,7 +653,7 @@ def write_all_new(
             with env.ctx.trace("tp:exchange", round=r):
                 env.stats.bytes_exchanged += exchange_data(
                     comm, cost, mode, buf, send_plan, cbuf, recv_plan,
-                    skip=plan.skip,
+                    skip=plan.skip, topology=plan.topology,
                 )
             if liv is not None:
                 liv.set_phase(rank, f"io[{r}]")
@@ -684,7 +697,7 @@ def read_all_new(
     starting at data-stream position ``data_lo``."""
     plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
-    mode = env.hints["exchange"]
+    mode = _exchange_mode(env)
     liv = plan._liveness
     rank = comm.rank
     if liv is not None:
@@ -724,7 +737,7 @@ def read_all_new(
             with env.ctx.trace("tp:exchange", round=r):
                 env.stats.bytes_exchanged += exchange_data(
                     comm, cost, mode, cbuf, send_plan, buf, recv_plan,
-                    skip=plan.skip,
+                    skip=plan.skip, topology=plan.topology,
                 )
             r += 1
     finally:

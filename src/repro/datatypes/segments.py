@@ -67,6 +67,40 @@ class SegmentBatch:
     def empty_batch(pairs_evaluated: int = 0, tiles_skipped: int = 0) -> "SegmentBatch":
         return SegmentBatch(_EMPTY, _EMPTY, _EMPTY, pairs_evaluated, tiles_skipped)
 
+    def coalesce(self) -> "SegmentBatch":
+        """Merge runs adjacent in both file and data space.
+
+        Segments are first ordered by ``data_offsets`` — the order
+        :func:`~repro.datatypes.packing.gather_segments` packs them in —
+        then consecutive segments that continue each other in *both*
+        address spaces collapse into one run.  The packed byte stream of
+        the result is identical to the original's (same bytes, same
+        order), so a coalesced batch can replace the original on either
+        side of an exchange; only the per-segment bookkeeping shrinks.
+        Cost counters carry over unchanged.
+        """
+        n = self.lengths.size
+        if n <= 1:
+            return self
+        order = np.argsort(self.data_offsets, kind="stable")
+        fo = self.file_offsets[order]
+        ln = self.lengths[order]
+        do = self.data_offsets[order]
+        contiguous = (do[1:] == do[:-1] + ln[:-1]) & (fo[1:] == fo[:-1] + ln[:-1])
+        new_run = np.empty(n, dtype=bool)
+        new_run[0] = True
+        np.logical_not(contiguous, out=new_run[1:])
+        ids = np.cumsum(new_run) - 1
+        out_ln = np.zeros(int(ids[-1]) + 1, dtype=ln.dtype)
+        np.add.at(out_ln, ids, ln)
+        return SegmentBatch(
+            fo[new_run].copy(),
+            out_ln,
+            do[new_run].copy(),
+            self.pairs_evaluated,
+            self.tiles_skipped,
+        )
+
 
 def _clip(
     file_start: np.ndarray,

@@ -78,6 +78,12 @@ class PageCache:
         self._pages: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._valid: Dict[int, ByteRuns] = {}
         self._dirty: Dict[int, ByteRuns] = {}
+        #: Pages with a server fetch in flight, and the subset whose
+        #: range a concurrent revocation/invalidation touched while the
+        #: fetch yielded — their snapshot is stale and must not be
+        #: installed (the revoker dirtied bytes *after* our store read).
+        self._fetching: set[int] = set()
+        self._fetch_poisoned: set[int] = set()
         self.stats_hits = 0
         self.stats_misses = 0
         self.stats_flushed_pages = 0
@@ -136,19 +142,36 @@ class PageCache:
 
     def _fetch_pages(self, ctx: RankContext, pages: List[int]) -> None:
         """Read whole pages from the server, merging under locally valid
-        bytes (our writes win over the fetched snapshot)."""
+        bytes (our writes win over the fetched snapshot).
+
+        The server call yields the processor between reading the store
+        and this method installing the result.  A conflicting writer can
+        use that window to steal our just-acquired granules (nothing was
+        dirty, so the revocation had nothing to flush or drop) and dirty
+        bytes in them — making the snapshot stale before it lands.  The
+        revocation callback poisons in-flight pages it overlaps; a
+        poisoned snapshot is discarded, and the caller's miss path
+        re-reads those pieces from the server under fresh locks."""
         if not pages:
             return
         ps = self.page_size
         runs = _page_runs(sorted(pages))
         offs = np.array([lo * ps for lo, _ in runs], dtype=np.int64)
         lens = np.array([(hi - lo + 1) * ps for lo, hi in runs], dtype=np.int64)
-        data = self.fs.server_read(ctx, self.client_id, self.path, offs, lens)
+        self._fetching.update(pages)
+        try:
+            data = self.fs.server_read(ctx, self.client_id, self.path, offs, lens)
+        finally:
+            self._fetching.difference_update(pages)
+        poisoned = self._fetch_poisoned.intersection(pages)
+        self._fetch_poisoned.difference_update(pages)
         pos = 0
         for lo, hi in runs:
             for p in range(lo, hi + 1):
                 fresh = data[pos : pos + ps].copy()
                 pos += ps
+                if p in poisoned:
+                    continue
                 cached = self._pages.get(p)
                 if cached is not None:
                     for s, e in self._valid.get(p, ByteRuns()):
@@ -278,15 +301,24 @@ class PageCache:
         if not self.caching:
             self.fs.server_write(ctx, self.client_id, self.path, offsets, lengths, data)
             return
+        pieces = self._pages_of(offsets, lengths)
+        ps = self.page_size
+        total = int(lengths.sum())
+        # Charge the copy BEFORE taking the locks: ctx.charge yields the
+        # processor, and a yield between acquisition and the dirtying
+        # below would let a concurrent conflicting access steal the
+        # granules while our bytes are still clean (nothing to flush) —
+        # it would then cache a fully-valid stale page that no later
+        # revocation repairs, because our subsequent dirty bytes sit
+        # under a lock we no longer hold.
+        ctx.charge(total * self.fs.cost.cpu_per_byte_copy)
         if self.coherent:
             # Caching dirty bytes requires holding the extent locks, so
             # later conflicting accesses can revoke-and-flush them.  (An
             # incoherent cache skips this — the whole point of PFRs.)
+            # No yield may occur between this returning and the dirty
+            # marking below.
             self.fs.acquire_extents(ctx, self.client_id, self.path, offsets, lengths)
-        pieces = self._pages_of(offsets, lengths)
-        ps = self.page_size
-        total = int(lengths.sum())
-        ctx.charge(total * self.fs.cost.cpu_per_byte_copy)
         for page, parts in pieces.items():
             buf = self._pages.get(page)
             if buf is None:
@@ -330,9 +362,16 @@ class PageCache:
         need_set = set(need)
         for page, parts in pieces.items():
             buf = self._pages.get(page)
-            if buf is None:
-                # Revoked while we yielded during the fetch: go straight
-                # to the server for just these pieces.
+            valid = self._valid.get(page)
+            covered = buf is not None and valid is not None and all(
+                valid.covers(poff, poff + ln) for poff, ln, _ in parts
+            )
+            if not covered:
+                # Revoked (or the fetch poisoned) while we yielded: the
+                # page may be gone, or may survive holding only bytes
+                # from an earlier write that never covered this piece.
+                # Either way, go straight to the server for just these
+                # pieces.
                 ps = self.page_size
                 po = np.array([page * ps + poff for poff, _, _ in parts], dtype=np.int64)
                 pl = np.array([ln for _, ln, _ in parts], dtype=np.int64)
@@ -360,6 +399,7 @@ class PageCache:
         self._pages.clear()
         self._valid.clear()
         self._dirty.clear()
+        self._fetch_poisoned.update(self._fetching)
 
     def invalidate_range(self, lo: int, hi: int, *, keep_dirty: bool = False) -> int:
         """Drop cached pages intersecting [lo, hi) without flushing.
@@ -376,6 +416,9 @@ class PageCache:
             return 0
         ps = self.page_size
         p_lo, p_hi = lo // ps, -(-hi // ps)
+        self._fetch_poisoned.update(
+            p for p in self._fetching if p_lo <= p < p_hi
+        )
         inside = [
             p
             for p in self._pages
@@ -390,6 +433,12 @@ class PageCache:
         re-acquiring the (already transferred) locks, then drop the pages."""
         ps = self.page_size
         p_lo, p_hi = lo // ps, -(-hi // ps)
+        # An in-flight fetch overlapping the revoked range read the
+        # store before the requester's write lands: its snapshot must
+        # not be installed when the fetch resumes.
+        self._fetch_poisoned.update(
+            p for p in self._fetching if p_lo <= p < p_hi
+        )
         inside = [p for p in self._pages if p_lo <= p < p_hi]
         flushed = self._flush_pages(ctx, inside, acquire_locks=False)
         for p in inside:

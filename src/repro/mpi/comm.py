@@ -33,6 +33,7 @@ from repro.io.retry import RetryPolicy
 from repro.mpi.collectives import CollectiveMixin
 from repro.mpi.network import Network, payload_nbytes
 from repro.mpi.request import Request
+from repro.mpi.topology import NodeTopology, topology_stats
 from repro.sim.engine import BLOCK_TIMEOUT, RankContext
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator"]
@@ -137,6 +138,19 @@ class Communicator(CollectiveMixin):
         # split is collective, so every member makes the same sequence of
         # calls and derives the same child communicator id.
         self._split_count = 0
+        # Two-tier topology (CostModel.procs_per_node > 1): node id per
+        # communicator rank, plus the shared traffic counters.  Flat
+        # clusters keep all three None — the send/recv fast path tests
+        # one attribute and pays nothing else.
+        self.topology: Optional[NodeTopology] = None
+        self._node_of: Optional[tuple[int, ...]] = None
+        self._topo_stats = None
+        if cost.procs_per_node > 1:
+            self.topology = NodeTopology(cost.procs_per_node)
+            self._node_of = tuple(self.topology.node_of(w) for w in self.members)
+            self._topo_stats = topology_stats(ctx.shared)
+        #: Cached per-node subcommunicators keyed by procs_per_node.
+        self._node_comms: dict[int, "Communicator"] = {}
 
     # -- point-to-point ----------------------------------------------------
     def _check_peer(self, peer: int, what: str) -> None:
@@ -171,13 +185,28 @@ class Communicator(CollectiveMixin):
     def _overhead_factor(self, tag: int) -> float:
         return self.cost.net_collective_factor if tag >= COLLECTIVE_TAG_BASE else 1.0
 
+    def _intra(self, peer: int) -> bool:
+        """True when ``peer`` shares a node with me (topology armed)."""
+        node_of = self._node_of
+        return node_of is not None and node_of[peer] == node_of[self.rank]
+
+    def _note_traffic(self, nbytes: int, intra: bool) -> None:
+        if self._topo_stats is not None:
+            self._topo_stats.note_message(
+                nbytes, self.cost.net_envelope_bytes, intra
+            )
+
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking (buffered) send: completes after the sender overhead."""
         self._check_peer(dest, "destination")
         nbytes = payload_nbytes(obj)
         factor = self._overhead_factor(tag)
-        self.ctx.charge(self.net.send_overhead() * factor)
-        delay = self.net.delivery_delay(nbytes, self.rank, dest, self.ctx.now, factor)
+        intra = self._intra(dest)
+        self.ctx.charge(self.net.send_overhead(intra) * factor)
+        delay = self.net.delivery_delay(
+            nbytes, self.rank, dest, self.ctx.now, factor, intra
+        )
+        self._note_traffic(nbytes, intra)
         self._enqueue(dest, tag, obj, self.ctx.now + delay)
         self.ctx.yield_now()
 
@@ -186,8 +215,12 @@ class Communicator(CollectiveMixin):
         self._check_peer(dest, "destination")
         nbytes = payload_nbytes(obj)
         factor = self._overhead_factor(tag)
-        self.ctx.charge(self.net.post_overhead() * factor)
-        delay = self.net.delivery_delay(nbytes, self.rank, dest, self.ctx.now, factor)
+        intra = self._intra(dest)
+        self.ctx.charge(self.net.post_overhead(intra) * factor)
+        delay = self.net.delivery_delay(
+            nbytes, self.rank, dest, self.ctx.now, factor, intra
+        )
+        self._note_traffic(nbytes, intra)
         self._enqueue(dest, tag, obj, self.ctx.now + delay)
         return Request.completed()
 
@@ -207,7 +240,7 @@ class Communicator(CollectiveMixin):
         self._state.queues[self.rank].remove(msg)
         self.ctx.charge_to(msg.t_avail)
         factor = self._overhead_factor(msg.tag)
-        self.ctx.charge(self.net.recv_overhead() * factor)
+        self.ctx.charge(self.net.recv_overhead(self._intra(msg.src)) * factor)
         if msg.crc is None:
             # Unprotected: a corrupted frame is delivered as-is — the
             # silent wrong answer the integrity_network hint exists to
@@ -236,9 +269,12 @@ class Communicator(CollectiveMixin):
         def attempt() -> Any:
             # One NACK to the sender plus a fresh transit of the frame;
             # advance (not charge) so the wait is scheduler-visible.
+            intra = self._intra(msg.src)
             self.ctx.advance(
-                self.net.send_overhead() * factor
-                + self.net.delivery_delay(nbytes, msg.src, self.rank, self.ctx.now, factor)
+                self.net.send_overhead(intra) * factor
+                + self.net.delivery_delay(
+                    nbytes, msg.src, self.rank, self.ctx.now, factor, intra
+                )
             )
             payload = good
             if faults is not None:
@@ -365,6 +401,28 @@ class Communicator(CollectiveMixin):
             _rank=my_new_rank,
             _members=members,
         )
+
+    def node_subcomm(self, topology: Optional[NodeTopology] = None) -> "Communicator":
+        """The per-node subcommunicator carving this communicator by node.
+
+        Collective (built on :meth:`split`) and cached per
+        ``procs_per_node``: the first two-layer exchange carves the
+        node groups, later calls reuse them.  Node rank 0 — the lowest
+        communicator rank on the node — is the deterministic node
+        leader.  Falls back to the communicator's own topology when
+        none is given; a flat cluster (no topology anywhere) degrades
+        to one node per rank.
+        """
+        topo = topology if topology is not None else self.topology
+        ppn = topo.procs_per_node if topo is not None else 1
+        cached = self._node_comms.get(ppn)
+        if cached is not None:
+            return cached
+        color = topo.node_of(self.members[self.rank]) if topo is not None else self.rank
+        sub = self.split(color, _label="node")
+        assert sub is not None  # color is never negative here
+        self._node_comms[ppn] = sub
+        return sub
 
     def __repr__(self) -> str:
         return f"<Communicator {self.comm_id!r} rank={self.rank}/{self.size}>"

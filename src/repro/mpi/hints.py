@@ -77,8 +77,16 @@ _SPEC: Dict[str, tuple] = {
     "ds_buffer_size": (_positive_int, 512 * 1024),
     # Conditional data sieving: use naive I/O above this filetype extent.
     "ds_threshold_extent": (_positive_int, 16 * 1024),
-    # Data exchange backend (Section 5.4).
-    "exchange": (_choice("alltoallw", "nonblocking"), "alltoallw"),
+    # Data exchange backend (Section 5.4; two_layer adds the intra-node
+    # request aggregation of Kang et al., PAPERS.md).
+    "exchange": (_choice("alltoallw", "nonblocking", "two_layer"), "alltoallw"),
+    # Node-topology-aware exchange: True forces the two_layer backend
+    # regardless of the ``exchange`` hint.  ``procs_per_node`` overrides
+    # the cost model's node grouping for leader election and placement
+    # (0 = inherit CostModel.procs_per_node); it does not re-price the
+    # network, which stays a cost-model property.
+    "node_aggregation": (_boolean, False),
+    "procs_per_node": (_non_negative_int, 0),
     # Client-side request processing.
     "use_heap": (_boolean, True),
     # Client cache behaviour (coherent | incoherent | writethrough | off).

@@ -69,29 +69,44 @@ class Network:
         #: simulator's shared dict.
         self.faults = None
 
-    def send_overhead(self) -> float:
-        """Sender-side fixed cost of a blocking send."""
-        return self.cost.net_latency
+    def send_overhead(self, intra: bool = False) -> float:
+        """Sender-side fixed cost of a blocking send.
 
-    def post_overhead(self) -> float:
+        ``intra`` selects the intra-node tier (both peers share a node
+        under an armed topology): shared-memory transport overhead
+        instead of the NIC/TCP path."""
+        return self.cost.net_intra_latency if intra else self.cost.net_latency
+
+    def post_overhead(self, intra: bool = False) -> float:
         """Sender-side fixed cost of posting a nonblocking operation."""
+        if intra:
+            # Posting through shared memory is the transport overhead
+            # itself — there is no cheaper deferred path to set up.
+            return self.cost.net_intra_latency
         return self.cost.net_post_overhead
 
-    def transit_time(self, nbytes: int) -> float:
+    def transit_time(self, nbytes: int, intra: bool = False) -> float:
         """Fault-free time the payload spends on the wire."""
-        return nbytes * self.cost.net_byte_time
+        rate = self.cost.net_intra_byte_time if intra else self.cost.net_byte_time
+        return nbytes * rate
 
     def delivery_delay(
-        self, nbytes: int, src: int, dst: int, now: float, factor: float = 1.0
+        self,
+        nbytes: int,
+        src: int,
+        dst: int,
+        now: float,
+        factor: float = 1.0,
+        intra: bool = False,
     ) -> float:
         """Transit time (scaled by the collective-network ``factor``)
         plus any injected delay/retransmission penalty for one message
         sent at virtual time ``now``."""
-        transit = self.transit_time(nbytes) * factor
+        transit = self.transit_time(nbytes, intra) * factor
         if self.faults is not None:
             transit += self.faults.net_penalty(src, dst, now, transit)
         return transit
 
-    def recv_overhead(self) -> float:
+    def recv_overhead(self, intra: bool = False) -> float:
         """Receiver-side fixed cost of completing a receive."""
-        return self.cost.net_latency
+        return self.cost.net_intra_latency if intra else self.cost.net_latency

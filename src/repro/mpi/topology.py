@@ -1,0 +1,127 @@
+"""Node topology: which ranks share a node, and two-tier traffic stats.
+
+The simulated cluster is flat by default (``CostModel.procs_per_node ==
+1``: every rank is its own node).  Arming ``procs_per_node > 1`` groups
+*world* ranks into nodes — node of world rank ``r`` is
+``r // procs_per_node`` — which gives the network two tiers: messages
+between ranks sharing a node use the cheap intra-node parameters
+(``net_intra_latency``/``net_intra_byte_time``), everything else pays
+the flat inter-node cost.  The two-layer exchange
+(:mod:`repro.core.exchange`) uses the same grouping to elect per-node
+leaders.
+
+:class:`TopologyStats` is interned once per simulation in the engine's
+shared dictionary (under :data:`TOPOLOGY_KEY`) and accumulates wire
+traffic split by tier.  Byte counts include
+``CostModel.net_envelope_bytes`` per message, so an exchange that sends
+*fewer inter-node messages* for the same payload is visibly cheaper in
+the counters — the intra-node aggregation win the counters exist to
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "TOPOLOGY_KEY",
+    "NodeTopology",
+    "TopologyStats",
+    "topology_stats",
+    "resolve_topology",
+]
+
+#: Key of the shared per-simulation :class:`TopologyStats` instance.
+TOPOLOGY_KEY = "net-topology-stats"
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """Immutable rank→node mapping (pure function of ``procs_per_node``).
+
+    All grouping is in terms of *world* ranks, so every communicator —
+    the world, a per-node subcommunicator, a split — agrees on who
+    shares a node with whom.
+    """
+
+    procs_per_node: int
+
+    def node_of(self, world_rank: int) -> int:
+        return world_rank // self.procs_per_node
+
+    def same_node(self, world_a: int, world_b: int) -> bool:
+        return self.node_of(world_a) == self.node_of(world_b)
+
+    def groups(self, members: tuple) -> Dict[int, List[int]]:
+        """Communicator ranks grouped by node id, each group ascending.
+
+        ``members[i]`` is the world rank of communicator rank ``i`` (the
+        :class:`~repro.mpi.comm.Communicator` convention); the returned
+        dict maps node id → ascending communicator ranks, so
+        ``groups[nid][0]`` is the deterministic node leader (lowest
+        communicator rank on the node).
+        """
+        out: Dict[int, List[int]] = {}
+        for comm_rank, world_rank in enumerate(members):
+            out.setdefault(self.node_of(world_rank), []).append(comm_rank)
+        return out
+
+
+@dataclass
+class TopologyStats:
+    """Simulator-wide wire-traffic counters split by network tier.
+
+    Message byte counts are ``payload + net_envelope_bytes`` — the wire
+    cost of a message includes its envelope, which is what makes "send
+    fewer, larger messages across nodes" measurable even when the
+    payload volume is conserved.
+    """
+
+    inter_node_msgs: int = 0
+    inter_node_bytes: int = 0
+    intra_node_msgs: int = 0
+    intra_node_bytes: int = 0
+    #: offset/length runs entering / leaving leader-side coalescing.
+    coalesce_runs_in: int = 0
+    coalesce_runs_out: int = 0
+    #: two_layer rounds executed, and rounds that fell back to the flat
+    #: alltoallw because suspects were being skipped (per-rank calls).
+    two_layer_rounds: int = 0
+    flat_fallbacks: int = 0
+
+    def note_message(self, nbytes: int, envelope: int, intra: bool) -> None:
+        if intra:
+            self.intra_node_msgs += 1
+            self.intra_node_bytes += nbytes + envelope
+        else:
+            self.inter_node_msgs += 1
+            self.inter_node_bytes += nbytes + envelope
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+def topology_stats(shared: dict) -> TopologyStats:
+    """The simulation's shared stats instance (interned on first use)."""
+    stats = shared.get(TOPOLOGY_KEY)
+    if stats is None:
+        stats = shared.setdefault(TOPOLOGY_KEY, TopologyStats())
+    return stats
+
+
+def resolve_topology(hints, cost) -> Optional[NodeTopology]:
+    """Effective node topology for one collective file.
+
+    The ``procs_per_node`` hint (when positive) overrides the cost
+    model's value, so tests and experiments can vary the *grouping*
+    without re-pricing the network; ``0`` inherits
+    ``CostModel.procs_per_node``.  Returns ``None`` when the effective
+    value is 1 — flat cluster, no topology machinery.
+    """
+    ppn = int(hints["procs_per_node"]) if hints is not None else 0
+    if ppn <= 0:
+        ppn = cost.procs_per_node
+    if ppn <= 1:
+        return None
+    return NodeTopology(ppn)
