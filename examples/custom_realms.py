@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BYTE, CollectiveFile, Communicator, Hints, SimFileSystem, Simulator, contiguous, resized
+from repro import BYTE, Session, contiguous, resized
 from repro.core.realms import EvenPartition, RealmStrategy, make_contiguous_realms
 import repro.core.two_phase_new as tp
 
@@ -42,7 +42,7 @@ class FrontLoadedRealms(RealmStrategy):
     def __init__(self, dense_end: int) -> None:
         self.dense_end = dense_end
 
-    def assign(self, aar_lo, aar_hi, naggs, histogram=None):
+    def assign(self, aar_lo, aar_hi, naggs, histogram=None, weights=None):
         dense_hi = min(self.dense_end, aar_hi)
         chunk = max(-(-(dense_hi - aar_lo) // max(naggs - 1, 1)), 1)
         bounds = [min(aar_lo + i * chunk, dense_hi) for i in range(naggs)] + [aar_hi]
@@ -50,9 +50,15 @@ class FrontLoadedRealms(RealmStrategy):
 
 
 def run(strategy_hint: str, custom: RealmStrategy | None = None) -> tuple[float, bool]:
-    fs = SimFileSystem()
-    hints = Hints(cb_nodes=4, cache_mode="off",
-                  realm_strategy=strategy_hint if not custom else "even")
+    session = Session.open(
+        "/skewed.dat",
+        nprocs=NPROCS,
+        hints={
+            "cb_nodes": 4,
+            "cache_mode": "off",
+            "realm_strategy": strategy_hint if not custom else "even",
+        },
+    )
 
     # Installing a custom strategy = overriding the resolver the driver
     # uses; a production API would hang this off the hints object.
@@ -60,9 +66,7 @@ def run(strategy_hint: str, custom: RealmStrategy | None = None) -> tuple[float,
     if custom is not None:
         tp.resolve_strategy = lambda hints: custom
 
-    def main(ctx):
-        comm = Communicator(ctx)
-        f = CollectiveFile(ctx, comm, fs, "/skewed.dat", hints=hints)
+    def body(ctx, comm, f):
         rank = comm.rank
         if rank < NPROCS // 2:
             f.set_view(
@@ -73,20 +77,17 @@ def run(strategy_hint: str, custom: RealmStrategy | None = None) -> tuple[float,
         else:
             f.set_view(disp=SPARSE_OFFSET + rank * 4096, filetype=contiguous(4096, BYTE))
             buf = np.full(4096, rank + 1, dtype=np.uint8)
-        t0 = comm.allreduce(ctx.now, op=max)
         f.write_all(buf)
-        f.close()
-        t1 = comm.allreduce(ctx.now, op=max)
-        return (t1 - t0, buf.size)
+        return buf.size
 
     try:
-        sim = Simulator(NPROCS)
-        results = sim.run(main)
+        sizes = session.run(body)
     finally:
         tp.resolve_strategy = original
 
-    elapsed = results[0][0]
-    total = sum(r[1] for r in results)
+    elapsed = session.makespan
+    total = sum(sizes)
+    fs = session.fs
     # Spot-check the dense block and one sparse region.
     ok = bool(
         (fs.raw_bytes("/skewed.dat", 0, DENSE_REGION) == 1).all()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CollectiveFile, Communicator, SimFileSystem, Simulator, BYTE
+from repro import BYTE, Session
 from repro.datatypes import DISTRIBUTE_BLOCK, DISTRIBUTE_CYCLIC, darray
 from repro.datatypes.packing import gather_segments
 from repro.datatypes.segments import FlatCursor
@@ -36,9 +36,7 @@ def my_filetype(rank):
     )
 
 
-def main(ctx):
-    comm = Communicator(ctx)
-    f = CollectiveFile(ctx, comm, fs, "/matrix.ckpt")
+def body(ctx, comm, f):
     ft = my_filetype(comm.rank)
     f.set_view(disp=0, filetype=ft)
 
@@ -52,17 +50,16 @@ def main(ctx):
     restored = np.zeros_like(local)
     f.read_all(restored)
     assert np.array_equal(restored, local), f"rank {comm.rank} restore mismatch"
-    f.close()
     return ft.size
 
 
 if __name__ == "__main__":
-    fs = SimFileSystem()
-    shares = Simulator(NPROCS).run(main)
+    session = Session.open("/matrix.ckpt", nprocs=NPROCS)
+    shares = session.run(body)
     assert sum(shares) == ROWS * COLS
 
     # The file is the canonical global array: check the ownership map.
-    img = fs.raw_bytes("/matrix.ckpt", 0, ROWS * COLS).reshape(ROWS, COLS)
+    img = session.fs.raw_bytes("/matrix.ckpt", 0, ROWS * COLS).reshape(ROWS, COLS)
     expect = np.zeros((ROWS, COLS), dtype=np.uint8)
     for rank in range(NPROCS):
         ft = my_filetype(rank)

@@ -4,22 +4,24 @@
 Section 6.2 attributes the new implementation's slowdowns using MPE
 logging: "the main cause for the differences is the additional
 computational overhead tied directly to the number of aggregators."
-This example reproduces that analysis: the same HPIO write runs with
-the succinct and the enumerated filetype, and the tracer breaks the
-simulated time into the two-phase phases (route / exchange / io), plus
-an ASCII timeline of one aggregator's activity.
+This example reproduces that analysis on the structured span API: the
+same HPIO write runs with the succinct and the enumerated filetype,
+each under a traced :class:`repro.Session`.  The recorded spans are
+*nested* — every ``tp:plan`` / ``tp:route`` / ``tp:exchange`` /
+``tp:io`` interval is a child of its ``write_all`` span — so the
+script can walk one collective call's phase tree, not just flat
+per-state totals, and it finishes by exporting a Chrome
+``trace_event`` JSON that Perfetto / ``chrome://tracing`` renders as
+the figure the paper drew by hand.
 
 Run:  python examples/mpe_timeline.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import CollectiveFile, Communicator, SimFileSystem, Simulator, Tracer
+from repro import Session
 from repro.hpio.patterns import HPIOPattern
 from repro.hpio.verify import fill_pattern
-from repro.mpi import Hints
 
 NPROCS = 16
 AGGS = 8
@@ -28,50 +30,63 @@ PATTERN = HPIOPattern(
 )
 
 
-def run(representation: str):
-    tracer = Tracer()
-    fs = SimFileSystem()
-    hints = Hints(cb_nodes=AGGS, cb_buffer_size=256 * 1024)
+def run(representation: str) -> Session:
+    session = Session.open(
+        "/trace.dat",
+        nprocs=NPROCS,
+        hints={"cb_nodes": AGGS, "cb_buffer_size": 256 * 1024},
+        trace=True,
+    )
 
-    def main(ctx):
-        comm = Communicator(ctx)
-        f = CollectiveFile(ctx, comm, fs, "/trace.dat", hints=hints)
+    def body(ctx, comm, f):
         f.set_view(
             disp=PATTERN.file_disp(comm.rank),
             filetype=PATTERN.filetype(comm.rank, representation),
         )
         buf = fill_pattern(PATTERN, comm.rank)
-        memtype = PATTERN.memtype()
-        f.write_all(buf, memtype=memtype, count=1)
-        f.close()
+        f.write_all(buf, memtype=PATTERN.memtype(), count=1)
 
-    sim = Simulator(NPROCS, tracer=tracer)
-    sim.run(main)
-    return tracer, sim.makespan
+    session.run(body)
+    return session
 
 
 if __name__ == "__main__":
     print(PATTERN.describe(), f"write via {AGGS} aggregators\n")
-    results = {}
+    sessions = {}
     for rep in ("succinct", "enumerated"):
-        tracer, makespan = run(rep)
-        totals = tracer.time_by_state()
-        results[rep] = (tracer, makespan, totals)
+        session = sessions[rep] = run(rep)
+        totals = session.time_by_state()
         phases = {k: v for k, v in totals.items() if k.startswith("tp:")}
         span = sum(phases.values()) or 1.0
-        print(f"filetype = {rep} (makespan {makespan * 1e3:.2f} ms)")
-        for state in ("tp:route", "tp:exchange", "tp:io"):
+        print(f"filetype = {rep} (makespan {session.makespan * 1e3:.2f} ms)")
+        for state in ("tp:plan", "tp:route", "tp:exchange", "tp:io"):
             t = phases.get(state, 0.0)
             bar = "#" * int(40 * t / span)
             print(f"  {state:<12} {t * 1e3:9.3f} ms  {bar}")
         print()
 
-    route_succ = results["succinct"][2].get("tp:route", 0.0)
-    route_enum = results["enumerated"][2].get("tp:route", 0.0)
+    route_succ = sessions["succinct"].time_by_state().get("tp:route", 0.0)
+    route_enum = sessions["enumerated"].time_by_state().get("tp:route", 0.0)
     print(
         f"routing (datatype processing) time: succinct {route_succ * 1e3:.2f} ms, "
         f"enumerated {route_enum * 1e3:.2f} ms "
         f"({route_enum / max(route_succ, 1e-12):.1f}x)"
     )
+
+    # The spans are nested: walk rank 0's write_all phase tree.
+    tracer = sessions["enumerated"].tracer
+    call = next(e for e in tracer.top_level(0) if e.state == "write_all")
+    print("\nrank 0's write_all span tree (enumerated filetype):")
+    print(f"  write_all {(call.t1 - call.t0) * 1e3:9.3f} ms")
+    for child in tracer.children_of(call):
+        label = child.state + (
+            f"[{child.info['round']}]" if "round" in child.info else ""
+        )
+        print(f"    {label:<16} {(child.t1 - child.t0) * 1e3:9.3f} ms")
+
     print("\none aggregator's activity over the run (enumerated filetype):")
-    print(results["enumerated"][0].timeline(0, width=64))
+    print(tracer.timeline(0, width=64))
+
+    # Export the whole run for Perfetto / chrome://tracing.
+    doc = sessions["enumerated"].write_trace("mpe_timeline.json")
+    print(f"\nwrote mpe_timeline.json ({len(doc['traceEvents'])} trace events)")

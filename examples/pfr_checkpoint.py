@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CollectiveFile, Communicator, Hints, SimFileSystem, Simulator
+from repro import Session
 from repro.config import DEFAULT_COST_MODEL
 from repro.hpio.timeseries import TimeSeriesPattern
 
@@ -31,30 +31,27 @@ TS = TimeSeriesPattern(
 )
 
 
-def run(pfr: bool):
-    fs = SimFileSystem(
-        DEFAULT_COST_MODEL, lock_granularity=DEFAULT_COST_MODEL.stripe_size
-    )
-    hints = Hints(
-        cb_nodes=NPROCS // 2,
-        cache_mode="incoherent",
-        persistent_file_realms=pfr,
-        realm_alignment=DEFAULT_COST_MODEL.stripe_size,
-        io_method="datasieve",
+def run(pfr: bool) -> Session:
+    session = Session.open(
+        "/checkpoint.nc",
+        nprocs=NPROCS,
+        lock_granularity=DEFAULT_COST_MODEL.stripe_size,
+        hints={
+            "cb_nodes": NPROCS // 2,
+            "cache_mode": "incoherent",
+            "persistent_file_realms": pfr,
+            "realm_alignment": DEFAULT_COST_MODEL.stripe_size,
+            "io_method": "datasieve",
+        },
     )
 
-    def main(ctx):
-        comm = Communicator(ctx)
-        f = CollectiveFile(ctx, comm, fs, "/checkpoint.nc", hints=hints)
+    def body(ctx, comm, f):
         for step in range(TS.timesteps):
             f.set_view(disp=0, filetype=TS.filetype(comm.rank, step))
             f.write_all(TS.step_buffer(comm.rank, step))
-        f.close()
-        return ctx.now
 
-    sim = Simulator(NPROCS)
-    times = sim.run(main)
-    return fs, max(times)
+    session.run(body)
+    return session
 
 
 def expected_image() -> np.ndarray:
@@ -74,15 +71,19 @@ if __name__ == "__main__":
     oracle = expected_image()
     print(TS.describe())
     for pfr in (False, True):
-        fs, makespan = run(pfr)
-        got = fs.raw_bytes("/checkpoint.nc", 0, TS.file_bytes)
+        session = run(pfr)
+        got = session.fs.raw_bytes("/checkpoint.nc", 0, TS.file_bytes)
         ok = np.array_equal(got, oracle)
-        s = fs.stats("/checkpoint.nc")
+        # Per-file server counters under their registry names, read
+        # through the file's slice of the session registry.
+        view = session.metrics.view("/checkpoint.nc")
         mb = TS.bytes_per_step * TS.timesteps / (1 << 20)
         print(
             f"  PFR={'on ' if pfr else 'off'}: data {'OK' if ok else 'CORRUPT'}, "
-            f"{mb / makespan:6.2f} MB/s, server writes={s.server_writes}, "
-            f"reads={s.server_reads}, lock revocations={s.lock_revocations}"
+            f"{mb / session.makespan:6.2f} MB/s, "
+            f"server writes={view.value('fs.server.writes')}, "
+            f"reads={view.value('fs.server.reads')}, "
+            f"lock revocations={view.value('lock.revocations')}"
         )
         assert ok
     print(

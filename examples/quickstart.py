@@ -7,6 +7,12 @@ regions round-robin (rank r owns region r, r+4, r+8, ...).  A single
 ``read_all`` gets it back; the script verifies both against the file
 server's raw bytes and prints where the simulated time went.
 
+Everything runs through a :class:`repro.Session` — the documented
+front door — so the per-rank counters afterwards come from the
+session's metrics registry under stable dotted names
+(``coll.rounds``, ``exchange.bytes``, ...) instead of ad-hoc stats
+attributes.
+
 Run:  python examples/quickstart.py
 """
 
@@ -14,32 +20,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    BYTE,
-    CollectiveFile,
-    Communicator,
-    Hints,
-    SimFileSystem,
-    Simulator,
-    Tracer,
-    contiguous,
-    resized,
-)
+from repro import BYTE, Session, contiguous, resized
 
 NPROCS = 4
 REGION = 64
 COUNT = 16  # regions per rank
 
 
-def main(ctx):
-    comm = Communicator(ctx)
+def body(ctx, comm, f):
     rank = comm.rank
-
-    hints = Hints(
-        cb_nodes=2,               # two of the four ranks aggregate
-        io_method="conditional",  # pick datasieve/naive per flush
-    )
-    f = CollectiveFile(ctx, comm, fs, "/quickstart.dat", hints=hints)
 
     # File view: this rank's regions, every NPROCS * REGION bytes.
     tile = resized(contiguous(REGION, BYTE), 0, REGION * NPROCS)
@@ -55,38 +44,45 @@ def main(ctx):
     back = np.zeros_like(data)
     f.read_all(back)
     assert np.array_equal(back, data), f"rank {rank}: read-back mismatch"
-
-    stats = f.stats
-    f.close()
-    return {
-        "rank": rank,
-        "rounds": stats.rounds,
-        "bytes_exchanged": stats.bytes_exchanged,
-        "flush_methods": stats.flush_methods,
-        "finished_at_ms": ctx.now * 1e3,
-    }
+    return {"rank": rank, "finished_at_ms": ctx.now * 1e3}
 
 
 if __name__ == "__main__":
-    tracer = Tracer()
-    fs = SimFileSystem()
-    sim = Simulator(NPROCS, tracer=tracer)
-    results = sim.run(main)
+    session = Session.open(
+        "/quickstart.dat",
+        nprocs=NPROCS,
+        hints={
+            "cb_nodes": 2,               # two of the four ranks aggregate
+            "io_method": "conditional",  # pick datasieve/naive per flush
+        },
+        trace=True,
+    )
+    results = session.run(body)
 
     # Verify the interleaving on the server's raw bytes.
-    image = fs.raw_bytes("/quickstart.dat", 0, REGION * NPROCS * COUNT)
+    image = session.fs.raw_bytes("/quickstart.dat", 0, REGION * NPROCS * COUNT)
     for i in range(NPROCS * COUNT):
         owner = i % NPROCS
         region = image[i * REGION : (i + 1) * REGION]
         assert (region == owner + 1).all(), f"region {i} corrupted"
 
     print("collective write + read-back verified on the server")
+    reg = session.metrics
     for r in results:
+        rank = r["rank"]
+        view = reg.view(rank)  # this rank's slice of the registry
         print(
-            f"  rank {r['rank']}: {r['rounds']} two-phase rounds, "
-            f"{r['bytes_exchanged']} bytes exchanged, "
-            f"flushes={r['flush_methods']}, done at {r['finished_at_ms']:.3f} ms"
+            f"  rank {rank}: {view.value('coll.rounds')} two-phase rounds, "
+            f"{view.value('exchange.bytes')} bytes exchanged, "
+            f"done at {r['finished_at_ms']:.3f} ms"
         )
+    print(
+        f"\ntotals: {reg.total('coll.rounds')} rounds, "
+        f"{reg.total('exchange.bytes')} bytes exchanged "
+        f"(makespan {session.makespan * 1e3:.3f} ms)"
+    )
     print("\nsimulated time by activity:")
-    for state, seconds in sorted(tracer.time_by_state().items(), key=lambda kv: -kv[1]):
+    for state, seconds in sorted(
+        session.time_by_state().items(), key=lambda kv: -kv[1]
+    ):
         print(f"  {state:<12} {seconds * 1e3:8.3f} ms")

@@ -8,31 +8,27 @@ system with extent locks and client caches, an ADIO-style independent
 I/O layer, and both the new flexible and the original ROMIO-style
 collective implementations.
 
-Quickstart::
+Quickstart — the :class:`Session` façade wires the simulator, file
+system, hints, metrics registry, and tracer together::
 
     import numpy as np
-    from repro import (
-        Simulator, Communicator, SimFileSystem, CollectiveFile, Hints,
-        BYTE, contiguous, resized,
-    )
+    from repro import Session, BYTE, contiguous, resized
 
-    fs = SimFileSystem()
+    with Session.open("/data", nprocs=4,
+                      hints={"io_method": "conditional"}) as s:
 
-    def main(ctx):
-        comm = Communicator(ctx)
-        hints = Hints(io_method="conditional")
-        f = CollectiveFile(ctx, comm, fs, "/data", hints=hints)
-        region, nprocs = 64, comm.size
-        tile = resized(contiguous(region, BYTE), 0, region * nprocs)
-        f.set_view(disp=comm.rank * region, filetype=tile)
-        buf = np.full(region * 16, comm.rank, dtype=np.uint8)
-        f.write_all(buf)
-        f.close()
+        def body(ctx, comm, f):
+            region = 64
+            tile = resized(contiguous(region, BYTE), 0, region * comm.size)
+            f.set_view(disp=comm.rank * region, filetype=tile)
+            f.write_all(np.full(region * 16, comm.rank, dtype=np.uint8))
 
-    Simulator(4).run(main)
+        s.run(body)
+        print(s.makespan, s.metrics.total("coll.rounds"))
 
-See DESIGN.md for the architecture and EXPERIMENTS.md for the
-paper-figure reproductions.
+See DESIGN.md for the architecture, docs/observability.md for the
+metrics/tracing layer, and EXPERIMENTS.md for the paper-figure
+reproductions.
 """
 
 from repro.config import CostModel, DEFAULT_COST_MODEL, FaultConfig, LivenessConfig
@@ -80,6 +76,14 @@ from repro.integrity import FsckReport, IntegrityConfig, fsck, scrub_store
 from repro.io import AdioFile, RetryPolicy
 from repro.liveness import LivenessState, find_liveness, install_liveness
 from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, Hints
+from repro.obs import (
+    MetricsRegistry,
+    MetricsView,
+    PhaseAccumulator,
+    PhaseHook,
+    metrics_registry,
+)
+from repro.obs.session import Session
 from repro.sim import RankContext, Simulator, Tracer, Watchdog
 
 __version__ = "1.0.0"
@@ -126,6 +130,13 @@ __all__ = [
     "CollectiveFile",
     "CollStats",
     "FileView",
+    # observability
+    "Session",
+    "MetricsRegistry",
+    "MetricsView",
+    "metrics_registry",
+    "PhaseAccumulator",
+    "PhaseHook",
     # faults / resilience
     "FaultConfig",
     "FaultPlan",

@@ -217,6 +217,90 @@ def fsck(
     return 0
 
 
+def trace(
+    fault_spec: Optional[str] = None,
+    integrity: bool = False,
+    liveness: bool = False,
+    ppn: int = 0,
+    out: str = "out.json",
+) -> int:
+    """Run one traced collective write/read and export a Chrome trace.
+
+    The workload is the selfcheck's interleaved tile pattern on the new
+    implementation (two-layer when ``--ppn`` arms a topology), recorded
+    as nested spans and written to ``out`` as ``trace_event`` JSON that
+    Perfetto / ``chrome://tracing`` loads directly.  The export is
+    validated against the checked-in schema, and the per-state span
+    totals are cross-checked against the tracer's MPE-style
+    aggregation before the file is declared good."""
+    from repro import BYTE, Hints, Session, contiguous, resized
+    from repro.obs.schema import validate_chrome_trace
+
+    nprocs = 2 * ppn if ppn > 1 else 8
+    region, count = 64, 16
+    hints = Hints(coll_impl="new", cb_nodes=2, cb_buffer_size=512)
+    if ppn > 1:
+        hints = hints.replace(procs_per_node=ppn, node_aggregation=True)
+    if integrity:
+        hints = hints.replace(
+            integrity_pages=True, integrity_network=True, journal_writes=True
+        )
+    if liveness:
+        hints = hints.replace(coll_deadline=0.5, liveness=True)
+
+    session = Session(
+        "/trace", nprocs=nprocs, hints=hints, faults=fault_spec, trace=True
+    )
+
+    def body(ctx, comm, f):
+        tile = resized(contiguous(region, BYTE), 0, region * comm.size)
+        f.set_view(disp=comm.rank * region, filetype=tile)
+        data = (
+            np.arange(region * count, dtype=np.int64) * (comm.rank + 1) % 251
+        ).astype(np.uint8)
+        f.write_all(data)
+        f.seek(0)
+        back = np.zeros_like(data)
+        f.read_all(back)
+        return bool(np.array_equal(back, data))
+
+    verified = session.run(body)
+    doc = session.write_trace(out, validate=True)
+    validate_chrome_trace(doc)
+
+    # Cross-check: the Chrome export's per-name dur totals must equal
+    # the tracer's MPE-style per-state aggregation (µs vs seconds).
+    chrome_totals: dict[str, float] = {}
+    spans = 0
+    for ev in doc["traceEvents"]:
+        if ev["ph"] != "X":
+            continue
+        spans += 1
+        chrome_totals[ev["name"]] = chrome_totals.get(ev["name"], 0.0) + ev["dur"]
+    by_state = session.time_by_state()
+    drift = 0.0
+    for state, seconds in by_state.items():
+        drift = max(drift, abs(chrome_totals.get(state, 0.0) - seconds * 1e6))
+    if drift > 1e-3:  # µs
+        print(f"trace: export disagrees with aggregation by {drift:.3f} µs")
+        return 1
+
+    print(f"wrote {out}: {spans} spans, {len(by_state)} states, schema-valid")
+    print(f"makespan {session.makespan * 1e3:.3f} ms; time by state:")
+    for state in sorted(by_state, key=by_state.get, reverse=True):
+        print(f"  {state:<20} {by_state[state] * 1e3:9.3f} ms")
+    if session.fault_stats is not None:
+        fired = ", ".join(
+            f"{k}={v:g}" for k, v in session.fault_stats.snapshot().items() if v
+        )
+        print(f"faults: {fired or '-'}")
+    if not all(verified):
+        bad = [r for r, okr in enumerate(verified) if not okr]
+        print(f"read-back mismatch on rank(s) {bad} (uncaught injected faults)")
+    print("trace: span totals match MPE-style aggregation")
+    return 0
+
+
 def demo(
     fault_spec: Optional[str] = None,
     integrity: bool = False,
@@ -299,13 +383,19 @@ def main(argv: list[str]) -> int:
         "info": info,
         "chaos": chaos,
         "fsck": fsck,
+        "trace": trace,
     }
     if cmd not in commands:
         print(
             f"usage: python -m repro [{'|'.join(commands)}] "
-            "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N]"
+            "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N]\n"
+            "       python -m repro trace [OUT.json] [--ppn N] "
+            "[--faults NAME[:SEED]]"
         )
         return 2
+    if cmd == "trace":
+        out = args[1] if len(args) > 1 else "out.json"
+        return trace(fault_spec, integrity, liveness, ppn, out)
     return commands[cmd](fault_spec, integrity, liveness, ppn)
 
 

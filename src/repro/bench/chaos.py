@@ -52,9 +52,8 @@ from repro.errors import (
     RetryExhausted,
 )
 from repro.faults import FaultPlan, FaultStats, load_scenario
-from repro.fs import SimFileSystem
 from repro.mpi import Communicator, Hints
-from repro.sim import Simulator
+from repro.obs.session import Session
 
 __all__ = ["ChaosPoint", "ChaosReport", "ChaosHarness"]
 
@@ -103,6 +102,10 @@ class ChaosPoint:
     #: frame re-requested, or the run killed loudly) — never silent.
     detected: bool = False
     fault_stats: Dict[str, float] = field(default_factory=dict)
+    #: The point's full metrics-registry snapshot (stable dotted names:
+    #: ``cache.*``, ``fs.*``, ``net.*``, ``faults.*``, ...), so cache
+    #: behaviour under faults is visible per intensity step.
+    counters: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -206,14 +209,23 @@ class ChaosHarness:
 
     def run_once(
         self, plan: Optional[FaultPlan]
-    ) -> tuple[float, bool, bool, FaultStats]:
+    ) -> tuple[float, bool, bool, FaultStats, Dict[str, object]]:
         """One full run (open, write_all, close) under ``plan``.
 
         Returns (virtual completion seconds, no-silent-corruption,
-        corruption-detected, fault stats).  ``plan=None`` runs
-        fault-free.  Failures unrelated to corruption detection
-        propagate (they are harness bugs, not chaos outcomes)."""
-        fs = SimFileSystem(self.cost)
+        corruption-detected, fault stats, registry snapshot).
+        ``plan=None`` runs fault-free.  Failures unrelated to
+        corruption detection propagate (they are harness bugs, not
+        chaos outcomes).
+
+        Each run builds a fresh :class:`~repro.obs.session.Session`, so
+        the returned registry snapshot is the per-run counter set —
+        including the page caches' ``cache.hits`` / ``cache.misses``,
+        which the old harness never saw."""
+        session = Session(
+            _PATH, nprocs=self.nprocs, hints=self.hints, cost=self.cost, faults=plan
+        )
+        fs = session.fs
         region, nprocs = self.region, self.nprocs
         hints = self.hints
 
@@ -226,23 +238,24 @@ class ChaosHarness:
             f.close()
             return ctx.now
 
-        sim = Simulator(nprocs)
-        injector = plan.install(sim) if plan is not None else None
-        stats = injector.stats if injector is not None else FaultStats()
         try:
-            times = sim.run(main)
+            times = session.launch(main)
         except ReproError as exc:
+            stats = session.fault_stats or FaultStats()
+            counters = session.registry.snapshot()
             if self.liveness and _liveness_in_chain(exc):
                 # Killed loudly by a typed liveness error — the bounded
                 # (and reported) alternative to a hang.  The raising
                 # rank's clock was at most one deadline past the call's
                 # start, so boundedness holds by construction.
-                return 0.0, True, True, stats
+                return 0.0, True, True, stats, counters
             if not _detection_in_chain(exc):
                 raise
             # Killed loudly by detected corruption — the opposite of a
             # silent wrong answer.  No meaningful completion time.
-            return 0.0, True, True, stats
+            return 0.0, True, True, stats, counters
+        stats = session.fault_stats or FaultStats()
+        counters = session.registry.snapshot()
         seconds = max(times)
         got = fs.raw_bytes(_PATH, 0, self.total_bytes)
         diff = np.flatnonzero(got != self._oracle())
@@ -250,7 +263,7 @@ class ChaosHarness:
             stats.net_corruptions_detected or stats.page_corruptions_detected
         )
         if diff.size == 0:
-            return seconds, True, detected, stats
+            return seconds, True, detected, stats, counters
         # Bytes are wrong.  That is still "caught" when every wrong page
         # fails its sidecar (an fsck scrub flags exactly the damage);
         # anything less is silent corruption.
@@ -258,13 +271,13 @@ class ChaosHarness:
         bad = set(store.verify_all())
         wrong_pages = set((diff // store.page_size).tolist())
         caught = bool(bad) and wrong_pages <= bad
-        return seconds, caught, caught or detected, stats
+        return seconds, caught, caught or detected, stats, counters
 
     def sweep(
         self, rate_scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0)
     ) -> ChaosReport:
         """Baseline plus one verified run per intensity."""
-        baseline, ok, _, _ = self.run_once(None)
+        baseline, ok, _, _, _ = self.run_once(None)
         report = ChaosReport(
             scenario=self.scenario_name,
             seed=self.plan.seed,
@@ -275,7 +288,9 @@ class ChaosHarness:
         if not ok:
             raise AssertionError("fault-free chaos baseline wrote corrupt data")
         for scale in rate_scales:
-            seconds, verified, detected, stats = self.run_once(self.plan.scaled(scale))
+            seconds, verified, detected, stats, counters = self.run_once(
+                self.plan.scaled(scale)
+            )
             report.points.append(
                 ChaosPoint(
                     rate_scale=float(scale),
@@ -284,6 +299,7 @@ class ChaosHarness:
                     verified=verified,
                     detected=detected,
                     fault_stats=stats.snapshot(),
+                    counters=counters,
                 )
             )
         return report

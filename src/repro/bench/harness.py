@@ -16,14 +16,14 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
-from repro.core import CollectiveFile
 from repro.errors import CollectiveIOError
 from repro.fs import SimFileSystem
 from repro.hpio.patterns import HPIOPattern
 from repro.hpio.timeseries import TimeSeriesPattern
 from repro.hpio.verify import fill_pattern, verify_write
-from repro.mpi import Communicator, Hints
-from repro.sim import Simulator
+from repro.mpi import Hints
+from repro.obs.hooks import PhaseAccumulator
+from repro.obs.session import Session
 
 __all__ = ["BenchResult", "run_collective", "run_hpio_write", "run_timeseries"]
 
@@ -69,60 +69,52 @@ def run_collective(
 ) -> tuple[BenchResult, SimFileSystem]:
     """Run ``body(ctx, comm, f) -> bytes_written`` on every rank.
 
-    Timing covers everything between the post-open barrier and the
-    completion of the collective close (so deferred cache flushes are
-    charged to the run that deferred them).  With ``trace=True`` the
-    result's counters include ``time_by_state`` — the MPE-style
-    decomposition of where simulated time went (``tp:route`` /
-    ``tp:exchange`` / ``tp:io``), which is how the paper attributed the
-    new implementation's overheads."""
-    fs = SimFileSystem(cost, lock_granularity=lock_granularity)
-
-    def main(ctx):
-        comm = Communicator(ctx, cost)
-        f = CollectiveFile(ctx, comm, fs, _PATH, hints=hints, cost=cost)
-        t0 = comm.allreduce(ctx.now, op=max)
-        written = body(ctx, comm, f)
-        f.close()
-        t1 = comm.allreduce(ctx.now, op=max)
-        return (written, t0, t1, f.stats.snapshot())
-
-    from repro.sim import Tracer
-
-    sim = Simulator(nprocs, tracer=Tracer(enabled=trace))
-    results = sim.run(main)
-    total = sum(r[0] for r in results)
-    t0 = results[0][1]
-    t1 = results[0][2]
-    stats = results[0][3]
-    agg_client_pairs = sum(r[3]["client_pairs"] for r in results)
-    agg_tiles = sum(r[3]["client_tiles_skipped"] for r in results)
-    agg_agg_pairs = sum(r[3]["agg_pairs"] for r in results)
+    Runs through a :class:`~repro.obs.session.Session`, so every
+    counter below is read from the session's metrics registry under its
+    stable dotted name.  Timing covers everything between the post-open
+    barrier and the completion of the collective close (so deferred
+    cache flushes are charged to the run that deferred them).  With
+    ``trace=True`` the result's counters include ``time_by_state`` —
+    the MPE-style decomposition of where simulated time went
+    (``tp:route`` / ``tp:exchange`` / ``tp:io``), metered live by a
+    phase-boundary hook (no event log is stored), which is how the
+    paper attributed the new implementation's overheads."""
+    session = Session(
+        _PATH,
+        nprocs=nprocs,
+        hints=hints,
+        cost=cost,
+        lock_granularity=lock_granularity,
+    )
+    phases = session.tracer.add_hook(PhaseAccumulator()) if trace else None
+    written = session.run(body)
+    total = sum(written)
+    reg = session.registry
     counters: Dict[str, object] = {
-        "fs": fs.stats(_PATH).snapshot(),
-        "rounds": stats["rounds"],
-        "client_pairs_total": agg_client_pairs,
-        "client_tiles_skipped_total": agg_tiles,
-        "agg_pairs_total": agg_agg_pairs,
-        "meta_bytes_total": sum(r[3]["meta_bytes"] for r in results),
-        "bytes_exchanged_total": sum(r[3]["bytes_exchanged"] for r in results),
+        "fs": session.fs.stats(_PATH).snapshot(),
+        "rounds": reg.value("coll.rounds", 0),
+        "client_pairs_total": reg.total("coll.client.pairs"),
+        "client_tiles_skipped_total": reg.total("coll.client.tiles_skipped"),
+        "agg_pairs_total": reg.total("coll.agg.pairs"),
+        "meta_bytes_total": reg.total("coll.meta.bytes"),
+        "bytes_exchanged_total": reg.total("exchange.bytes"),
     }
-    if trace:
-        counters["time_by_state"] = sim.tracer.time_by_state()
+    if phases is not None:
+        counters["time_by_state"] = phases.time_by_state()
     from repro.mpi.topology import TOPOLOGY_KEY
 
-    topo_stats = sim.shared.get(TOPOLOGY_KEY)
+    topo_stats = session.sim.shared.get(TOPOLOGY_KEY)
     if topo_stats is not None:
         counters["topology"] = topo_stats.snapshot()
     result = BenchResult(
         label=label,
         nprocs=nprocs,
         total_bytes=total,
-        sim_seconds=max(t1 - t0, 0.0),
+        sim_seconds=session.makespan,
         params=dict(params or {}),
         counters=counters,
     )
-    return result, fs
+    return result, session.fs
 
 
 def run_hpio_write(
@@ -218,32 +210,16 @@ def run_hpio_read(
             raise CollectiveIOError(f"rank {rank} read corrupt data")
         return out.size
 
-    # run_collective builds its own fs, so build one here instead and
-    # install the oracle image before the ranks start.
-    fs = SimFileSystem(cost)
-    fs.raw_write(_PATH, 0, image)
-    from repro.core import CollectiveFile
-    from repro.mpi import Communicator
-    from repro.sim import Simulator
-
-    def main(ctx):
-        comm = Communicator(ctx, cost)
-        f = CollectiveFile(ctx, comm, fs, _PATH, hints=base, cost=cost)
-        t0 = comm.allreduce(ctx.now, op=max)
-        n = body(ctx, comm, f)
-        f.close()
-        t1 = comm.allreduce(ctx.now, op=max)
-        return (n, t0, t1)
-
-    sim = Simulator(pattern.nprocs)
-    results = sim.run(main)
-    total = sum(r[0] for r in results)
-    t0, t1 = results[0][1], results[0][2]
+    # The session owns the file system, so install the oracle image
+    # before the ranks start.
+    session = Session(_PATH, nprocs=pattern.nprocs, hints=base, cost=cost)
+    session.fs.raw_write(_PATH, 0, image)
+    read = session.run(body)
     result = BenchResult(
         label=label or f"read {impl}+{representation} {pattern.describe()}",
         nprocs=pattern.nprocs,
-        total_bytes=total,
-        sim_seconds=max(t1 - t0, 0.0),
+        total_bytes=sum(read),
+        sim_seconds=session.makespan,
         params={
             "impl": impl,
             "representation": representation,
@@ -251,7 +227,7 @@ def run_hpio_read(
             "cb_nodes": base["cb_nodes"],
             "io_method": base["io_method"],
         },
-        counters={"fs": fs.stats(_PATH).snapshot()},
+        counters={"fs": session.fs.stats(_PATH).snapshot()},
         verified=True,
     )
     return result

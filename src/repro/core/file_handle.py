@@ -21,6 +21,7 @@ steps are skipped.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -43,6 +44,7 @@ from repro.config import LivenessConfig
 from repro.io.retry import RetryPolicy
 from repro.mpi.comm import Communicator
 from repro.mpi.hints import Hints
+from repro.obs.metrics import MetricsView, metrics_registry
 from repro.sim.engine import RankContext
 
 __all__ = ["CollectiveFile", "CollStats"]
@@ -108,7 +110,11 @@ class CollectiveFile:
                 ),
             )
         self.view = FileView(0, BYTE, BYTE)
-        self.stats = CollStats()
+        # Per-rank collective counters report into the simulation's
+        # shared metrics registry (coll.* / exchange.* series).
+        self.registry = metrics_registry(ctx.shared)
+        self._stats = CollStats(self.registry, ctx.rank)
+        self._call_seconds = self.registry.histogram("coll.call.seconds", ctx.rank)
         self.pfr = PFRState()
         #: Individual file pointer, counted in etypes (MPI semantics:
         #: advanced by pointer-relative operations, reset by set_view).
@@ -117,6 +123,27 @@ class CollectiveFile:
         # Opening is collective in MPI; synchronize so later collective
         # calls start aligned.
         comm.barrier()
+
+    # -- observability -------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsView:
+        """This rank's registry view (``coll.*``/``exchange.*`` series)."""
+        return self.registry.view(self.ctx.rank)
+
+    @property
+    def stats(self) -> CollStats:
+        """Deprecated: the old per-handle stats object.
+
+        The same numbers now live in the metrics registry under stable
+        dotted names (see ``docs/observability.md``); read them via
+        :attr:`metrics` or a session's registry."""
+        warnings.warn(
+            "CollectiveFile.stats is deprecated; use CollectiveFile.metrics "
+            "or the session metrics registry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._stats
 
     # -- views --------------------------------------------------------------
     def set_view(
@@ -203,7 +230,7 @@ class CollectiveFile:
             hints=self.hints,
             adio=self.adio,
             view=self.view,
-            stats=self.stats,
+            stats=self._stats,
             pfr=self.pfr,
         )
 
@@ -227,7 +254,7 @@ class CollectiveFile:
             # would kill an otherwise-survivable collective call.
             flushed = self.adio.retry.run(self.ctx, self.local.sync)
             self.local.invalidate()
-            self.stats.coherence_flush_pages += flushed
+            self._stats.coherence_flush_pages += flushed
 
     # -- collective operations ---------------------------------------------------
     def _collective_op(
@@ -251,12 +278,14 @@ class CollectiveFile:
         env = self._env()
         buf8 = np.asarray(buf, dtype=np.uint8)
         op_name = "write_all" if write else "read_all"
+        t_begin = self.ctx.now
         with self.ctx.trace(op_name):
             if write:
                 driver = write_all_old if self.hints["coll_impl"] == "old" else write_all_new
             else:
                 driver = read_all_old if self.hints["coll_impl"] == "old" else read_all_new
             driver(env, buf8, memflat, total, start)
+        self._call_seconds.record(self.ctx.now - t_begin)
         if write:
             self._epilogue_write()
         if use_pointer:
@@ -345,7 +374,7 @@ class CollectiveFile:
         )
         self.ctx.charge(batch.pairs_evaluated * self.cost.cpu_per_flat_pair)
         method = choose_method(self.hints, self.view.flat.extent, batch)
-        self.stats.note_flush(method)
+        self._stats.note_flush(method)
         mem_batch = data_to_file_segments(memflat, 0, 0, total)
         if write:
             # Gather the user data into data order; the file batch's

@@ -428,64 +428,65 @@ class _Plan:
             return False
         if newly_dead and not env.hints["failover"]:
             raise AggregatorLost(newly_dead[0])
-        lost_ranks = set(newly_dead) | set(new_suspects)
-        gone = self._dead | set(dead) | self._suspects | lost_ranks
-        survivors = [ai for ai, a in enumerate(self.aggs) if a not in gone]
-        if not survivors:
-            raise AggregatorLost(min(lost_ranks))
-        consumed = r * self.cb
-        # Everyone's remaining work is its linear tail; a lost
-        # aggregator's tail is carved evenly across the survivors.
-        # Every aggregator already holds every client's filetype cursor
-        # (the metadata exchange is all-to-all-aggregators), so
-        # adopting file ranges needs no new communication.
-        tails = [d.slice_linear(consumed, d.total_bytes) for d in self.domains]
-        if rank in new_suspects:
-            # The union of these tails is exactly the un-flushed file
-            # region; my remaining access inside it is mine to carry.
-            self.i_am_suspect = True
-            self._suspect_tails = list(tails)
-        shares: List[List[RealmDomain]] = [[] for _ in self.aggs]
-        for ai in survivors:
-            shares[ai].append(tails[ai])
-        nsurv = len(survivors)
-        dead_set = set(newly_dead)
-        for ai, a in enumerate(self.aggs):
-            if a not in lost_ranks:
-                continue
-            tail = tails[ai]
-            total = tail.total_bytes
-            if env.comm.rank == 0 and a in dead_set:
-                inj.note_failover(a, total)
-            chunk = -(-total // nsurv) if total else 0
-            for k, si in enumerate(survivors):
-                shares[si].append(tail.slice_linear(k * chunk, (k + 1) * chunk))
-        empty = RealmDomain(_EMPTY64, _EMPTY64)
-        surv = set(survivors)
-        self.domains = [
-            RealmDomain.merge(shares[ai]) if ai in surv else empty
-            for ai in range(len(self.aggs))
-        ]
-        self._dead.update(newly_dead)
-        for s in new_suspects:
-            self._suspects.add(s)
-            if liv is not None and liv.mark_suspect(s):
-                inj.note_suspect()
-            # Survivors stop expecting the suspect's data: its access
-            # description simply drops out of the aggregation.
-            if self.agg_cursors is not None:
-                self.agg_cursors[s] = None
-        self.skip = frozenset(self._suspects)
-        # Adopted intervals may precede a cursor's current position:
-        # every monotonic scan restarts from the top.
-        if self.client_cursors is not None:
-            for cur in self.client_cursors:
-                cur.reset()
-        if self.agg_cursors is not None:
-            for cur in self.agg_cursors:
-                if cur is not None:
+        with env.ctx.trace("tp:failover", round=r):
+            lost_ranks = set(newly_dead) | set(new_suspects)
+            gone = self._dead | set(dead) | self._suspects | lost_ranks
+            survivors = [ai for ai, a in enumerate(self.aggs) if a not in gone]
+            if not survivors:
+                raise AggregatorLost(min(lost_ranks))
+            consumed = r * self.cb
+            # Everyone's remaining work is its linear tail; a lost
+            # aggregator's tail is carved evenly across the survivors.
+            # Every aggregator already holds every client's filetype cursor
+            # (the metadata exchange is all-to-all-aggregators), so
+            # adopting file ranges needs no new communication.
+            tails = [d.slice_linear(consumed, d.total_bytes) for d in self.domains]
+            if rank in new_suspects:
+                # The union of these tails is exactly the un-flushed file
+                # region; my remaining access inside it is mine to carry.
+                self.i_am_suspect = True
+                self._suspect_tails = list(tails)
+            shares: List[List[RealmDomain]] = [[] for _ in self.aggs]
+            for ai in survivors:
+                shares[ai].append(tails[ai])
+            nsurv = len(survivors)
+            dead_set = set(newly_dead)
+            for ai, a in enumerate(self.aggs):
+                if a not in lost_ranks:
+                    continue
+                tail = tails[ai]
+                total = tail.total_bytes
+                if env.comm.rank == 0 and a in dead_set:
+                    inj.note_failover(a, total)
+                chunk = -(-total // nsurv) if total else 0
+                for k, si in enumerate(survivors):
+                    shares[si].append(tail.slice_linear(k * chunk, (k + 1) * chunk))
+            empty = RealmDomain(_EMPTY64, _EMPTY64)
+            surv = set(survivors)
+            self.domains = [
+                RealmDomain.merge(shares[ai]) if ai in surv else empty
+                for ai in range(len(self.aggs))
+            ]
+            self._dead.update(newly_dead)
+            for s in new_suspects:
+                self._suspects.add(s)
+                if liv is not None and liv.mark_suspect(s):
+                    inj.note_suspect()
+                # Survivors stop expecting the suspect's data: its access
+                # description simply drops out of the aggregation.
+                if self.agg_cursors is not None:
+                    self.agg_cursors[s] = None
+            self.skip = frozenset(self._suspects)
+            # Adopted intervals may precede a cursor's current position:
+            # every monotonic scan restarts from the top.
+            if self.client_cursors is not None:
+                for cur in self.client_cursors:
                     cur.reset()
-        self.nrounds = max((d.nrounds(self.cb) for d in self.domains), default=0)
+            if self.agg_cursors is not None:
+                for cur in self.agg_cursors:
+                    if cur is not None:
+                        cur.reset()
+            self.nrounds = max((d.nrounds(self.cb) for d in self.domains), default=0)
         return True
 
     # -- suspect tail I/O ----------------------------------------------------
@@ -617,7 +618,8 @@ def write_all_new(
     """Collective write of ``total_bytes`` from ``buf`` (laid out by
     ``memflat``) through the rank's file view, starting at data-stream
     position ``data_lo`` (the individual file pointer)."""
-    plan = _Plan(env, memflat, total_bytes, data_lo)
+    with env.ctx.trace("tp:plan"):
+        plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     mode = _exchange_mode(env)
     liv = plan._liveness
@@ -695,7 +697,8 @@ def read_all_new(
 ) -> None:
     """Collective read into ``buf`` through the rank's file view,
     starting at data-stream position ``data_lo``."""
-    plan = _Plan(env, memflat, total_bytes, data_lo)
+    with env.ctx.trace("tp:plan"):
+        plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     mode = _exchange_mode(env)
     liv = plan._liveness

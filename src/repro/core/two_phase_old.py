@@ -195,7 +195,8 @@ def write_all_old(
     data_lo: int = 0,
 ) -> None:
     """Collective write, original implementation."""
-    plan = _OldPlan(env, memflat, total_bytes, data_lo)
+    with env.ctx.trace("tp:plan"):
+        plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     env.stats.rounds += plan.nrounds
     for r in range(plan.nrounds):
@@ -237,7 +238,8 @@ def read_all_old(
 ) -> None:
     """Collective read, original implementation (integrated read sieve:
     the aggregator reads its whole window span once, then distributes)."""
-    plan = _OldPlan(env, memflat, total_bytes, data_lo)
+    with env.ctx.trace("tp:plan"):
+        plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
     env.stats.rounds += plan.nrounds
     for r in range(plan.nrounds):

@@ -23,60 +23,141 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import TransientIOError
 from repro.faults.plan import FAULTS_KEY, FaultPlan
+from repro.obs.metrics import MetricsRegistry, metrics_registry
 
 __all__ = ["FaultStats", "FaultInjector"]
 
 _U64 = float(1 << 64)
 
 
-@dataclass
 class FaultStats:
     """What the injector (and the resilience layers reporting back to
-    it) actually did; the CLI's post-run summary table."""
+    it) actually did; the CLI's post-run summary table.
 
-    io_faults: int = 0
-    disk_slowdowns: int = 0
-    disk_extra_seconds: float = 0.0
-    straggler_events: int = 0
-    straggler_extra_seconds: float = 0.0
-    rank_stalls: int = 0
-    stall_seconds: float = 0.0
-    messages_delayed: int = 0
-    messages_dropped: int = 0
-    net_extra_seconds: float = 0.0
-    lock_storm_rpcs: int = 0
-    lock_holds: int = 0
-    lock_hold_seconds: float = 0.0
-    lock_lease_reclaims: int = 0
-    lock_deadlocks: int = 0
-    agg_crashes: int = 0
-    failovers: int = 0
-    realm_bytes_rebalanced: int = 0
-    suspects_declared: int = 0
-    deadlines_exceeded: int = 0
-    retries: int = 0
-    retry_backoff_seconds: float = 0.0
-    retries_exhausted: int = 0
-    page_bits_flipped: int = 0
-    net_bits_flipped: int = 0
-    page_corruptions_detected: int = 0
-    net_corruptions_detected: int = 0
-    net_redeliveries: int = 0
+    Every legacy attribute is a property over a registry counter under
+    the ``faults.*`` names in :data:`FaultStats.METRICS`.  A standalone
+    ``FaultStats()`` reports to a private registry;
+    :meth:`FaultInjector.install` rebinds the injector's stats to the
+    simulation's shared registry so fault activity lands next to the
+    I/O and network metrics.  The counters in :data:`INJECTED` also
+    bump the ``faults.injected`` umbrella total."""
+
+    #: legacy attribute -> registry metric name.
+    METRICS: Dict[str, str] = {
+        "io_faults": "faults.io",
+        "disk_slowdowns": "faults.disk.slowdowns",
+        "disk_extra_seconds": "faults.disk.extra_seconds",
+        "straggler_events": "faults.straggler.events",
+        "straggler_extra_seconds": "faults.straggler.extra_seconds",
+        "rank_stalls": "faults.stalls",
+        "stall_seconds": "faults.stall_seconds",
+        "messages_delayed": "faults.net.delayed",
+        "messages_dropped": "faults.net.dropped",
+        "net_extra_seconds": "faults.net.extra_seconds",
+        "lock_storm_rpcs": "faults.lock.storm_rpcs",
+        "lock_holds": "faults.lock.holds",
+        "lock_hold_seconds": "faults.lock.hold_seconds",
+        "lock_lease_reclaims": "faults.lock.lease_reclaims",
+        "lock_deadlocks": "faults.lock.deadlocks",
+        "agg_crashes": "faults.agg.crashes",
+        "failovers": "faults.failovers",
+        "realm_bytes_rebalanced": "faults.realm_bytes_rebalanced",
+        "suspects_declared": "faults.suspects_declared",
+        "deadlines_exceeded": "faults.deadlines_exceeded",
+        "retries": "faults.retries",
+        "retry_backoff_seconds": "faults.retry.backoff_seconds",
+        "retries_exhausted": "faults.retries_exhausted",
+        "page_bits_flipped": "faults.page.bits_flipped",
+        "net_bits_flipped": "faults.net.bits_flipped",
+        "page_corruptions_detected": "faults.page.corruptions_detected",
+        "net_corruptions_detected": "faults.net.corruptions_detected",
+        "net_redeliveries": "faults.net.redeliveries",
+    }
+
+    #: attributes counting *injected* events — increments to these also
+    #: bump the ``faults.injected`` umbrella (recovery/detection
+    #: counters like retries and failovers deliberately do not).
+    INJECTED: FrozenSet[str] = frozenset(
+        {
+            "io_faults",
+            "disk_slowdowns",
+            "straggler_events",
+            "rank_stalls",
+            "messages_delayed",
+            "messages_dropped",
+            "lock_storm_rpcs",
+            "lock_holds",
+            "lock_lease_reclaims",
+            "agg_crashes",
+            "page_bits_flipped",
+            "net_bits_flipped",
+        }
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._instruments = {
+            attr: self.registry.counter(name) for attr, name in self.METRICS.items()
+        }
+        self._injected = self.registry.counter("faults.injected")
+
+    def rebind(self, registry: MetricsRegistry) -> "FaultStats":
+        """Re-home the counters into ``registry``, carrying values over."""
+        carried = {attr: inst.value for attr, inst in self._instruments.items()}
+        injected = self._injected.value
+        self.registry = registry
+        self._instruments = {
+            attr: registry.counter(name) for attr, name in self.METRICS.items()
+        }
+        self._injected = registry.counter("faults.injected")
+        for attr, value in carried.items():
+            self._instruments[attr].value += value
+        self._injected.value += injected
+        return self
+
+    @property
+    def injected(self):
+        """Total injected fault events (the ``faults.injected`` umbrella)."""
+        return self._injected.value
 
     def merge(self, other: "FaultStats") -> None:
-        for name, value in vars(other).items():
-            setattr(self, name, getattr(self, name) + value)
+        for name in self.METRICS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def snapshot(self) -> Dict[str, float]:
-        return dict(vars(self))
+        return {attr: inst.value for attr, inst in self._instruments.items()}
 
     def rows(self) -> list[tuple[str, str]]:
         """(counter, rendered value) rows, seconds formatted, for tables."""
         out = []
-        for name, value in vars(self).items():
+        for name, value in self.snapshot().items():
             text = f"{value:.6f}" if isinstance(value, float) else str(value)
             out.append((name, text))
         return out
+
+
+def _fault_counter_property(attr: str, umbrella: bool) -> property:
+    def getter(self):
+        return self._instruments[attr].value
+
+    def setter(self, v):
+        inst = self._instruments[attr]
+        if umbrella:
+            delta = v - inst.value
+            if delta > 0:
+                self._injected.value += delta
+        inst.value = v
+
+    return property(getter, setter)
+
+
+for _attr in FaultStats.METRICS:
+    setattr(
+        FaultStats,
+        _attr,
+        _fault_counter_property(_attr, _attr in FaultStats.INJECTED),
+    )
+del _attr
 
 
 class FaultInjector:
@@ -95,9 +176,14 @@ class FaultInjector:
         self._active_kinds = frozenset(e.kind for e in plan.events)
 
     def install(self, sim) -> "FaultInjector":
-        """Attach to a :class:`~repro.sim.engine.Simulator` before run."""
+        """Attach to a :class:`~repro.sim.engine.Simulator` before run.
+
+        Rebinds :attr:`stats` into the simulation's shared metrics
+        registry, so ``faults.*`` series land next to the I/O and
+        network metrics of the same run."""
         sim.shared[FAULTS_KEY] = self
         sim.faults = self
+        self.stats.rebind(metrics_registry(sim.shared))
         return self
 
     # -- deterministic coin flips ---------------------------------------

@@ -28,6 +28,7 @@ Semantics follow a real FS client's page cache:
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
@@ -36,6 +37,7 @@ import numpy as np
 from repro.errors import FileSystemError
 from repro.fs.filesystem import SimFileSystem
 from repro.fs.runs import ByteRuns
+from repro.obs.metrics import MetricsView
 from repro.sim.engine import RankContext
 
 __all__ = ["PageCache", "CACHE_MODES"]
@@ -84,11 +86,46 @@ class PageCache:
         #: installed (the revoker dirtied bytes *after* our store read).
         self._fetching: set[int] = set()
         self._fetch_poisoned: set[int] = set()
-        self.stats_hits = 0
-        self.stats_misses = 0
-        self.stats_flushed_pages = 0
+        # cache.* series live in the file system's registry, keyed by
+        # (client, path) so per-client behaviour stays distinguishable
+        # and harnesses can meter phases with snapshot()/diff().
+        self._metrics = fs.registry.view((client_id, path))
+        self._hits = self._metrics.counter("cache.hits")
+        self._misses = self._metrics.counter("cache.misses")
+        self._flushed = self._metrics.counter("cache.flushed_pages")
         if mode in ("coherent", "incoherent", "writethrough"):
             fs.register_cache(client_id, self)
+
+    @property
+    def metrics(self) -> MetricsView:
+        """This cache's registry view (``cache.*`` instruments)."""
+        return self._metrics
+
+    def _deprecated(self, old: str, new: str):
+        warnings.warn(
+            f"PageCache.{old} is deprecated; read {new!r} from the metrics "
+            "registry (cache.metrics / fs.registry) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    @property
+    def stats_hits(self) -> int:
+        """Deprecated alias for the ``cache.hits`` counter."""
+        self._deprecated("stats_hits", "cache.hits")
+        return self._hits.value
+
+    @property
+    def stats_misses(self) -> int:
+        """Deprecated alias for the ``cache.misses`` counter."""
+        self._deprecated("stats_misses", "cache.misses")
+        return self._misses.value
+
+    @property
+    def stats_flushed_pages(self) -> int:
+        """Deprecated alias for the ``cache.flushed_pages`` counter."""
+        self._deprecated("stats_flushed_pages", "cache.flushed_pages")
+        return self._flushed.value
 
     @property
     def coherent(self) -> bool:
@@ -179,7 +216,7 @@ class PageCache:
                 self._pages[p] = fresh
                 v = self._valid.setdefault(p, ByteRuns())
                 v.set_full(ps)
-        self.stats_misses += len(pages)
+        self._misses.value += len(pages)
 
     def _evict_if_needed(self, ctx: RankContext) -> None:
         over = len(self._pages) - self.capacity_pages
@@ -240,21 +277,22 @@ class PageCache:
                     lens.append(length)
                 parts.append(part)
             snapshot.append((p, saved))
-        ctx.charge(len(dirty) * self.fs.cost.cache_flush_page)
-        try:
-            self.fs.server_write(
-                ctx,
-                self.client_id,
-                self.path,
-                np.array(offs, dtype=np.int64),
-                np.array(lens, dtype=np.int64),
-                np.concatenate(parts) if parts else np.empty(0, dtype=np.uint8),
-                acquire_locks=acquire_locks,
-            )
-        except FileSystemError:
-            self._restore_dirty(snapshot)
-            raise
-        self.stats_flushed_pages += len(dirty)
+        with ctx.trace("cache:flush", path=self.path, pages=len(dirty)):
+            ctx.charge(len(dirty) * self.fs.cost.cache_flush_page)
+            try:
+                self.fs.server_write(
+                    ctx,
+                    self.client_id,
+                    self.path,
+                    np.array(offs, dtype=np.int64),
+                    np.array(lens, dtype=np.int64),
+                    np.concatenate(parts) if parts else np.empty(0, dtype=np.uint8),
+                    acquire_locks=acquire_locks,
+                )
+            except FileSystemError:
+                self._restore_dirty(snapshot)
+                raise
+        self._flushed.value += len(dirty)
         return len(dirty)
 
     def _restore_dirty(
@@ -325,7 +363,7 @@ class PageCache:
                 buf = np.zeros(ps, dtype=np.uint8)
                 self._pages[page] = buf
             else:
-                self.stats_hits += 1
+                self._hits.value += 1
             valid = self._valid.setdefault(page, ByteRuns())
             dirty = self._dirty.setdefault(page, ByteRuns())
             for poff, ln, dpos in parts:
@@ -382,7 +420,7 @@ class PageCache:
                     pos += ln
                 continue
             if page not in need_set:
-                self.stats_hits += 1
+                self._hits.value += 1
             for poff, ln, dpos in parts:
                 out[dpos : dpos + ln] = buf[poff : poff + ln]
             self._touch(page)

@@ -33,6 +33,7 @@ from repro.errors import FileSystemError, IntegrityError, LockDeadlock
 from repro.faults.plan import FAULTS_KEY
 from repro.fs.locks import ExtentLockManager, LockCharge
 from repro.liveness import LIVENESS_KEY
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import BLOCK_TIMEOUT
 from repro.fs.runs import ByteRuns
 from repro.fs.store import PageStore
@@ -45,39 +46,58 @@ __all__ = ["SimFileSystem", "FileStats"]
 
 
 class FileStats:
-    """Operation counters for one file (inspected by tests/benches)."""
+    """Operation counters for one file (inspected by tests/benches).
 
-    __slots__ = (
-        "server_reads",
-        "server_writes",
-        "bytes_read",
-        "bytes_written",
-        "rmw_pages",
-        "lock_rpcs",
-        "lock_revocations",
-        "revoke_flush_pages",
-        "journal_writes",
-        "journal_commits",
-        "journal_aborts",
-        "journal_pages_committed",
-    )
+    Each legacy attribute is a property over a registry counter under
+    the dotted names in :data:`FileStats.METRICS`, keyed by the file's
+    path — so a file system hosting several files reports distinct
+    ``fs.*``/``lock.*``/``journal.*`` series per path."""
 
-    def __init__(self) -> None:
-        self.server_reads = 0
-        self.server_writes = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.rmw_pages = 0
-        self.lock_rpcs = 0
-        self.lock_revocations = 0
-        self.revoke_flush_pages = 0
-        self.journal_writes = 0
-        self.journal_commits = 0
-        self.journal_aborts = 0
-        self.journal_pages_committed = 0
+    #: legacy attribute -> registry metric name.
+    METRICS: Dict[str, str] = {
+        "server_reads": "fs.server.reads",
+        "server_writes": "fs.server.writes",
+        "bytes_read": "fs.bytes.read",
+        "bytes_written": "fs.bytes.written",
+        "rmw_pages": "fs.rmw.pages",
+        "lock_rpcs": "lock.rpcs",
+        "lock_revocations": "lock.revocations",
+        "revoke_flush_pages": "lock.revoke.flush_pages",
+        "journal_writes": "journal.writes",
+        "journal_commits": "journal.commits",
+        "journal_aborts": "journal.aborts",
+        "journal_pages_committed": "journal.pages_committed",
+    }
+
+    __slots__ = ("registry", "path", "_instruments")
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, path: Optional[str] = None
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.path = path
+        self._instruments = {
+            attr: self.registry.counter(name, path)
+            for attr, name in self.METRICS.items()
+        }
 
     def snapshot(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {attr: inst.value for attr, inst in self._instruments.items()}
+
+
+def _fs_counter_property(attr: str) -> property:
+    def getter(self):
+        return self._instruments[attr].value
+
+    def setter(self, v):
+        self._instruments[attr].value = v
+
+    return property(getter, setter)
+
+
+for _attr in FileStats.METRICS:
+    setattr(FileStats, _attr, _fs_counter_property(_attr))
+del _attr
 
 
 class _Txn:
@@ -110,26 +130,39 @@ class _Txn:
 class _File:
     __slots__ = ("store", "locks", "stats", "txn")
 
-    def __init__(self, page_size: int, lock_granularity: int) -> None:
+    def __init__(
+        self,
+        page_size: int,
+        lock_granularity: int,
+        path: str,
+        registry: MetricsRegistry,
+    ) -> None:
         self.store = PageStore(page_size)
         self.locks = ExtentLockManager(lock_granularity)
-        self.stats = FileStats()
+        self.stats = FileStats(registry, path)
         self.txn: Optional[_Txn] = None
 
 
 class SimFileSystem:
-    """Striped object store shared by all simulated clients."""
+    """Striped object store shared by all simulated clients.
+
+    ``registry`` is the metrics registry the per-file counters (and the
+    client page caches) report into; by default each file system owns a
+    private one, and :class:`~repro.obs.session.Session` passes its own
+    so server-side series land next to the rest of the run's metrics."""
 
     def __init__(
         self,
         cost: CostModel = DEFAULT_COST_MODEL,
         lock_granularity: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         cost.validate()
         self.cost = cost
         self.lock_granularity = (
             lock_granularity if lock_granularity is not None else cost.page_size
         )
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._files: Dict[str, _File] = {}
         self._ost_available = [0.0] * cost.num_osts
         #: client_id -> list of caches to notify on revocation.
@@ -138,7 +171,9 @@ class SimFileSystem:
     # -- namespace ---------------------------------------------------------
     def ensure_file(self, path: str) -> None:
         if path not in self._files:
-            self._files[path] = _File(self.cost.page_size, self.lock_granularity)
+            self._files[path] = _File(
+                self.cost.page_size, self.lock_granularity, path, self.registry
+            )
 
     def exists(self, path: str) -> bool:
         return path in self._files
@@ -428,14 +463,15 @@ class SimFileSystem:
             return
         lo_all = offs.min()
         hi_all = int((offs + lens).max())
-        for _ in range(64):
-            self._charge_locks(ctx, f, client_id, offs, lens, path)
-            held = all(
-                f.locks.holds(client_id, int(o), int(o + l))
-                for o, l in zip(offs.tolist(), lens.tolist())
-            )
-            if held:
-                return
+        with ctx.trace("fs:lock", path=path):
+            for _ in range(64):
+                self._charge_locks(ctx, f, client_id, offs, lens, path)
+                held = all(
+                    f.locks.holds(client_id, int(o), int(o + l))
+                    for o, l in zip(offs.tolist(), lens.tolist())
+                )
+                if held:
+                    return
         raise FileSystemError(
             f"extent lock livelock on {path!r} [{lo_all}, {hi_all}) for client {client_id}"
         )
@@ -622,22 +658,23 @@ class SimFileSystem:
         txn = f.txn
         if txn is None:
             return 0
-        self._maybe_io_fault(ctx, client_id, path, "txn_commit")
-        pages = sorted(txn.valid)
-        ctx.charge(len(pages) * self.cost.journal_commit_page)
-        ps = self.cost.page_size
-        for pidx in pages:
-            base = pidx * ps
-            for s, e in txn.valid[pidx]:
-                try:
-                    good = txn.store.read(base + s, e - s)
-                except IntegrityError as exc:
-                    self._note_page_corruption(ctx)
-                    raise IntegrityError("journal-commit", pidx, path) from exc
-                f.store.write(base + s, good)
-        f.txn = None
-        f.stats.journal_commits += 1
-        f.stats.journal_pages_committed += len(pages)
+        with ctx.trace("fs:journal_commit", path=path):
+            self._maybe_io_fault(ctx, client_id, path, "txn_commit")
+            pages = sorted(txn.valid)
+            ctx.charge(len(pages) * self.cost.journal_commit_page)
+            ps = self.cost.page_size
+            for pidx in pages:
+                base = pidx * ps
+                for s, e in txn.valid[pidx]:
+                    try:
+                        good = txn.store.read(base + s, e - s)
+                    except IntegrityError as exc:
+                        self._note_page_corruption(ctx)
+                        raise IntegrityError("journal-commit", pidx, path) from exc
+                    f.store.write(base + s, good)
+            f.txn = None
+            f.stats.journal_commits += 1
+            f.stats.journal_pages_committed += len(pages)
         # Cached pre-commit copies of the published pages are stale in
         # every client; drop clean copies (dirty bytes are newer than
         # the commit and must survive to their own flush).

@@ -1,0 +1,119 @@
+"""Chrome-trace schema loading and dependency-free validation.
+
+The trace export's contract is the checked-in JSON Schema at
+``docs/trace_schema.json``.  CI's trace-export smoke job (and the
+``python -m repro trace`` command itself) validate every emitted file
+against it.  The validator below implements exactly the JSON-Schema
+subset the checked-in schema uses — ``type``, ``required``,
+``properties``, ``additionalProperties``, ``items``, ``enum``,
+``minimum`` — so validation needs no third-party package; when the
+real ``jsonschema`` library is importable the tests cross-check
+against it too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+__all__ = ["load_trace_schema", "validate_chrome_trace", "SchemaError"]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+class SchemaError(ValueError):
+    """A document does not conform to the trace schema."""
+
+
+#: Fallback for installs that ship the package without the repo docs.
+_EMBEDDED_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "additionalProperties": False,
+    "properties": {
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid", "ts"],
+                "additionalProperties": False,
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"enum": ["X", "M"]},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+
+def load_trace_schema() -> Dict[str, Any]:
+    """The checked-in Chrome-trace schema (``docs/trace_schema.json``)."""
+    path = Path(__file__).resolve().parents[3] / "docs" / "trace_schema.json"
+    if path.exists():
+        return json.loads(path.read_text())
+    return _EMBEDDED_SCHEMA
+
+
+def _validate(doc: Any, schema: Dict[str, Any], where: str, errors: List[str]) -> None:
+    typ = schema.get("type")
+    if typ is not None:
+        expect = _TYPES[typ]
+        ok = isinstance(doc, expect)
+        if typ in ("integer", "number") and isinstance(doc, bool):
+            ok = False
+        if typ == "integer" and isinstance(doc, float):
+            ok = doc.is_integer()
+        if not ok:
+            errors.append(f"{where}: expected {typ}, got {type(doc).__name__}")
+            return
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{where}: {doc!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(doc, (int, float)):
+        if doc < schema["minimum"]:
+            errors.append(f"{where}: {doc!r} below minimum {schema['minimum']}")
+    if isinstance(doc, dict):
+        for req in schema.get("required", ()):
+            if req not in doc:
+                errors.append(f"{where}: missing required property {req!r}")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in doc:
+                if key not in props:
+                    errors.append(f"{where}: unexpected property {key!r}")
+        for key, sub in props.items():
+            if key in doc:
+                _validate(doc[key], sub, f"{where}.{key}", errors)
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            _validate(item, schema["items"], f"{where}[{i}]", errors)
+
+
+def validate_chrome_trace(doc: Any, schema: Dict[str, Any] = None) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` matches the schema.
+
+    ``doc`` is the parsed JSON object (as returned by
+    :meth:`~repro.sim.trace.Tracer.to_chrome_trace`)."""
+    if schema is None:
+        schema = load_trace_schema()
+    errors: List[str] = []
+    _validate(doc, schema, "$", errors)
+    if errors:
+        head = "; ".join(errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise SchemaError(f"trace does not match schema: {head}{more}")

@@ -1,0 +1,243 @@
+"""The :class:`Session` façade — the documented front door to a run.
+
+A session wires together everything a simulated collective-I/O
+experiment needs — simulator, shared file system, hints, optional
+fault plan, span tracer, and **one** metrics registry — so user code
+stops hand-assembling ``Simulator``/``SimFileSystem``/``Communicator``
+plumbing and poking scattered stats objects afterwards::
+
+    import numpy as np
+    from repro import Session, contiguous, resized, BYTE
+
+    with Session.open("/data", nprocs=4,
+                      hints={"coll_impl": "new", "cb_nodes": 2},
+                      trace=True) as s:
+        region = 64
+
+        def body(ctx, comm, f):
+            tile = resized(contiguous(region, BYTE), 0, region * comm.size)
+            f.set_view(disp=comm.rank * region, filetype=tile)
+            f.write_all(np.full(region, comm.rank, dtype=np.uint8))
+
+        s.run(body)
+        print(s.metrics.format("coll."))   # registry, stable names
+        print(s.time_by_state())           # MPE-style decomposition
+        s.write_trace("out.json")          # Perfetto-loadable JSON
+
+Every component reports into :attr:`Session.registry` — the per-file
+server counters and page caches through the file system's registry
+reference, the per-rank collective counters / topology / fault
+counters through ``Simulator.shared`` (the session pre-installs its
+registry there under :data:`~repro.obs.metrics.METRICS_KEY`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.obs.metrics import METRICS_KEY, MetricsRegistry
+from repro.obs.schema import validate_chrome_trace
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One experiment: a path, a cluster shape, hints, and observability.
+
+    Parameters
+    ----------
+    path:
+        File path the session's collective file opens (shared by all
+        ranks).
+    nprocs:
+        Ranks in the simulated cluster.
+    hints:
+        A :class:`~repro.mpi.hints.Hints` instance or a plain mapping
+        of hint keys (``{"coll_impl": "new", "cb_nodes": 2}``).
+    cost:
+        The cluster cost model.
+    faults:
+        ``None``, a scenario spec string (``"bit-flip:42"``), or a
+        :class:`~repro.faults.FaultPlan`; installed into every run.
+    trace:
+        When true, record structured spans (exportable with
+        :meth:`chrome_trace`/:meth:`write_trace`).  Off by default —
+        the tracer's fast path is a bare ``yield``.
+    lock_granularity:
+        Optional lock granularity override for the file system.
+    """
+
+    def __init__(
+        self,
+        path: str = "/data",
+        *,
+        nprocs: int = 4,
+        hints: Union[None, Dict[str, Any], "Hints"] = None,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        faults: Union[None, str, "FaultPlan"] = None,
+        trace: bool = False,
+        lock_granularity: Optional[int] = None,
+    ) -> None:
+        from repro.fs.filesystem import SimFileSystem
+        from repro.mpi.hints import Hints
+        from repro.sim.trace import Tracer
+
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.path = path
+        self.nprocs = nprocs
+        if hints is None:
+            self.hints = Hints()
+        elif isinstance(hints, Hints):
+            self.hints = hints
+        else:
+            self.hints = Hints(**dict(hints))
+        self.cost = cost
+        self.plan = self._resolve_plan(faults)
+        #: The session-wide metrics registry every component reports to.
+        self.registry = MetricsRegistry()
+        #: The session-wide span tracer (shared across runs, so a
+        #: second run's spans append after the first's).
+        self.tracer = Tracer(enabled=trace)
+        self.fs = SimFileSystem(
+            cost, lock_granularity=lock_granularity, registry=self.registry
+        )
+        self._injector = None
+        self._results: List[Any] = []
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+        #: The most recent run's simulator (``None`` before any run).
+        self.sim = None
+
+    @staticmethod
+    def _resolve_plan(faults):
+        if faults is None:
+            return None
+        from repro.faults import FaultPlan, load_scenario
+
+        if isinstance(faults, FaultPlan):
+            return faults
+        return load_scenario(faults)
+
+    @classmethod
+    def open(cls, path: str = "/data", **kwargs: Any) -> "Session":
+        """Open a session (the spelling used in the docs)."""
+        return cls(path, **kwargs)
+
+    # -- running -------------------------------------------------------------
+    def launch(self, main: Callable[..., Any]) -> list:
+        """Run ``main(ctx)`` on every rank of a fresh simulator.
+
+        The simulator shares this session's tracer and registry, and
+        has the session's fault plan (if any) installed.  Returns the
+        per-rank results."""
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(self.nprocs, tracer=self.tracer)
+        sim.shared[METRICS_KEY] = self.registry
+        if self.plan is not None:
+            self._injector = self.plan.install(sim)
+        self.sim = sim
+        self._results = sim.run(main)
+        return self._results
+
+    def run(self, body: Callable[..., Any]) -> list:
+        """Run ``body(ctx, comm, f)`` on every rank against the session file.
+
+        Each rank gets a communicator and an open
+        :class:`~repro.core.CollectiveFile` on :attr:`path` with the
+        session's hints; the file is closed (collectively) after
+        ``body`` returns.  The timed window — :attr:`makespan` — spans
+        the post-open barrier to the slowest rank's close, so deferred
+        cache flushes are charged to the run that deferred them.
+        Returns the per-rank ``body`` results."""
+        from repro.core.file_handle import CollectiveFile
+        from repro.mpi.comm import Communicator
+
+        def main(ctx):
+            comm = Communicator(ctx, self.cost)
+            f = CollectiveFile(
+                ctx, comm, self.fs, self.path, hints=self.hints, cost=self.cost
+            )
+            t0 = comm.allreduce(ctx.now, op=max)
+            try:
+                out = body(ctx, comm, f)
+            finally:
+                f.close()
+            t1 = comm.allreduce(ctx.now, op=max)
+            return (out, t0, t1)
+
+        results = self.launch(main)
+        self._t0 = results[0][1]
+        self._t1 = results[0][2]
+        return [r[0] for r in results]
+
+    # -- results -------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Alias for :attr:`registry` (reads nicely at call sites)."""
+        return self.registry
+
+    @property
+    def fault_stats(self):
+        """The installed injector's :class:`~repro.faults.FaultStats`,
+        or ``None`` when the session has no fault plan or has not run."""
+        return None if self._injector is None else self._injector.stats
+
+    @property
+    def makespan(self) -> float:
+        """Virtual seconds from post-open barrier to slowest close of
+        the most recent :meth:`run` (0.0 before any run)."""
+        if self._t0 is None or self._t1 is None:
+            return 0.0
+        return max(self._t1 - self._t0, 0.0)
+
+    def time_by_state(self, rank: Optional[int] = None) -> Dict[str, float]:
+        """MPE-style per-state virtual-second totals (needs ``trace=True``)."""
+        return self.tracer.time_by_state(rank)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The recorded spans as a Chrome ``trace_event`` JSON object."""
+        return self.tracer.to_chrome_trace()
+
+    def write_trace(self, path: str, *, validate: bool = True) -> Dict[str, Any]:
+        """Write the Chrome trace JSON to ``path`` and return it.
+
+        Validates against the checked-in schema first (so a broken
+        export fails loudly rather than producing a file Perfetto
+        rejects)."""
+        doc = self.chrome_trace()
+        if validate:
+            validate_chrome_trace(doc)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        return doc
+
+    def summary(self) -> str:
+        """Human-readable digest: makespan, metrics, fault table."""
+        lines = [
+            f"session {self.path!r}: nprocs={self.nprocs}, "
+            f"makespan={self.makespan * 1e3:.3f} ms"
+        ]
+        lines.append(self.registry.format())
+        if self.fault_stats is not None:
+            lines.append("")
+            lines.append("faults:")
+            for name, value in self.fault_stats.rows():
+                lines.append(f"  {name:<26} {value}")
+        return "\n".join(lines)
+
+    # -- context manager -----------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session({self.path!r}, nprocs={self.nprocs}, "
+            f"trace={self.tracer.enabled})"
+        )

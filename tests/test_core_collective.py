@@ -140,7 +140,7 @@ class TestCollectiveWriteMatrix:
         def body(ctx, comm, f):
             f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 48))
             f.write_all(buf_of(comm.rank))
-            return f.stats.rounds
+            return f.metrics.value("coll.rounds")
 
         results, fs = run_collective(nprocs, body, hints)
         expect = oracle_file(nprocs, view_of, buf_of, memflat_of, total_of, size)
@@ -342,8 +342,12 @@ class TestValidationAndState:
             f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 32))
             f.write_all(np.zeros(64, dtype=np.uint8))
             f.write_all(np.zeros(64, dtype=np.uint8))
-            s = f.stats
-            return (s.collective_writes, s.rounds > 0, s.bytes_exchanged > 0)
+            m = f.metrics
+            return (
+                m.value("coll.writes"),
+                m.value("coll.rounds") > 0,
+                m.value("exchange.bytes") > 0,
+            )
 
         results, _ = run_collective(2, body)
         assert all(r == (2, True, True) for r in results)

@@ -46,7 +46,7 @@ class TestRoundClipping:
             else:
                 f.set_view(disp=1 << 30, filetype=contiguous(4096, BYTE))
             f.write_all(np.full(4096, comm.rank + 1, dtype=np.uint8))
-            return f.stats.rounds
+            return f.metrics.value("coll.rounds")
 
         for impl in ("new", "old"):
             results, fs = run(2, body, Hints(coll_impl=impl))
@@ -90,7 +90,7 @@ class TestCostCounters:
                 filetype=pattern.filetype(rank, representation),
             )
             f.write_all(fill_pattern(pattern, rank))
-            return f.stats.snapshot()
+            return f.metrics.snapshot()
 
         results, _ = run(nprocs, body, Hints(cb_nodes=aggs))
         return results
@@ -98,21 +98,21 @@ class TestCostCounters:
     def test_enumerated_evaluates_more_pairs(self):
         succinct = self._run_pattern("succinct")
         enumerated = self._run_pattern("enumerated")
-        s_pairs = sum(r["client_pairs"] for r in succinct)
-        e_pairs = sum(r["client_pairs"] for r in enumerated)
+        s_pairs = sum(r["coll.client.pairs"] for r in succinct)
+        e_pairs = sum(r["coll.client.pairs"] for r in enumerated)
         assert e_pairs > s_pairs * 2
 
     def test_succinct_skips_tiles(self):
         succinct = self._run_pattern("succinct")
-        assert sum(r["client_tiles_skipped"] for r in succinct) > 0
+        assert sum(r["coll.client.tiles_skipped"] for r in succinct) > 0
         enumerated = self._run_pattern("enumerated")
-        assert sum(r["client_tiles_skipped"] for r in enumerated) == 0
+        assert sum(r["coll.client.tiles_skipped"] for r in enumerated) == 0
 
     def test_meta_bytes_scale_with_representation(self):
         succinct = self._run_pattern("succinct")
         enumerated = self._run_pattern("enumerated")
-        assert sum(r["meta_bytes"] for r in enumerated) > 10 * sum(
-            r["meta_bytes"] for r in succinct
+        assert sum(r["coll.meta.bytes"] for r in enumerated) > 10 * sum(
+            r["coll.meta.bytes"] for r in succinct
         )
 
     def test_old_impl_counts_flatten_passes(self):
@@ -127,17 +127,17 @@ class TestCostCounters:
                 filetype=pattern.filetype(comm.rank, "succinct"),
             )
             f.write_all(fill_pattern(pattern, comm.rank))
-            return f.stats.snapshot()
+            return f.metrics.snapshot()
 
         results, _ = run(2, body, Hints(coll_impl="old"))
         # Flatten pass + partition pass: at least 2*M pair charges.
-        assert all(r["client_pairs"] >= 32 for r in results)
+        assert all(r["coll.client.pairs"] >= 32 for r in results)
 
     def test_bytes_exchanged_matches_data(self):
         def body(ctx, comm, f):
             f.set_view(disp=comm.rank * 16, filetype=resized(contiguous(16, BYTE), 0, 32))
             f.write_all(np.zeros(64, dtype=np.uint8))
-            return f.stats.bytes_exchanged
+            return f.metrics.value("exchange.bytes")
 
         results, _ = run(2, body)
         assert sum(results) == 128  # every data byte moves exactly once
@@ -191,7 +191,7 @@ class TestCoherenceProtocol:
             f.set_view(disp=comm.rank * 64, filetype=resized(contiguous(64, BYTE), 0, 128))
             for _ in range(3):
                 f.write_all(np.zeros(128, dtype=np.uint8))
-            return f.stats.coherence_flush_pages
+            return f.metrics.value("coll.coherence.flush_pages")
 
         results, fs = run(2, body, Hints(cache_mode="incoherent"))
         assert sum(results) > 0
@@ -202,7 +202,7 @@ class TestCoherenceProtocol:
             f.set_view(disp=comm.rank * 64, filetype=resized(contiguous(64, BYTE), 0, 128))
             for _ in range(3):
                 f.write_all(np.zeros(128, dtype=np.uint8))
-            return f.stats.coherence_flush_pages
+            return f.metrics.value("coll.coherence.flush_pages")
 
         results, _ = run(
             2, body, Hints(cache_mode="incoherent", persistent_file_realms=True)

@@ -185,7 +185,9 @@ class TestIndependentIO:
         def body(ctx, comm, f):
             f.set_view(disp=0, filetype=resized(contiguous(4, BYTE), 0, 12))
             f.write_ind(np.zeros(16, dtype=np.uint8))
-            return dict(f.stats.flush_methods)
+            snap = f.metrics.snapshot()
+            pre = "coll.flush."
+            return {k[len(pre):]: v for k, v in snap.items() if k.startswith(pre)}
 
         results, _ = run(1, body, Hints(io_method="naive"))
         assert results[0] == {"naive": 1}

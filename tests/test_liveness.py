@@ -394,7 +394,7 @@ class TestBalancedRealms:
                 f.seek(0)
                 f.write_all(buf)
                 if comm.rank == 0:
-                    realms.append(list(f.stats.last_realm_bytes))
+                    realms.append(list(f._stats.last_realm_bytes))
             f.close()
 
         sim = Simulator(nprocs)
@@ -434,8 +434,8 @@ class TestChaosLiveness:
     def test_liveness_run_beats_waiting(self):
         live = ChaosHarness("stall:42", liveness=True)
         wait = ChaosHarness("stall:42")
-        live_s, ok_live, _, _ = live.run_once(live.plan.scaled(1.0))
-        wait_s, ok_wait, _, _ = wait.run_once(wait.plan.scaled(1.0))
+        live_s, ok_live, _, _, _ = live.run_once(live.plan.scaled(1.0))
+        wait_s, ok_wait, _, _, _ = wait.run_once(wait.plan.scaled(1.0))
         assert ok_live and ok_wait
         assert live_s < wait_s
 

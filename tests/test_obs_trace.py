@@ -1,0 +1,208 @@
+"""Structured span tracing: nesting, Chrome export, schema validity,
+and agreement between the export and the MPE-style aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BYTE, Session, Tracer, contiguous, resized
+from repro.obs.hooks import PhaseAccumulator, PhaseHook
+from repro.obs.schema import SchemaError, load_trace_schema, validate_chrome_trace
+from repro.sim.clock import VirtualClock
+
+
+def _clock() -> VirtualClock:
+    return VirtualClock()
+
+
+class TestNesting:
+    def test_spans_record_parent_and_depth(self):
+        tracer = Tracer()
+        clock = _clock()
+        with tracer.interval(0, "outer", clock):
+            clock.advance(1.0)
+            with tracer.interval(0, "inner", clock):
+                clock.advance(0.5)
+        inner, outer = tracer.events
+        assert inner.state == "inner" and outer.state == "outer"
+        assert outer.parent is None and outer.depth == 0
+        assert inner.parent == outer.sid and inner.depth == 1
+        assert tracer.children_of(outer) == [inner]
+        assert tracer.top_level(0) == [outer]
+
+    def test_sibling_ranks_nest_independently(self):
+        tracer = Tracer()
+        c0, c1 = _clock(), _clock()
+        with tracer.interval(0, "a", c0):
+            with tracer.interval(1, "b", c1):
+                pass
+        a = next(e for e in tracer.events if e.state == "a")
+        b = next(e for e in tracer.events if e.state == "b")
+        # Different ranks: no parent/child relationship.
+        assert a.parent is None and b.parent is None
+
+    def test_children_durations_bounded_by_parent(self):
+        """Direct children of any span fit inside it (nesting is real
+        containment in virtual time, not just bookkeeping)."""
+        session = _traced_session()
+        tracer = session.tracer
+        for top in tracer.top_level():
+            for child in tracer.children_of(top):
+                assert child.t0 >= top.t0 - 1e-12
+                assert child.t1 <= top.t1 + 1e-12
+
+    def test_jsonl_roundtrip_preserves_structure(self):
+        tracer = Tracer()
+        clock = _clock()
+        with tracer.interval(0, "outer", clock, round=1):
+            clock.advance(1.0)
+            with tracer.interval(0, "inner", clock):
+                clock.advance(0.5)
+        back = Tracer.from_jsonl(tracer.to_jsonl())
+        assert [(e.sid, e.parent, e.depth, e.state) for e in back.events] == [
+            (e.sid, e.parent, e.depth, e.state) for e in tracer.events
+        ]
+
+
+class TestHooks:
+    def test_hooks_fire_with_recording_off(self):
+        tracer = Tracer(enabled=False)
+        acc = tracer.add_hook(PhaseAccumulator())
+        clock = _clock()
+        with tracer.interval(0, "work", clock):
+            clock.advance(2.0)
+        assert tracer.events == []  # nothing stored...
+        assert acc.time_by_state() == {"work": pytest.approx(2.0)}  # ...yet metered
+
+    def test_accumulator_matches_event_aggregation(self):
+        session = _traced_session(hook=True)
+        assert session._acc.time_by_state() == pytest.approx(
+            session.tracer.time_by_state()
+        )
+
+    def test_remove_hook(self):
+        tracer = Tracer(enabled=False)
+        acc = tracer.add_hook(PhaseAccumulator())
+        tracer.remove_hook(acc)
+        with tracer.interval(0, "work", _clock()):
+            pass
+        assert acc.time_by_state() == {}
+
+    def test_disabled_no_hooks_is_free(self):
+        """The fast path must not allocate span ids or touch stacks."""
+        tracer = Tracer(enabled=False)
+        before = tracer._next_sid
+        with tracer.interval(0, "work", _clock()):
+            pass
+        assert tracer._next_sid == before
+
+
+def _traced_session(hook: bool = False) -> Session:
+    session = Session(
+        "/spans",
+        nprocs=4,
+        hints={"coll_impl": "new", "cb_nodes": 2, "cb_buffer_size": 512},
+        trace=True,
+    )
+    if hook:
+        session._acc = session.tracer.add_hook(PhaseAccumulator())
+
+    def body(ctx, comm, f):
+        region = 64
+        tile = resized(contiguous(region, BYTE), 0, region * comm.size)
+        f.set_view(disp=comm.rank * region, filetype=tile)
+        data = (np.arange(region * 8, dtype=np.int64) * (comm.rank + 1) % 251).astype(
+            np.uint8
+        )
+        f.write_all(data)
+        f.seek(0)
+        out = np.zeros_like(data)
+        f.read_all(out)
+        assert np.array_equal(out, data)
+        return True
+
+    assert all(session.run(body))
+    return session
+
+
+class TestChromeExport:
+    def test_export_validates_against_schema(self):
+        doc = _traced_session().chrome_trace()
+        validate_chrome_trace(doc)  # must not raise
+        # And the checked-in schema file loads.
+        schema = load_trace_schema()
+        assert schema["required"] == ["traceEvents", "displayTimeUnit"]
+
+    def test_export_is_json_serializable(self):
+        doc = _traced_session().chrome_trace()
+        json.loads(json.dumps(doc))
+
+    def test_span_totals_match_mpe_aggregation(self):
+        """The acceptance cross-check: per-name dur totals in the
+        Chrome export equal the tracer's per-state totals."""
+        session = _traced_session()
+        doc = session.chrome_trace()
+        totals: dict = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "X":
+                totals[ev["name"]] = totals.get(ev["name"], 0.0) + ev["dur"]
+        by_state = session.time_by_state()
+        assert set(totals) == set(by_state)
+        for state, seconds in by_state.items():
+            assert totals[state] == pytest.approx(seconds * 1e6)
+
+    def test_expected_phases_are_covered(self):
+        """Every collective phase the issue names shows up as spans."""
+        states = set(_traced_session().time_by_state())
+        for required in ("tp:plan", "tp:exchange", "fs:lock", "write_all"):
+            assert required in states, states
+
+    def test_invalid_documents_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_chrome_trace({"displayTimeUnit": "ms"})  # no traceEvents
+        with pytest.raises(SchemaError):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [{"ph": "Q"}],  # bad phase type
+                    "displayTimeUnit": "ms",
+                }
+            )
+
+    def test_real_jsonschema_agrees_if_available(self):
+        """When the environment has the real jsonschema package, our
+        subset validator must agree with it on the exported document."""
+        jsonschema = pytest.importorskip("jsonschema")
+        doc = _traced_session().chrome_trace()
+        jsonschema.validate(doc, load_trace_schema())
+
+    def test_write_trace_writes_validated_file(self, tmp_path):
+        session = _traced_session()
+        out = tmp_path / "trace.json"
+        doc = session.write_trace(str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        assert on_disk["displayTimeUnit"] == "ms"
+        # Metadata names every rank's thread.
+        names = [e for e in on_disk["traceEvents"] if e["ph"] == "M"]
+        assert len(names) == session.nprocs
+
+
+class TestSpanWallTimeDecomposition:
+    def test_top_level_spans_fit_in_collective_window(self):
+        """Per rank, the top-level collective spans (write_all /
+        read_all) sum to no more than the session makespan window and
+        each sits inside it — the "span durations sum (within nesting)
+        to collective wall time" invariant."""
+        session = _traced_session()
+        makespan = session.makespan
+        for rank in range(session.nprocs):
+            calls = [
+                e
+                for e in session.tracer.top_level(rank)
+                if e.state in ("write_all", "read_all")
+            ]
+            assert len(calls) == 2
+            assert sum(e.duration for e in calls) <= makespan + 1e-9

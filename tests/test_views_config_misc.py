@@ -93,7 +93,9 @@ class TestAggregatorLayout:
             f.write_all(np.full(16, comm.rank + 1, dtype=np.uint8))
             f.close()
             # With one packed aggregator, only rank 0 flushes.
-            return dict(f.stats.flush_methods)
+            snap = f.metrics.snapshot()
+            pre = "coll.flush."
+            return {k[len(pre):]: v for k, v in snap.items() if k.startswith(pre)}
 
         results = Simulator(2).run(main)
         assert results[0] != {}
