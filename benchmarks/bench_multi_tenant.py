@@ -1,0 +1,251 @@
+"""Multi-tenant contention: scheduler × tenant-count fairness sweep.
+
+The flagship benchmark of the ``repro.tenancy`` engine (ISSUE 6): one
+elephant tenant (few huge requests) and N−1 mouse tenants (many small
+requests) move the *same number of bytes each* through one shared
+:class:`~repro.fs.SimFileSystem`, under each per-OST scheduling policy.
+
+The headline is the fairness figure of merit: under ``fifo`` a mouse's
+request queues behind whole elephant requests, so its per-request p99
+latency — and its makespan — inflate in proportion to the elephant's
+request size, while the elephant barely notices the mice.  The
+``fair`` policy caps the interference any tenant absorbs at its own
+backlog's fair share, so at fixed total load the cross-tenant spread
+(max − min over tenants) of both p99 latency and makespan must come
+out strictly lower than FIFO's.  ``wfq`` additionally honors the
+``tenant_priority`` hint (mice get weight 2 here).
+
+The sweep is emitted to ``BENCH_multi_tenant.json`` at the repo root.
+Run either way::
+
+    python -m pytest -q benchmarks/bench_multi_tenant.py
+    PYTHONPATH=src python benchmarks/bench_multi_tenant.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.config import CostModel
+from repro.tenancy import Cluster
+
+_SCHEDULERS = ("fifo", "fair", "wfq")
+_TENANT_COUNTS = (2, 3)
+#: Bytes each tenant moves — fixed total load per (count, scheduler) cell.
+_BYTES_PER_TENANT = 2 * 1024 * 1024
+_ELEPHANT_REQUEST = 256 * 1024
+_MOUSE_REQUEST = 16 * 1024
+#: One slow OST, a small stripe, and coarse extent locks make OST
+#: service time dominate per-request overheads — the sweep measures
+#: queueing policy, not lock RPCs.
+_COST = CostModel(
+    num_osts=1,
+    stripe_size=256 * 1024,
+    ost_byte_time=1.0 / (16 * 1024 * 1024),
+)
+_LOCK_GRANULARITY = 256 * 1024
+_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_multi_tenant.json"
+
+
+def _writer(request_bytes: int):
+    """A raw tenant body: stream ``_BYTES_PER_TENANT`` to a private
+    file in ``request_bytes`` chunks, returning per-request latencies."""
+
+    def body(ctx, comm, client):
+        f = client.open(f"/bench/{comm.rank}", cache_mode="off")
+        block = np.full(request_bytes, 0xA5, dtype=np.uint8)
+        latencies = []
+        offset = 0
+        while offset < _BYTES_PER_TENANT:
+            t = ctx.now
+            f.write(offset, block)
+            latencies.append(ctx.now - t)
+            offset += request_bytes
+        f.close()
+        return latencies
+
+    return body
+
+
+def _run_cell(ntenants: int, sched: str) -> List[Dict[str, object]]:
+    cl = Cluster(cost=_COST, scheduler=sched, lock_granularity=_LOCK_GRANULARITY)
+    cl.add_tenant(
+        "elephant",
+        _writer(_ELEPHANT_REQUEST),
+        nprocs=1,
+        kind="raw",
+        hints={"tenant_priority": 1},
+    )
+    for i in range(ntenants - 1):
+        cl.add_tenant(
+            f"mouse{i}",
+            _writer(_MOUSE_REQUEST),
+            nprocs=1,
+            kind="raw",
+            # wfq honors this; fifo/fair ignore it — same workload.
+            hints={"tenant_priority": 2},
+        )
+    out = cl.run()
+
+    rows = []
+    for name, res in out.items():
+        calls = np.asarray(res.results[0], dtype=np.float64)
+        makespan = res.makespan
+        rows.append(
+            {
+                "tenants": ntenants,
+                "scheduler": sched,
+                "tenant": name,
+                "total_bytes": _BYTES_PER_TENANT,
+                "requests": int(calls.size),
+                "makespan_seconds": makespan,
+                "bandwidth_mbs": round(
+                    _BYTES_PER_TENANT / makespan / (1024 * 1024), 3
+                ),
+                "p99_call_seconds": float(np.percentile(calls, 99)),
+                "mean_call_seconds": float(calls.mean()),
+                "queue_wait_count": cl.registry.value(
+                    "fs.ost.queue_wait_seconds", name
+                ),
+            }
+        )
+    # Attribution conservation at every cell, not just in the tests.
+    mirrored, total = cl.conservation("fs.bytes.written")
+    assert mirrored == total, (ntenants, sched, mirrored, total)
+    return rows
+
+
+def _spread(rows: List[Dict[str, object]], field: str) -> float:
+    vals = [row[field] for row in rows]
+    return max(vals) - min(vals)
+
+
+def _sweep() -> Dict[str, object]:
+    cells = []
+    summary = []
+    for ntenants in _TENANT_COUNTS:
+        for sched in _SCHEDULERS:
+            rows = _run_cell(ntenants, sched)
+            cells.extend(rows)
+            summary.append(
+                {
+                    "tenants": ntenants,
+                    "scheduler": sched,
+                    "spread_makespan_seconds": _spread(rows, "makespan_seconds"),
+                    "spread_p99_seconds": _spread(rows, "p99_call_seconds"),
+                }
+            )
+    return {
+        "benchmark": "multi_tenant",
+        "bytes_per_tenant": _BYTES_PER_TENANT,
+        "elephant_request": _ELEPHANT_REQUEST,
+        "mouse_request": _MOUSE_REQUEST,
+        "sweep": cells,
+        "fairness": summary,
+    }
+
+
+def emit_json(doc: Dict[str, object]) -> Path:
+    _JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    return _JSON_PATH
+
+
+def _fairness_cell(doc, ntenants, sched):
+    for row in doc["fairness"]:
+        if (row["tenants"], row["scheduler"]) == (ntenants, sched):
+            return row
+    raise KeyError((ntenants, sched))
+
+
+@pytest.fixture(scope="module")
+def sweep_doc():
+    doc = _sweep()
+    emit_json(doc)
+    return doc
+
+
+def test_sweep_emits_json(sweep_doc):
+    recorded = json.loads(_JSON_PATH.read_text())
+    assert recorded["benchmark"] == "multi_tenant"
+    assert len(recorded["sweep"]) == sum(_TENANT_COUNTS) * len(_SCHEDULERS)
+    assert len(recorded["fairness"]) == len(_TENANT_COUNTS) * len(_SCHEDULERS)
+
+
+def test_fair_share_strictly_lower_spread_than_fifo(sweep_doc):
+    """The acceptance headline: at fixed total load, fair-share yields
+    strictly lower cross-tenant p99-makespan spread than FIFO."""
+    for ntenants in _TENANT_COUNTS:
+        fifo = _fairness_cell(sweep_doc, ntenants, "fifo")
+        fair = _fairness_cell(sweep_doc, ntenants, "fair")
+        assert (
+            fair["spread_makespan_seconds"] < fifo["spread_makespan_seconds"]
+        ), ntenants
+
+
+def test_fifo_starves_mice_not_elephants(sweep_doc):
+    """Mechanism check: FIFO's unfairness is the mice waiting behind
+    elephant-sized requests, so every mouse's p99 under FIFO exceeds
+    its p99 under fair-share; the elephant is hurt far less."""
+    for ntenants in _TENANT_COUNTS:
+        by = {
+            (r["scheduler"], r["tenant"]): r
+            for r in sweep_doc["sweep"]
+            if r["tenants"] == ntenants
+        }
+        for i in range(ntenants - 1):
+            mouse = f"mouse{i}"
+            assert (
+                by[("fifo", mouse)]["p99_call_seconds"]
+                > by[("fair", mouse)]["p99_call_seconds"]
+            ), (ntenants, mouse)
+
+
+def test_wfq_no_worse_than_fair_for_weighted_mice(sweep_doc):
+    """Weight-2 mice absorb at most the interference fair-share grants
+    them (the weighted cap only shrinks)."""
+    for ntenants in _TENANT_COUNTS:
+        by = {
+            (r["scheduler"], r["tenant"]): r
+            for r in sweep_doc["sweep"]
+            if r["tenants"] == ntenants
+        }
+        for i in range(ntenants - 1):
+            mouse = f"mouse{i}"
+            assert (
+                by[("wfq", mouse)]["p99_call_seconds"]
+                <= by[("fair", mouse)]["p99_call_seconds"] + 1e-12
+            ), (ntenants, mouse)
+
+
+def main() -> int:
+    doc = _sweep()
+    path = emit_json(doc)
+    print(
+        f"{'tenants':>7} {'sched':<6} {'tenant':<10} {'MB/s':>9} "
+        f"{'makespan ms':>12} {'p99 ms':>9}"
+    )
+    for row in doc["sweep"]:
+        print(
+            f"{row['tenants']:>7} {row['scheduler']:<6} {row['tenant']:<10} "
+            f"{row['bandwidth_mbs']:>9.2f} "
+            f"{row['makespan_seconds'] * 1e3:>12.3f} "
+            f"{row['p99_call_seconds'] * 1e3:>9.3f}"
+        )
+    print(f"\n{'tenants':>7} {'sched':<6} {'spread mks ms':>14} {'spread p99 ms':>14}")
+    for row in doc["fairness"]:
+        print(
+            f"{row['tenants']:>7} {row['scheduler']:<6} "
+            f"{row['spread_makespan_seconds'] * 1e3:>14.3f} "
+            f"{row['spread_p99_seconds'] * 1e3:>14.3f}"
+        )
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

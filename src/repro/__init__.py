@@ -85,6 +85,7 @@ from repro.obs import (
 )
 from repro.obs.session import Session
 from repro.sim import RankContext, Simulator, Tracer, Watchdog
+from repro.tenancy import Cluster, TenantResult, TenantSpec
 
 __version__ = "1.0.0"
 
@@ -95,6 +96,10 @@ __all__ = [
     "RankContext",
     "Tracer",
     "Watchdog",
+    # tenancy
+    "Cluster",
+    "TenantSpec",
+    "TenantResult",
     # config
     "CostModel",
     "DEFAULT_COST_MODEL",

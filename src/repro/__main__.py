@@ -9,6 +9,11 @@
   completion-time degradation (always data-verified).
 * ``fsck`` — demonstrate the scrub/repair pass: write a checksummed
   file, corrupt it, scrub, repair from a reference image, verify.
+* ``mt`` — multi-tenant contention smoke: ``--tenants N`` collective
+  jobs plus background traffic share one file system under both the
+  ``fifo`` and ``--sched NAME`` OST policies; read-backs and
+  per-tenant attribution conservation are verified, per-tenant
+  makespans and the cross-tenant spread printed.
 
 ``--faults NAME[:SEED]`` (e.g. ``--faults transient-io:42``) installs
 the named deterministic fault scenario into every simulated cluster the
@@ -301,6 +306,86 @@ def trace(
     return 0
 
 
+def mt(
+    fault_spec: Optional[str] = None,
+    integrity: bool = False,
+    liveness: bool = False,
+    ppn: int = 0,
+    tenants: int = 3,
+    sched: str = "fair",
+) -> int:
+    """Multi-tenant smoke: N collective tenants + background traffic on
+    one shared file system, run under FIFO and the selected scheduler.
+
+    Every tenant's read-back must be byte-perfect and the per-tenant
+    registry mirrors must sum exactly to the shared-fs globals
+    (conservation).  ``--faults`` installs the scenario into tenant
+    ``t0`` only — per-tenant fault isolation is part of the smoke."""
+    from repro import BYTE, Cluster, contiguous, resized
+
+    region, count = 64, 8
+
+    def mkbody():
+        def body(ctx, comm, f):
+            tile = resized(contiguous(region, BYTE), 0, region * comm.size)
+            f.set_view(disp=comm.rank * region, filetype=tile)
+            data = (
+                np.arange(region * count, dtype=np.int64) * (comm.rank + 2) % 251
+            ).astype(np.uint8)
+            f.write_all(data)
+            f.seek(0)
+            back = np.zeros_like(data)
+            f.read_all(back)
+            return bool(np.array_equal(back, data))
+
+        return body
+
+    failures = 0
+    for policy in dict.fromkeys(("fifo", sched)):
+        cl = Cluster(scheduler=policy)
+        for i in range(tenants):
+            hints = {"coll_impl": "new", "cb_nodes": 2, "tenant_priority": 1 + i % 2}
+            if integrity:
+                hints.update(integrity_pages=True, integrity_network=True)
+            if liveness:
+                hints.update(coll_deadline=0.5, liveness=True)
+            if ppn > 1:
+                hints.update(procs_per_node=ppn, node_aggregation=True)
+            cl.add_tenant(
+                f"t{i}",
+                mkbody(),
+                nprocs=4,
+                hints=hints,
+                arrival=0.0005 * i,
+                faults=fault_spec if i == 0 else None,
+            )
+        cl.add_background("scan", nprocs=1, total_bytes=1 << 16)
+        cl.add_background("random", nprocs=1, ops=32)
+        out = cl.run()
+        print(f"scheduler {policy!r}:")
+        for name, res in out.items():
+            verified = all(r is True for r in res.results if isinstance(r, bool))
+            print(
+                f"  {name:<12} makespan {res.makespan * 1e3:9.3f} ms"
+                + ("" if verified else "  READ-BACK MISMATCH")
+            )
+            if not verified:
+                failures += 1
+        print(f"  spread {cl.spread * 1e3:.3f} ms")
+        for metric in ("fs.bytes.written", "fs.bytes.read"):
+            mirrored, total = cl.conservation(metric)
+            status = "ok" if mirrored == total else "VIOLATED"
+            print(f"  conservation {metric}: {mirrored} vs {total} {status}")
+            if mirrored != total:
+                failures += 1
+    if failures:
+        print(f"mt: {failures} check(s) FAILED")
+        return 1
+    print(f"mt: {tenants} tenants + 2 background, data verified, "
+          "attribution conserved")
+    return 0
+
+
 def demo(
     fault_spec: Optional[str] = None,
     integrity: bool = False,
@@ -376,6 +461,29 @@ def main(argv: list[str]) -> int:
             print(f"--ppn must be >= 1, got {ppn}")
             return 2
         del args[i : i + 2]
+    tenants = 3
+    if "--tenants" in args:
+        i = args.index("--tenants")
+        if i + 1 >= len(args):
+            print("--tenants requires a tenant count")
+            return 2
+        try:
+            tenants = int(args[i + 1])
+        except ValueError:
+            print(f"--tenants requires an integer, got {args[i + 1]!r}")
+            return 2
+        if tenants < 1:
+            print(f"--tenants must be >= 1, got {tenants}")
+            return 2
+        del args[i : i + 2]
+    sched = "fair"
+    if "--sched" in args:
+        i = args.index("--sched")
+        if i + 1 >= len(args):
+            print("--sched requires a policy name (fifo|fair|wfq)")
+            return 2
+        sched = args[i + 1]
+        del args[i : i + 2]
     cmd = args[0] if args else "selfcheck"
     commands = {
         "selfcheck": selfcheck,
@@ -384,18 +492,23 @@ def main(argv: list[str]) -> int:
         "chaos": chaos,
         "fsck": fsck,
         "trace": trace,
+        "mt": mt,
     }
     if cmd not in commands:
         print(
             f"usage: python -m repro [{'|'.join(commands)}] "
             "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N]\n"
             "       python -m repro trace [OUT.json] [--ppn N] "
+            "[--faults NAME[:SEED]]\n"
+            "       python -m repro mt [--tenants N] [--sched fifo|fair|wfq] "
             "[--faults NAME[:SEED]]"
         )
         return 2
     if cmd == "trace":
         out = args[1] if len(args) > 1 else "out.json"
         return trace(fault_spec, integrity, liveness, ppn, out)
+    if cmd == "mt":
+        return mt(fault_spec, integrity, liveness, ppn, tenants, sched)
     return commands[cmd](fault_spec, integrity, liveness, ppn)
 
 

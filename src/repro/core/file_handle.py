@@ -22,7 +22,7 @@ steps are skipped.
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import Hashable, Optional
 
 import numpy as np
 
@@ -61,6 +61,7 @@ class CollectiveFile:
         path: str,
         hints: Optional[Hints] = None,
         cost: CostModel = DEFAULT_COST_MODEL,
+        client_id: Optional[Hashable] = None,
     ) -> None:
         self.ctx = ctx
         self.comm = comm
@@ -68,7 +69,9 @@ class CollectiveFile:
         self.path = path
         self.hints = hints if hints is not None else Hints()
         self.cost = cost
-        client = FSClient(fs, ctx)
+        # Multi-tenant runs pass a (tenant, rank) client_id so that two
+        # tenants' rank 0 never alias on the shared lock table / caches.
+        client = FSClient(fs, ctx, client_id=client_id)
         self.local = client.open(
             path,
             cache_mode=self.hints["cache_mode"],

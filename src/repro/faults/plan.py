@@ -168,8 +168,20 @@ class FaultEvent:
         """True when virtual time ``t`` falls inside the event window."""
         return self.start <= t < self.end
 
-    def applies_to(self, rank: int) -> bool:
-        return self.ranks is None or rank in self.ranks
+    def applies_to(self, rank) -> bool:
+        """True when the event targets ``rank``.
+
+        ``rank`` is normally an int; multi-tenant runs pass composite
+        ``(tenant, local_rank)`` client ids, which match on their int
+        component — a plan scoped to one tenant's injector keeps using
+        plain local ranks in ``ranks``."""
+        if self.ranks is None:
+            return True
+        if rank in self.ranks:
+            return True
+        if isinstance(rank, tuple):
+            return any(isinstance(p, int) and p in self.ranks for p in rank)
+        return False
 
 
 @dataclass

@@ -21,6 +21,17 @@ the :class:`repro.config.CostModel`.
 from repro.fs.client import FSClient, LocalFile
 from repro.fs.filesystem import SimFileSystem
 from repro.fs.locks import ExtentLockManager
+from repro.fs.schedule import FIFOScheduler, FairShareScheduler, OSTScheduler, make_scheduler
 from repro.fs.store import PageStore
 
-__all__ = ["SimFileSystem", "FSClient", "LocalFile", "ExtentLockManager", "PageStore"]
+__all__ = [
+    "SimFileSystem",
+    "FSClient",
+    "LocalFile",
+    "ExtentLockManager",
+    "PageStore",
+    "OSTScheduler",
+    "FIFOScheduler",
+    "FairShareScheduler",
+    "make_scheduler",
+]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterable, Iterator, Optional
+from typing import Hashable, Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -18,7 +18,12 @@ __all__ = ["FSClient", "LocalFile"]
 class FSClient:
     """A rank's connection to the shared file system."""
 
-    def __init__(self, fs: SimFileSystem, ctx: RankContext, client_id: Optional[int] = None):
+    def __init__(
+        self,
+        fs: SimFileSystem,
+        ctx: RankContext,
+        client_id: Optional[Hashable] = None,
+    ):
         self.fs = fs
         self.ctx = ctx
         self.client_id = ctx.rank if client_id is None else client_id

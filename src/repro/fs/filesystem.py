@@ -22,7 +22,7 @@ Cost model of one server call (a batch of contiguous extents):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.config import CostModel, DEFAULT_COST_MODEL
 from repro.errors import FileSystemError, IntegrityError, LockDeadlock
 from repro.faults.plan import FAULTS_KEY
 from repro.fs.locks import ExtentLockManager, LockCharge
+from repro.fs.schedule import OSTScheduler, make_scheduler
 from repro.liveness import LIVENESS_KEY
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import BLOCK_TIMEOUT
@@ -156,6 +157,7 @@ class SimFileSystem:
         cost: CostModel = DEFAULT_COST_MODEL,
         lock_granularity: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        scheduler: "OSTScheduler | str | None" = None,
     ) -> None:
         cost.validate()
         self.cost = cost
@@ -164,9 +166,17 @@ class SimFileSystem:
         )
         self.registry = registry if registry is not None else MetricsRegistry()
         self._files: Dict[str, _File] = {}
-        self._ost_available = [0.0] * cost.num_osts
+        #: Per-OST serving discipline ("fifo" reproduces the seed's
+        #: single-queue model exactly; "fair"/"wfq" arbitrate tenants).
+        self.scheduler = make_scheduler(scheduler)
         #: client_id -> list of caches to notify on revocation.
-        self._caches: Dict[int, List["PageCache"]] = {}
+        self._caches: Dict[Hashable, List["PageCache"]] = {}
+        #: client_id -> tenant name, for scheduling and attribution.
+        self._tenant_of: Dict[Hashable, str] = {}
+        #: tenant name -> QoS weight (the ``tenant_priority`` hint).
+        self._tenant_weight: Dict[str, float] = {}
+        #: tenant name -> lazily-built mirror counters / histograms.
+        self._tenant_mirrors: Dict[Optional[str], Dict[str, object]] = {}
 
     # -- namespace ---------------------------------------------------------
     def ensure_file(self, path: str) -> None:
@@ -215,12 +225,66 @@ class SimFileSystem:
         self.ensure_file(path)
         self._file(path).store.write(offset, data)
 
-    def register_cache(self, client_id: int, cache: "PageCache") -> None:
+    def register_cache(self, client_id: Hashable, cache: "PageCache") -> None:
         self._caches.setdefault(client_id, []).append(cache)
+
+    # -- tenancy -----------------------------------------------------------
+    def register_tenant(
+        self, client_id: Hashable, tenant: str, weight: float = 1.0
+    ) -> None:
+        """Attribute ``client_id``'s server traffic to ``tenant``.
+
+        ``weight`` feeds the weighted OST schedulers (the
+        ``tenant_priority`` hint); registration also arms the per-tenant
+        ``tenant.<name>.fs.*`` / ``tenant.<name>.lock.*`` mirror
+        counters, whose per-tenant totals sum to the shared globals
+        (the conservation invariant the tenancy tests check)."""
+        if weight <= 0:
+            raise FileSystemError(f"tenant weight must be positive, got {weight}")
+        self._tenant_of[client_id] = str(tenant)
+        self._tenant_weight[str(tenant)] = float(weight)
+
+    def tenant_of(self, client_id: Hashable) -> Optional[str]:
+        """The registered tenant of a client, or ``None``."""
+        return self._tenant_of.get(client_id)
+
+    def tenants(self) -> List[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenant_weight)
+
+    def _tenant_mirror(self, tenant: Optional[str]) -> Dict[str, object]:
+        """Lazily-built per-tenant instruments (mirrors + queue waits)."""
+        m = self._tenant_mirrors.get(tenant)
+        if m is None:
+            m = {
+                "queue_wait": self.registry.histogram(
+                    "fs.ost.queue_wait_seconds", tenant
+                )
+            }
+            if tenant is not None:
+                view = self.registry.view(prefix=f"tenant.{tenant}.")
+                for name in (
+                    "fs.bytes.written",
+                    "fs.bytes.read",
+                    "fs.server.writes",
+                    "fs.server.reads",
+                    "fs.rmw.pages",
+                    "lock.rpcs",
+                    "lock.revocations",
+                ):
+                    m[name] = view.counter(name)
+            self._tenant_mirrors[tenant] = m
+        return m
+
+    def _mirror_inc(self, client_id: Hashable, name: str, n: int) -> None:
+        """Bump a tenant mirror counter (no-op for untenanted clients)."""
+        tenant = self._tenant_of.get(client_id)
+        if tenant is not None and n:
+            self._tenant_mirror(tenant)[name].inc(n)
 
     # -- fault hooks ------------------------------------------------------
     @staticmethod
-    def _maybe_io_fault(ctx: RankContext, client_id: int, path: str, site: str) -> None:
+    def _maybe_io_fault(ctx: RankContext, client_id: Hashable, path: str, site: str) -> None:
         """Raise an injected :class:`~repro.errors.TransientIOError`
         when a fault plan says this server call fails.  The client has
         already paid the call overhead — a failed call costs real time,
@@ -234,7 +298,7 @@ class SimFileSystem:
         self,
         ctx: RankContext,
         f: _File,
-        client_id: int,
+        client_id: Hashable,
         offsets: np.ndarray,
         lengths: np.ndarray,
         path: str,
@@ -280,6 +344,8 @@ class SimFileSystem:
         revoked = sum(c.revoked_granules for c in charges)
         f.stats.lock_rpcs += rpcs
         f.stats.lock_revocations += revoked
+        self._mirror_inc(client_id, "lock.rpcs", rpcs)
+        self._mirror_inc(client_id, "lock.revocations", revoked)
         ctx.charge(rpcs * self.cost.lock_rpc + revoked * self.cost.lock_revoke)
         # Coherent victims must flush and drop their pages in the range;
         # the requester waits for it, so the requester's clock pays.
@@ -294,7 +360,7 @@ class SimFileSystem:
         self,
         ctx: RankContext,
         f: _File,
-        client_id: int,
+        client_id: Hashable,
         lo: int,
         hi: int,
         path: str,
@@ -392,11 +458,18 @@ class SimFileSystem:
     def _serve(
         self,
         ctx: RankContext,
+        client_id: Hashable,
         offsets: np.ndarray,
         lengths: np.ndarray,
         rmw_pages: int,
     ) -> None:
-        """Charge OST service for a batch, honoring per-OST queues."""
+        """Charge OST service for a batch, honoring per-OST queues.
+
+        The queueing discipline itself lives in :attr:`scheduler`
+        (FIFO by default; fair-share/weighted lanes for multi-tenant
+        runs) — this method computes service demands, books them, and
+        records each fragment's queueing delay against the client's
+        tenant."""
         cost = self.cost
         faults = ctx.shared.get(FAULTS_KEY)
         bytes_per, reqs_per = self._split_over_osts(offsets, lengths)
@@ -404,6 +477,9 @@ class SimFileSystem:
         total_reqs = int(reqs_per.sum())
         arrive = ctx.now
         finish = arrive
+        tenant = self._tenant_of.get(client_id)
+        weight = self._tenant_weight.get(tenant, 1.0)
+        wait_hist = self._tenant_mirror(tenant)["queue_wait"]
         for ost in range(cost.num_osts):
             if reqs_per[ost] == 0:
                 continue
@@ -415,9 +491,8 @@ class SimFileSystem:
             )
             if faults is not None:
                 service += faults.disk_penalty(ost, arrive, service)
-            start = max(arrive, self._ost_available[ost])
-            done = start + service
-            self._ost_available[ost] = done
+            done = self.scheduler.request(ost, tenant, weight, arrive, service)
+            wait_hist.record(max(0.0, done - arrive - service))
             finish = max(finish, done)
         ctx.charge_to(finish)
         ctx.yield_now()
@@ -440,7 +515,7 @@ class SimFileSystem:
     def acquire_extents(
         self,
         ctx: RankContext,
-        client_id: int,
+        client_id: Hashable,
         path: str,
         offsets: Iterable[int] | np.ndarray,
         lengths: Iterable[int] | np.ndarray,
@@ -480,7 +555,7 @@ class SimFileSystem:
     def server_write(
         self,
         ctx: RankContext,
-        client_id: int,
+        client_id: Hashable,
         path: str,
         offsets: Iterable[int] | np.ndarray,
         lengths: Iterable[int] | np.ndarray,
@@ -517,6 +592,9 @@ class SimFileSystem:
         f.stats.rmw_pages += rmw
         f.stats.server_writes += 1
         f.stats.bytes_written += total
+        self._mirror_inc(client_id, "fs.rmw.pages", rmw)
+        self._mirror_inc(client_id, "fs.server.writes", 1)
+        self._mirror_inc(client_id, "fs.bytes.written", total)
         target = f.store
         txn = None
         if journaled:
@@ -540,7 +618,7 @@ class SimFileSystem:
             faults.corrupt_stored(
                 target, self._touched_pages(offs, lens), client_id, ctx.now
             )
-        self._serve(ctx, offs, lens, rmw)
+        self._serve(ctx, client_id, offs, lens, rmw)
 
     def _touched_pages(self, offs: np.ndarray, lens: np.ndarray) -> List[int]:
         """Sorted page indices covered by a batch (corruption targets)."""
@@ -553,7 +631,7 @@ class SimFileSystem:
     def server_read(
         self,
         ctx: RankContext,
-        client_id: int,
+        client_id: Hashable,
         path: str,
         offsets: Iterable[int] | np.ndarray,
         lengths: Iterable[int] | np.ndarray,
@@ -578,6 +656,8 @@ class SimFileSystem:
             self._charge_locks(ctx, f, client_id, offs, lens, path)
         f.stats.server_reads += 1
         f.stats.bytes_read += total
+        self._mirror_inc(client_id, "fs.server.reads", 1)
+        self._mirror_inc(client_id, "fs.bytes.read", total)
         pos = 0
         try:
             for o, l in zip(offs.tolist(), lens.tolist()):
@@ -589,7 +669,7 @@ class SimFileSystem:
         except IntegrityError as exc:
             self._note_page_corruption(ctx)
             raise IntegrityError(exc.site, exc.page_index, path) from exc
-        self._serve(ctx, offs, lens, 0)
+        self._serve(ctx, client_id, offs, lens, 0)
         return out
 
     @staticmethod
@@ -640,7 +720,7 @@ class SimFileSystem:
             f.txn = None
             f.stats.journal_aborts += 1
 
-    def txn_commit(self, ctx: RankContext, client_id: int, path: str) -> int:
+    def txn_commit(self, ctx: RankContext, client_id: Hashable, path: str) -> int:
         """Atomically publish the open transaction into the main store.
 
         The injected-fault point fires *before* any byte is applied and
@@ -689,7 +769,7 @@ class SimFileSystem:
         return len(pages)
 
     # -- resize --------------------------------------------------------------
-    def resize(self, ctx: RankContext, client_id: int, path: str, size: int) -> None:
+    def resize(self, ctx: RankContext, client_id: Hashable, path: str, size: int) -> None:
         """Set the file's logical size (MPI_File_set_size's server op).
 
         Shrinking trims store pages and drops every client's cached

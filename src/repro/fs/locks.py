@@ -19,11 +19,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import FileSystemError
 
-__all__ = ["LockCharge", "ExtentLockManager"]
+__all__ = ["ClientId", "LockCharge", "ExtentLockManager"]
+
+#: A lock-manager client identity.  Single-session runs use the bare
+#: world rank (an ``int``); multi-tenant runs use a ``(tenant, rank)``
+#: tuple so two tenants' rank 0 never alias in the holder map, the pin
+#: table, or — critically — the waits-for graph used for deadlock
+#: detection.  Any hashable works; equality is identity of the client.
+ClientId = Hashable
 
 
 @dataclass
@@ -35,7 +42,7 @@ class LockCharge:
     #: Granules taken away from other clients.
     revoked_granules: int
     #: (victim client, granule_lo, granule_hi) byte ranges revoked.
-    revoked_ranges: List[Tuple[int, int, int]]
+    revoked_ranges: List[Tuple[ClientId, int, int]]
 
     @property
     def hit(self) -> bool:
@@ -71,12 +78,12 @@ class ExtentLockManager:
         if granularity <= 0:
             raise FileSystemError(f"lock granularity must be positive, got {granularity}")
         self.granularity = granularity
-        self._holder: Dict[int, int] = {}
+        self._holder: Dict[int, ClientId] = {}
         #: granule -> (holder, t_pinned, expires): the holder's callback
         #: thread is wedged until ``expires`` (fault-injected only).
-        self._pins: Dict[int, Tuple[int, float, float]] = {}
+        self._pins: Dict[int, Tuple[ClientId, float, float]] = {}
         #: waiter client -> holder client it is blocked on (waits-for).
-        self._waiting: Dict[int, int] = {}
+        self._waiting: Dict[ClientId, ClientId] = {}
         #: Virtual time of the most recent voluntary pin release — the
         #: causal wake time for a waiter whose holder unlocked early.
         self.last_pin_release = 0.0
@@ -92,7 +99,7 @@ class ExtentLockManager:
         return range(lo // g, (hi - 1) // g + 1)
 
     def acquire(
-        self, client: int, lo: int, hi: int, *, faults=None, now: float = 0.0
+        self, client: ClientId, lo: int, hi: int, *, faults=None, now: float = 0.0
     ) -> LockCharge:
         """Ensure ``client`` holds every granule of [lo, hi).
 
@@ -126,15 +133,15 @@ class ExtentLockManager:
         self.stats_revocations += n_revoked
         return LockCharge(rpcs=rpcs, revoked_granules=n_revoked, revoked_ranges=revoked)
 
-    def holder_of(self, offset: int) -> int | None:
+    def holder_of(self, offset: int) -> Optional[ClientId]:
         """Current holder of the granule containing ``offset`` (tests)."""
         return self._holder.get(offset // self.granularity)
 
-    def holds(self, client: int, lo: int, hi: int) -> bool:
+    def holds(self, client: ClientId, lo: int, hi: int) -> bool:
         """True when ``client`` currently holds every granule of [lo, hi)."""
         return all(self._holder.get(g) == client for g in self._granules(lo, hi))
 
-    def release_all(self, client: int, now: float = 0.0) -> int:
+    def release_all(self, client: ClientId, now: float = 0.0) -> int:
         """Drop every granule held by ``client``; returns the count.
 
         Also drops the client's pins (a closing client's callback
@@ -152,7 +159,9 @@ class ExtentLockManager:
         """Cheap fast-path guard: any pin outstanding at all?"""
         return bool(self._pins)
 
-    def pin_range(self, client: int, lo: int, hi: int, now: float, expires: float) -> int:
+    def pin_range(
+        self, client: ClientId, lo: int, hi: int, now: float, expires: float
+    ) -> int:
         """Pin every [lo, hi) granule ``client`` holds until ``expires``.
 
         Models the holder's lock-callback thread wedging *after* the
@@ -167,7 +176,7 @@ class ExtentLockManager:
                 n += 1
         return n
 
-    def release_pins(self, client: int, now: float = 0.0) -> int:
+    def release_pins(self, client: ClientId, now: float = 0.0) -> int:
         """Drop every pin held by ``client``; returns the count."""
         mine = [g for g, pin in self._pins.items() if pin[0] == client]
         for g in mine:
@@ -177,8 +186,8 @@ class ExtentLockManager:
         return len(mine)
 
     def blocking_pin(
-        self, client: int, lo: int, hi: int
-    ) -> Optional[Tuple[int, float, float]]:
+        self, client: ClientId, lo: int, hi: int
+    ) -> Optional[Tuple[ClientId, float, float]]:
         """The first pin in [lo, hi) held by *another* client, or None.
 
         A client's own pins never block it — the wedged thread only
@@ -210,14 +219,14 @@ class ExtentLockManager:
         return reclaimed
 
     # -- waits-for graph (deadlock detection) ---------------------------
-    def note_wait(self, waiter: int, holder: int) -> None:
+    def note_wait(self, waiter: ClientId, holder: ClientId) -> None:
         """Record that ``waiter`` is blocked on a pin held by ``holder``."""
         self._waiting[waiter] = holder
 
-    def clear_wait(self, waiter: int) -> None:
+    def clear_wait(self, waiter: ClientId) -> None:
         self._waiting.pop(waiter, None)
 
-    def find_cycle(self, start: int) -> Optional[Tuple[int, ...]]:
+    def find_cycle(self, start: ClientId) -> Optional[Tuple[ClientId, ...]]:
         """The waits-for cycle through ``start``, or None.
 
         Walks the single outgoing edge per waiter; a client blocked on

@@ -1,0 +1,172 @@
+"""Per-OST request scheduling policies for the shared file system.
+
+A single job saturating idle OSTs only needs the seed's model: one
+availability time per OST, requests served in virtual-time arrival
+order.  A *multi-tenant* file system needs a policy for who waits when
+several jobs' aggregators hit the same OST, so the serving discipline
+is factored out here behind :class:`OSTScheduler`:
+
+``fifo``
+    The seed's discipline, bit-identical to the old inline
+    ``_ost_available`` bookkeeping: one queue per OST, a request starts
+    at ``max(arrive, available)`` and occupies the OST for its whole
+    service time.  Tenant-blind — an elephant tenant issuing large
+    requests starves small-request tenants in proportion to request
+    size.
+
+``fair`` / ``fair_share``
+    Start-time-fair queueing approximation (a GPS/WFQ-style model, not
+    an event-accurate packet scheduler): each tenant has its own
+    backlog lane per OST, and the *interference* a request suffers from
+    other tenants is capped by both (a) the others' actual pending
+    backlog and (b) the service the others could receive while this
+    tenant's own work drains at its fair share::
+
+        own   = backlog_self + service
+        done  = arrive + own + min(backlog_others, own * W_others / w)
+
+    With one tenant (or unregistered clients, which share the ``None``
+    lane) the interference term is zero and the policy degenerates to
+    exactly FIFO — so single-session runs are unaffected by switching.
+
+``wfq`` / ``weighted``
+    The same model honoring per-tenant weights (the ``tenant_priority``
+    hint): a weight-2 tenant's lane drains as if it held twice the
+    share, i.e. it absorbs half the interference a weight-1 tenant
+    would.  ``fair`` is ``wfq`` with every weight forced to 1.
+
+Schedulers are deterministic, keep all state in plain dicts (the
+engine's single-running-thread invariant), and are consulted only by
+:meth:`repro.fs.filesystem.SimFileSystem._serve`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.errors import FileSystemError
+
+__all__ = [
+    "OSTScheduler",
+    "FIFOScheduler",
+    "FairShareScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]
+
+
+class OSTScheduler:
+    """Serving discipline for one file system's OSTs.
+
+    ``request(ost, tenant, weight, arrive, service)`` books one request
+    batch fragment and returns its completion time; the queueing delay
+    is ``done - arrive - service``.  ``tenant`` is ``None`` for clients
+    of no registered tenant (they share one anonymous lane)."""
+
+    name = "base"
+
+    def request(
+        self,
+        ost: int,
+        tenant: Hashable,
+        weight: float,
+        arrive: float,
+        service: float,
+    ) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class FIFOScheduler(OSTScheduler):
+    """One arrival-ordered queue per OST (the seed's discipline)."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._available: Dict[int, float] = {}
+
+    def request(
+        self,
+        ost: int,
+        tenant: Hashable,
+        weight: float,
+        arrive: float,
+        service: float,
+    ) -> float:
+        start = max(arrive, self._available.get(ost, 0.0))
+        done = start + service
+        self._available[ost] = done
+        return done
+
+    def reset(self) -> None:
+        self._available.clear()
+
+
+class FairShareScheduler(OSTScheduler):
+    """Per-tenant lanes with share-capped interference (see module doc).
+
+    ``weighted=False`` (the ``fair`` policy) treats every tenant's lane
+    equally regardless of registered weights; ``weighted=True`` (the
+    ``wfq`` policy) lets a tenant's weight shrink the interference it
+    absorbs relative to the active competition."""
+
+    def __init__(self, weighted: bool = False) -> None:
+        self.weighted = weighted
+        self.name = "wfq" if weighted else "fair"
+        #: (ost, tenant) -> this lane's busy-until time.
+        self._busy: Dict[Tuple[int, Hashable], float] = {}
+        #: tenant -> last-declared weight (what competitors see).
+        self._weights: Dict[Hashable, float] = {}
+
+    def request(
+        self,
+        ost: int,
+        tenant: Hashable,
+        weight: float,
+        arrive: float,
+        service: float,
+    ) -> float:
+        weight = max(weight, 1e-9) if self.weighted else 1.0
+        self._weights[tenant] = weight
+        backlog_self = max(0.0, self._busy.get((ost, tenant), 0.0) - arrive)
+        others = 0.0
+        w_others = 0.0
+        for (o, t), busy in self._busy.items():
+            if o != ost or t == tenant:
+                continue
+            pending = busy - arrive
+            if pending > 0.0:
+                others += pending
+                w_others += self._weights.get(t, 1.0)
+        own = backlog_self + service
+        interference = min(others, own * (w_others / weight)) if w_others else 0.0
+        done = arrive + own + interference
+        self._busy[(ost, tenant)] = done
+        return done
+
+    def reset(self) -> None:
+        self._busy.clear()
+        self._weights.clear()
+
+
+def make_scheduler(spec: "OSTScheduler | str | None") -> OSTScheduler:
+    """Resolve a scheduler instance from a policy name (or pass one through)."""
+    if spec is None:
+        return FIFOScheduler()
+    if isinstance(spec, OSTScheduler):
+        return spec
+    name = str(spec).strip().lower().replace("-", "_")
+    if name == "fifo":
+        return FIFOScheduler()
+    if name in ("fair", "fair_share"):
+        return FairShareScheduler(weighted=False)
+    if name in ("wfq", "weighted", "weighted_fair"):
+        return FairShareScheduler(weighted=True)
+    raise FileSystemError(
+        f"unknown OST scheduler {spec!r}; known policies: {SCHEDULER_NAMES}"
+    )
+
+
+SCHEDULER_NAMES = ("fifo", "fair", "wfq")

@@ -114,6 +114,11 @@ _SPEC: Dict[str, tuple] = {
     # mid-call, stalled clients served by survivors) and lock leases.
     "coll_deadline": (_non_negative_float, 0.0),
     "liveness": (_boolean, False),
+    # Multi-tenant QoS weight (docs/multi_tenant.md): under the shared
+    # file system's ``wfq`` OST scheduler, a tenant with priority 2
+    # absorbs half the cross-tenant interference of a priority-1 one.
+    # Ignored by the ``fifo`` and (unweighted) ``fair`` policies.
+    "tenant_priority": (_positive_int, 1),
 }
 
 

@@ -21,11 +21,19 @@ The registry supports:
 
 * **per-key views** (:meth:`MetricsRegistry.view`) that pre-bind the
   key so hot paths pay one dict lookup at setup, not per increment;
+* **prefix views** (``registry.view(prefix="tenant.a.")``) — a
+  :class:`PrefixRegistry` that namespaces every instrument registered
+  through it under the prefix, and *reads back* with the prefix
+  stripped, so a tenant's slice of a shared registry looks exactly like
+  a private registry (the multi-tenant engine's attribution mechanism);
 * **cross-rank / cross-run merge** (:meth:`MetricsRegistry.merge`) —
   counters add, gauges max, histograms add, which makes merging
-  associative and commutative (tested);
+  associative and commutative (tested) — and the inverse
+  :meth:`MetricsRegistry.fold`, which extracts one prefix namespace
+  into a standalone registry for cross-tenant comparison;
 * **snapshot / diff** so harnesses can meter one phase of a run
-  (``before = reg.snapshot(); ...; delta = reg.diff(before)``).
+  (``before = reg.snapshot(); ...; delta = reg.diff(before)``);
+  ``snapshot(prefix=...)`` filters to one namespace without folding.
 
 One registry per simulation is interned in ``Simulator.shared`` under
 :data:`METRICS_KEY` (the same pattern as the topology stats);
@@ -45,6 +53,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsView",
+    "PrefixRegistry",
     "metrics_registry",
 ]
 
@@ -209,16 +218,29 @@ class MetricsRegistry:
     def histogram(self, name: str, key: Hashable = None) -> Histogram:
         return self._intern(Histogram, name, key)
 
-    def view(self, key: Hashable) -> "MetricsView":
-        """A view with ``key`` pre-bound (per-rank, per-path, ...)."""
+    def view(
+        self, key: Hashable = None, *, prefix: Optional[str] = None
+    ) -> "MetricsView | PrefixRegistry":
+        """A view with ``key`` pre-bound (per-rank, per-path, ...), or —
+        with ``prefix`` — a :class:`PrefixRegistry` namespacing every
+        instrument under ``prefix``.  Both at once compose: the key view
+        is taken over the prefix registry."""
+        if prefix is not None:
+            reg = PrefixRegistry(self, prefix)
+            return reg if key is None else MetricsView(reg, key)
         return MetricsView(self, key)
 
     # -- reads -----------------------------------------------------------
+    def _iter_items(self) -> Iterator[tuple]:
+        """((name, key), instrument) pairs — the single read seam that
+        :class:`PrefixRegistry` overrides to filter and strip."""
+        return iter(self._instruments.items())
+
     def __iter__(self) -> Iterator[object]:
-        return iter(self._instruments.values())
+        return (inst for _, inst in self._iter_items())
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        return sum(1 for _ in self._iter_items())
 
     def get(self, name: str, key: Hashable = None):
         """The instrument, or ``None`` if never registered."""
@@ -226,7 +248,7 @@ class MetricsRegistry:
 
     def value(self, name: str, key: Hashable = None):
         """Current value of a counter/gauge (0 if never registered)."""
-        inst = self._instruments.get((name, key))
+        inst = self.get(name, key)
         if inst is None:
             return 0
         if isinstance(inst, Histogram):
@@ -238,7 +260,7 @@ class MetricsRegistry:
         total = 0
         is_gauge = False
         values = []
-        for (n, _), inst in self._instruments.items():
+        for (n, _), inst in self._iter_items():
             if n != name:
                 continue
             if isinstance(inst, Histogram):
@@ -253,21 +275,25 @@ class MetricsRegistry:
         return max(values) if is_gauge else sum(values)
 
     def names(self) -> list:
-        return sorted({name for name, _ in self._instruments})
+        return sorted({name for (name, _), _ in self._iter_items()})
 
     def keys_of(self, name: str) -> list:
-        return [k for (n, k) in self._instruments if n == name]
+        return [k for (n, k), _ in self._iter_items() if n == name]
 
     # -- snapshot / diff --------------------------------------------------
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, prefix: str = "") -> Dict[str, object]:
         """Flat ``{"name" | "name[key]": value}`` map of every instrument.
 
         Histograms snapshot as their summary dict; counters and gauges
-        as plain numbers.  Deterministically ordered."""
+        as plain numbers.  Deterministically ordered.  ``prefix``
+        filters to instruments whose *name* starts with it (per-tenant
+        namespaces can be inspected without folding the registry)."""
         out: Dict[str, object] = {}
         for (name, key), inst in sorted(
-            self._instruments.items(), key=lambda kv: (kv[0][0], _key_text(kv[0][1]))
+            self._iter_items(), key=lambda kv: (kv[0][0], _key_text(kv[0][1]))
         ):
+            if prefix and not name.startswith(prefix):
+                continue
             label = name if key is None else f"{name}[{_key_text(key)}]"
             out[label] = (
                 inst.summary() if isinstance(inst, Histogram) else inst.value
@@ -306,7 +332,7 @@ class MetricsRegistry:
         — all associative and commutative, so merging rank registries
         (or per-run registries) in any grouping yields the same totals.
         """
-        for (name, key), inst in other._instruments.items():
+        for (name, key), inst in other._iter_items():
             if isinstance(inst, Counter):
                 self.counter(name, key).value += inst.value
             elif isinstance(inst, Gauge):
@@ -322,6 +348,16 @@ class MetricsRegistry:
         for r in registries:
             out.merge(r)
         return out
+
+    def fold(self, prefix: str) -> "MetricsRegistry":
+        """Extract one ``prefix`` namespace as a standalone registry.
+
+        The inverse of writing through ``view(prefix=...)``: the result
+        holds *copies* of the namespace's instruments under their bare
+        names, so a tenant's slice can be compared against a solo run's
+        registry (or re-merged across tenants) with plain :meth:`merge`
+        arithmetic."""
+        return MetricsRegistry().merge(self.view(prefix=prefix))
 
     # -- rendering -------------------------------------------------------
     def format(self, prefix: str = "") -> str:
@@ -344,6 +380,60 @@ class MetricsRegistry:
             return "(no metrics)"
         width = max(len(label) for label, _ in rows)
         return "\n".join(f"{label:<{width}}  {text}" for label, text in rows)
+
+
+class PrefixRegistry(MetricsRegistry):
+    """A namespace slice of a parent registry.
+
+    Writes intern instruments in the *parent* under ``prefix + name``;
+    reads (``get``/``value``/``total``/``names``/``snapshot``/iteration)
+    see only the namespace, with the prefix stripped — so the slice is
+    indistinguishable from a private :class:`MetricsRegistry` to the
+    components writing through it.  This is how one shared registry
+    serves N tenants: each tenant's components receive
+    ``registry.view(prefix=f"tenant.{name}.")`` and report ``coll.*`` /
+    ``faults.*`` series that land as ``tenant.<name>.coll.*`` globally.
+
+    Nested prefixes compose (a prefix view of a prefix view flattens to
+    the concatenated prefix on the root registry)."""
+
+    __slots__ = ("_parent", "_prefix")
+
+    def __init__(self, parent: MetricsRegistry, prefix: str) -> None:
+        if isinstance(parent, PrefixRegistry):
+            prefix = parent._prefix + prefix
+            parent = parent._parent
+        self._parent = parent
+        self._prefix = prefix
+        # Alias the parent's store: instruments interned through this
+        # view are shared state, not copies.
+        self._instruments = parent._instruments
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    @property
+    def parent(self) -> MetricsRegistry:
+        return self._parent
+
+    # -- writes: intern under the prefixed name --------------------------
+    def _intern(self, cls, name: str, key: Hashable):
+        return self._parent._intern(cls, self._prefix + name, key)
+
+    # -- reads: filter to the namespace, strip the prefix ----------------
+    def _iter_items(self) -> Iterator[tuple]:
+        p = self._prefix
+        n = len(p)
+        for (name, key), inst in self._parent._iter_items():
+            if name.startswith(p):
+                yield (name[n:], key), inst
+
+    def get(self, name: str, key: Hashable = None):
+        return self._parent.get(self._prefix + name, key)
+
+    def keys_of(self, name: str) -> list:
+        return self._parent.keys_of(self._prefix + name)
 
 
 class MetricsView:
@@ -371,7 +461,7 @@ class MetricsView:
         """This key's instruments only, under their bare names."""
         out: Dict[str, object] = {}
         for (name, key), inst in sorted(
-            self.registry._instruments.items(), key=lambda kv: kv[0][0]
+            self.registry._iter_items(), key=lambda kv: kv[0][0]
         ):
             if key == self.key:
                 out[name] = (

@@ -32,13 +32,13 @@ ranks.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterator, MutableMapping, Optional, Sequence
 
 from repro.errors import RankFailed, SimDeadlock, SimHang, SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.trace import Tracer
 
-__all__ = ["Simulator", "RankContext", "Watchdog", "BLOCK_TIMEOUT"]
+__all__ = ["Simulator", "RankContext", "ScopedContext", "Watchdog", "BLOCK_TIMEOUT"]
 
 # Rank thread states.
 _READY = "ready"
@@ -202,6 +202,29 @@ class RankContext:
     def trace(self, state: str, **info: Any):
         """Context manager recording an MPE-style state interval."""
         return self.tracer.interval(self.rank, state, self._proc.clock, **info)
+
+
+class ScopedContext(RankContext):
+    """A rank context whose ``shared`` dict is an overlay.
+
+    Multi-tenant admission (``repro.tenancy``) wraps each rank's real
+    context in one of these so per-job state keyed in ``shared`` —
+    communicator queues, fault injectors, liveness state, the metrics
+    registry — resolves per tenant, while the overlay's fall-through
+    reads still reach the cluster-wide hardware models (the shared
+    file system).  Time, blocking, and tracing stay on the real
+    engine ``_Proc``, so scoping changes *naming*, never scheduling."""
+
+    __slots__ = ("_overlay",)
+
+    def __init__(self, ctx: RankContext, overlay: MutableMapping) -> None:
+        super().__init__(ctx._sim, ctx._proc)
+        self._overlay = overlay
+
+    @property
+    def shared(self) -> MutableMapping:
+        """The tenant-scoped overlay (reads fall through to the sim)."""
+        return self._overlay
 
 
 class Watchdog:

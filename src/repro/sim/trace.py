@@ -68,6 +68,9 @@ class Tracer:
         self._hooks: List[Any] = []
         #: Per-rank stack of open span sids.
         self._open: Dict[int, List[int]] = {}
+        #: Optional rank -> display label (multi-tenant runs set e.g.
+        #: ``"A:r0"`` so one Chrome trace attributes rows per tenant).
+        self.thread_labels: Dict[int, str] = {}
         self._next_sid = 1
 
     # -- hooks -----------------------------------------------------------
@@ -174,9 +177,11 @@ class Tracer:
 
         One complete (``"X"``) event per closed span — microsecond
         timestamps, ``tid`` = rank — plus thread-name metadata so the
-        viewer labels each row ``rank N``.  Span attributes travel in
-        ``args`` along with the span/parent ids, so the nesting
-        recorded here is recoverable from the export."""
+        viewer labels each row ``rank N`` (or the entry from
+        :attr:`thread_labels`, e.g. ``"A:r0"`` in multi-tenant runs).
+        Span attributes travel in ``args`` along with the span/parent
+        ids, so the nesting recorded here is recoverable from the
+        export."""
         events: List[Dict[str, Any]] = []
         for rank in self.ranks():
             events.append(
@@ -186,7 +191,9 @@ class Tracer:
                     "pid": 0,
                     "tid": rank,
                     "ts": 0,
-                    "args": {"name": f"rank {rank}"},
+                    "args": {
+                        "name": self.thread_labels.get(rank, f"rank {rank}")
+                    },
                 }
             )
         for ev in sorted(self.events, key=lambda e: (e.t0, e.rank, e.sid)):

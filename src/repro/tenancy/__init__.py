@@ -1,0 +1,26 @@
+"""Multi-tenant shared-filesystem engine (docs/multi_tenant.md).
+
+One :class:`Cluster` = one shared file system + N concurrent tenant
+jobs in one simulator, with per-OST scheduling policies, per-tenant
+metric namespaces, per-tenant fault plans, and synthetic background
+traffic."""
+
+from repro.tenancy.cluster import Cluster, TenantResult, TenantSpec
+from repro.tenancy.traffic import (
+    TRAFFIC_KINDS,
+    make_traffic,
+    metadata_churn,
+    small_random_io,
+    streaming_scan,
+)
+
+__all__ = [
+    "Cluster",
+    "TenantSpec",
+    "TenantResult",
+    "streaming_scan",
+    "metadata_churn",
+    "small_random_io",
+    "make_traffic",
+    "TRAFFIC_KINDS",
+]

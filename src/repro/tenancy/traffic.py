@@ -1,0 +1,141 @@
+"""Synthetic background-traffic tenants for the multi-tenant engine.
+
+Real shared file systems are never idle: the job under test competes
+with other users' streaming scans, metadata storms, and small random
+I/O.  These generators model those as ``kind="raw"`` tenant bodies —
+``body(ctx, comm, client)`` over a bare
+:class:`~repro.fs.client.FSClient` — so a :class:`~repro.tenancy.Cluster`
+can admit them next to collective jobs and measure the interference
+they cause on the shared OST queues.
+
+All three are deterministic: randomness comes from
+``numpy.random.default_rng`` seeded by ``(seed, rank)``, never from
+wall clock, so two runs of the same cluster are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "streaming_scan",
+    "metadata_churn",
+    "small_random_io",
+    "make_traffic",
+    "TRAFFIC_KINDS",
+]
+
+
+def streaming_scan(
+    *,
+    total_bytes: int = 1 << 20,
+    request_bytes: int = 1 << 16,
+    path: str = "/bg/scan",
+    think: float = 0.0,
+) -> Callable:
+    """A sequential reader: writes its region once, then streams it
+    back in ``request_bytes`` chunks (cache off, so every request hits
+    the shared OSTs).  Each rank scans a disjoint region."""
+
+    def body(ctx, comm, client):
+        f = client.open(f"{path}.{comm.rank}", cache_mode="off")
+        region = np.full(total_bytes, (comm.rank + 1) & 0xFF, dtype=np.uint8)
+        f.write(0, region)
+        nread = 0
+        offset = 0
+        while offset < total_bytes:
+            n = min(request_bytes, total_bytes - offset)
+            nread += int(f.read(offset, n).size)
+            offset += n
+            if think > 0.0:
+                ctx.advance(think)
+        f.close()
+        return nread
+
+    return body
+
+
+def metadata_churn(
+    *,
+    files: int = 32,
+    file_bytes: int = 512,
+    path: str = "/bg/meta",
+    think: float = 0.0,
+) -> Callable:
+    """A metadata storm: creates many tiny files, writes a sliver to
+    each, stats it, and truncates it away — lots of server calls and
+    lock RPCs, almost no data."""
+
+    def body(ctx, comm, client):
+        ops = 0
+        sliver = np.arange(file_bytes, dtype=np.uint8) if file_bytes else None
+        for i in range(files):
+            f = client.open(f"{path}.{comm.rank}.{i}", cache_mode="off")
+            if sliver is not None:
+                f.write(0, sliver)
+            ops += 1 if f.size >= 0 else 0
+            f.truncate(0)
+            f.close()
+            if think > 0.0:
+                ctx.advance(think)
+        return ops
+
+    return body
+
+
+def small_random_io(
+    *,
+    ops: int = 64,
+    op_bytes: int = 4096,
+    region_bytes: int = 1 << 20,
+    write_fraction: float = 0.5,
+    seed: int = 1234,
+    path: str = "/bg/rand",
+    think: float = 0.0,
+) -> Callable:
+    """Small random reads/writes over a private region (cache off) —
+    the classic mouse workload a fair scheduler must protect from
+    elephants."""
+
+    def body(ctx, comm, client):
+        rng = np.random.default_rng((seed, comm.rank))
+        f = client.open(f"{path}.{comm.rank}", cache_mode="off")
+        f.write(0, np.zeros(region_bytes, dtype=np.uint8))
+        span = max(region_bytes - op_bytes, 1)
+        moved = 0
+        block = np.full(op_bytes, 0x5A, dtype=np.uint8)
+        for _ in range(ops):
+            offset = int(rng.integers(0, span))
+            if rng.random() < write_fraction:
+                f.write(offset, block)
+            else:
+                f.read(offset, op_bytes)
+            moved += op_bytes
+            if think > 0.0:
+                ctx.advance(think)
+        f.close()
+        return moved
+
+    return body
+
+
+#: Generator-factory registry consulted by ``Cluster.add_background``.
+TRAFFIC_KINDS: Dict[str, Callable[..., Callable]] = {
+    "scan": streaming_scan,
+    "metadata": metadata_churn,
+    "random": small_random_io,
+}
+
+
+def make_traffic(kind: str, **params: Any) -> Callable:
+    """Resolve a traffic-generator body from its registry name."""
+    factory = TRAFFIC_KINDS.get(str(kind).strip().lower())
+    if factory is None:
+        raise SimulationError(
+            f"unknown traffic kind {kind!r}; known: {sorted(TRAFFIC_KINDS)}"
+        )
+    return factory(**params)
