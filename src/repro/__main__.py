@@ -37,6 +37,15 @@ budget — verified data or a typed error, never a hang.
 command's workloads (the ``procs_per_node``/``node_aggregation``
 hints): the new implementation's exchanges run through the two-layer
 intra-node aggregation path, still held to byte-perfect results.
+
+``--replicate R`` (selfcheck, chaos) arms ``replication_factor=R``:
+every stripe's pages land on R distinct OSTs, writes commit on a
+majority quorum, reads fail over to surviving replicas.  Pair with
+``--faults ost-crash`` to watch degraded-mode service stay
+byte-perfect (docs/storage_faults.md).
+
+``mt --json`` emits the fifo-vs-policy comparison as one
+machine-readable JSON document instead of the human tables.
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ def selfcheck(
     integrity: bool = False,
     liveness: bool = False,
     ppn: int = 0,
+    replicate: int = 1,
 ) -> int:
     from repro import (
         BYTE,
@@ -91,6 +101,15 @@ def selfcheck(
                 # (the old one hardwires its nonblocking exchange).
                 hints = hints.replace(
                     procs_per_node=ppn, node_aggregation=(impl == "new")
+                )
+            if replicate > 1:
+                # Replication is a file-system property, so it rides
+                # both implementations identically.  Extra retries let
+                # quorum-blocked writes outlast the canned ost-crash
+                # window: four jittered backoffs cap at 15 ms but
+                # average half that, short of the 10 ms outage.
+                hints = hints.replace(
+                    replication_factor=replicate, io_retries=8
                 )
 
             def main(ctx):
@@ -137,6 +156,7 @@ def chaos(
     integrity: bool = False,
     liveness: bool = False,
     ppn: int = 0,
+    replicate: int = 1,
 ) -> int:
     from repro.bench import ChaosHarness
     from repro.mpi import Hints
@@ -147,7 +167,11 @@ def chaos(
             cb_nodes=2, cb_buffer_size=512, procs_per_node=ppn, node_aggregation=True
         )
     harness = ChaosHarness(
-        fault_spec or "chaos", integrity=integrity, liveness=liveness, hints=hints
+        fault_spec or "chaos",
+        integrity=integrity,
+        liveness=liveness,
+        hints=hints,
+        replication=replicate,
     )
     report = harness.sweep()
     print(report.format())
@@ -313,6 +337,7 @@ def mt(
     ppn: int = 0,
     tenants: int = 3,
     sched: str = "fair",
+    as_json: bool = False,
 ) -> int:
     """Multi-tenant smoke: N collective tenants + background traffic on
     one shared file system, run under FIFO and the selected scheduler.
@@ -320,7 +345,11 @@ def mt(
     Every tenant's read-back must be byte-perfect and the per-tenant
     registry mirrors must sum exactly to the shared-fs globals
     (conservation).  ``--faults`` installs the scenario into tenant
-    ``t0`` only — per-tenant fault isolation is part of the smoke."""
+    ``t0`` only — per-tenant fault isolation is part of the smoke.
+    ``--json`` replaces the human tables with one machine-readable
+    JSON document comparing FIFO against the selected policy."""
+    import json
+
     from repro import BYTE, Cluster, contiguous, resized
 
     region, count = 64, 8
@@ -341,6 +370,12 @@ def mt(
         return body
 
     failures = 0
+    doc = {
+        "tenants": tenants,
+        "background": ["scan", "random"],
+        "faults": fault_spec,
+        "policies": {},
+    }
     for policy in dict.fromkeys(("fifo", sched)):
         cl = Cluster(scheduler=policy)
         for i in range(tenants):
@@ -362,23 +397,54 @@ def mt(
         cl.add_background("scan", nprocs=1, total_bytes=1 << 16)
         cl.add_background("random", nprocs=1, ops=32)
         out = cl.run()
-        print(f"scheduler {policy!r}:")
+        entry = {"makespans": {}, "verified": {}, "conservation": {}}
+        if not as_json:
+            print(f"scheduler {policy!r}:")
         for name, res in out.items():
             verified = all(r is True for r in res.results if isinstance(r, bool))
-            print(
-                f"  {name:<12} makespan {res.makespan * 1e3:9.3f} ms"
-                + ("" if verified else "  READ-BACK MISMATCH")
-            )
+            entry["makespans"][name] = res.makespan
+            entry["verified"][name] = verified
+            if not as_json:
+                print(
+                    f"  {name:<12} makespan {res.makespan * 1e3:9.3f} ms"
+                    + ("" if verified else "  READ-BACK MISMATCH")
+                )
             if not verified:
                 failures += 1
-        print(f"  spread {cl.spread * 1e3:.3f} ms")
+        entry["spread"] = cl.spread
+        if not as_json:
+            print(f"  spread {cl.spread * 1e3:.3f} ms")
         for metric in ("fs.bytes.written", "fs.bytes.read"):
             mirrored, total = cl.conservation(metric)
-            status = "ok" if mirrored == total else "VIOLATED"
-            print(f"  conservation {metric}: {mirrored} vs {total} {status}")
-            if mirrored != total:
+            conserved = mirrored == total
+            entry["conservation"][metric] = {
+                "mirrored": mirrored,
+                "total": total,
+                "ok": conserved,
+            }
+            if not as_json:
+                status = "ok" if conserved else "VIOLATED"
+                print(f"  conservation {metric}: {mirrored} vs {total} {status}")
+            if not conserved:
                 failures += 1
-    if failures:
+        doc["policies"][policy] = entry
+    ok = failures == 0
+    if as_json:
+        fifo = doc["policies"].get("fifo")
+        other = doc["policies"].get(sched)
+        if fifo is not None and other is not None and sched != "fifo":
+            doc["comparison"] = {
+                "policy": sched,
+                "spread_fifo": fifo["spread"],
+                "spread_policy": other["spread"],
+                "spread_ratio": (
+                    other["spread"] / fifo["spread"] if fifo["spread"] > 0 else None
+                ),
+            }
+        doc["ok"] = ok
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0 if ok else 1
+    if not ok:
         print(f"mt: {failures} check(s) FAILED")
         return 1
     print(f"mt: {tenants} tenants + 2 background, data verified, "
@@ -484,6 +550,24 @@ def main(argv: list[str]) -> int:
             return 2
         sched = args[i + 1]
         del args[i : i + 2]
+    replicate = 1
+    if "--replicate" in args:
+        i = args.index("--replicate")
+        if i + 1 >= len(args):
+            print("--replicate requires a replica count")
+            return 2
+        try:
+            replicate = int(args[i + 1])
+        except ValueError:
+            print(f"--replicate requires an integer, got {args[i + 1]!r}")
+            return 2
+        if replicate < 1:
+            print(f"--replicate must be >= 1, got {replicate}")
+            return 2
+        del args[i : i + 2]
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
     cmd = args[0] if args else "selfcheck"
     commands = {
         "selfcheck": selfcheck,
@@ -497,18 +581,21 @@ def main(argv: list[str]) -> int:
     if cmd not in commands:
         print(
             f"usage: python -m repro [{'|'.join(commands)}] "
-            "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N]\n"
+            "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N] "
+            "[--replicate R]\n"
             "       python -m repro trace [OUT.json] [--ppn N] "
             "[--faults NAME[:SEED]]\n"
             "       python -m repro mt [--tenants N] [--sched fifo|fair|wfq] "
-            "[--faults NAME[:SEED]]"
+            "[--json] [--faults NAME[:SEED]]"
         )
         return 2
     if cmd == "trace":
         out = args[1] if len(args) > 1 else "out.json"
         return trace(fault_spec, integrity, liveness, ppn, out)
     if cmd == "mt":
-        return mt(fault_spec, integrity, liveness, ppn, tenants, sched)
+        return mt(fault_spec, integrity, liveness, ppn, tenants, sched, as_json)
+    if cmd in ("selfcheck", "chaos"):
+        return commands[cmd](fault_spec, integrity, liveness, ppn, replicate)
     return commands[cmd](fault_spec, integrity, liveness, ppn)
 
 

@@ -26,6 +26,14 @@ collective deadline budget — either completing with verified bytes
 :class:`~repro.errors.AggregatorLost`).  A hang is the one outcome the
 liveness layer must make impossible.
 
+Storage scenarios (``ost-crash`` / ``ost-slow`` / ``ost-flap``) apply
+the same bounded-completion contract to the OST fault domain: a run
+must either complete with verified bytes (retries rode the outage out,
+or replicas served around it — pass ``replication=2``) or die with a
+typed storage error (:class:`~repro.errors.OSTUnavailable`,
+:class:`~repro.errors.OSTOverloaded`, or a retry/budget exhaustion
+chained from one).  Never a hang, never silent corruption.
+
 Each point rebuilds the whole simulated cluster from scratch (fresh
 file system, fresh injector), so points are independent and the whole
 sweep is deterministic for a given (scenario, seed).
@@ -48,10 +56,13 @@ from repro.errors import (
     DeadlineExceeded,
     IntegrityError,
     LockDeadlock,
+    OSTOverloaded,
+    OSTUnavailable,
     ReproError,
+    RetryBudgetExhausted,
     RetryExhausted,
 )
-from repro.faults import FaultPlan, FaultStats, load_scenario
+from repro.faults import FaultPlan, FaultStats, OST_KINDS, load_scenario
 from repro.mpi import Communicator, Hints
 from repro.obs.session import Session
 
@@ -86,6 +97,18 @@ def _liveness_in_chain(exc: Optional[BaseException]) -> bool:
     loud, bounded alternative to a hang."""
     return any(
         isinstance(e, (DeadlineExceeded, LockDeadlock, AggregatorLost))
+        for e in _chain(exc)
+    )
+
+
+def _storage_in_chain(exc: Optional[BaseException]) -> bool:
+    """True when a failure chain carries a typed storage error: an
+    :class:`OSTUnavailable` / :class:`OSTOverloaded` anywhere (a retry
+    or budget exhaustion raised *from* one keeps it in the chain), or
+    a :class:`RetryBudgetExhausted` — the admission layer refusing to
+    keep hammering a sick OST."""
+    return any(
+        isinstance(e, (OSTUnavailable, OSTOverloaded, RetryBudgetExhausted))
         for e in _chain(exc)
     )
 
@@ -161,6 +184,9 @@ class ChaosHarness:
         integrity: bool = False,
         liveness: bool = False,
         deadline: float = 0.25,
+        replication: int = 1,
+        queue_limit: Optional[float] = None,
+        breaker: object = True,
     ) -> None:
         if isinstance(scenario, FaultPlan):
             self.plan = scenario
@@ -186,6 +212,14 @@ class ChaosHarness:
         self.deadline = deadline
         if liveness:
             self.hints = self.hints.replace(coll_deadline=deadline, liveness=True)
+        #: The plan carries OST fault events — typed storage errors are
+        #: then bounded outcomes, not harness bugs.
+        self.storage = any(e.kind in OST_KINDS for e in self.plan.events)
+        self.replication = replication
+        if replication > 1:
+            self.hints = self.hints.replace(replication_factor=replication)
+        self.queue_limit = queue_limit
+        self.breaker = breaker
         self.cost = cost
         self.total_bytes = nprocs * region * count
 
@@ -223,7 +257,13 @@ class ChaosHarness:
         including the page caches' ``cache.hits`` / ``cache.misses``,
         which the old harness never saw."""
         session = Session(
-            _PATH, nprocs=self.nprocs, hints=self.hints, cost=self.cost, faults=plan
+            _PATH,
+            nprocs=self.nprocs,
+            hints=self.hints,
+            cost=self.cost,
+            faults=plan,
+            queue_limit=self.queue_limit,
+            breaker=self.breaker,
         )
         fs = session.fs
         region, nprocs = self.region, self.nprocs
@@ -248,6 +288,11 @@ class ChaosHarness:
                 # (and reported) alternative to a hang.  The raising
                 # rank's clock was at most one deadline past the call's
                 # start, so boundedness holds by construction.
+                return 0.0, True, True, stats, counters
+            if self.storage and _storage_in_chain(exc):
+                # Killed loudly by a typed storage error (the OST stayed
+                # down past what retries/replicas could absorb) — the
+                # bounded alternative to hammering a dead OST forever.
                 return 0.0, True, True, stats, counters
             if not _detection_in_chain(exc):
                 raise

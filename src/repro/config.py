@@ -167,6 +167,18 @@ class FaultConfig:
     #: chains stop doubling here instead of advancing virtual time
     #: unboundedly.
     retry_backoff_max: float = 0.25
+    #: Full-jitter backoff: each sleep is a seeded uniform draw in
+    #: [0, capped exponential] instead of the cap itself, so ranks
+    #: faulted together do not retry in lockstep waves.  Off by
+    #: default — deterministic lockstep is what the pinned fault
+    #: timings of earlier PRs assume.
+    retry_jitter: bool = False
+    #: Cross-operation retry budget per client (0 = unlimited): once a
+    #: client has spent this many retries in total, further transient
+    #: faults raise :class:`repro.errors.RetryBudgetExhausted`
+    #: immediately — the storm-control companion of the per-operation
+    #: ``io_retries``.
+    retry_budget: int = 0
     #: Rebalance a dead aggregator's file realm across survivors
     #: instead of raising :class:`repro.errors.AggregatorLost`.
     failover: bool = True
@@ -190,6 +202,8 @@ class FaultConfig:
                 f"retry_backoff_max ({self.retry_backoff_max}) must be >= "
                 f"retry_backoff ({self.retry_backoff})"
             )
+        if self.retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {self.retry_budget}")
 
 
 @dataclass(frozen=True)

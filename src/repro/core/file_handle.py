@@ -41,7 +41,7 @@ from repro.integrity import IntegrityConfig, install_integrity
 from repro.io.adio import AdioFile
 from repro.liveness import LivenessState, install_liveness
 from repro.config import LivenessConfig
-from repro.io.retry import RetryPolicy
+from repro.io.retry import RetryBudget, RetryPolicy
 from repro.mpi.comm import Communicator
 from repro.mpi.hints import Hints
 from repro.obs.metrics import MetricsView, metrics_registry
@@ -81,10 +81,21 @@ class CollectiveFile:
             retries=self.hints["io_retries"],
             backoff=self.hints["io_retry_backoff"],
             backoff_max=self.hints["retry_backoff_max"],
+            jitter=self.hints["retry_jitter"],
+            budget=(
+                RetryBudget(self.hints["io_retry_budget"])
+                if self.hints["io_retry_budget"]
+                else None
+            ),
         )
         self.adio = AdioFile(
             self.local, ds_buffer_size=self.hints["ds_buffer_size"], retry=retry
         )
+        # Storage-side replication (docs/storage_faults.md): place each
+        # stripe's pages on r distinct OSTs so an ost_crash degrades
+        # instead of failing.  1 (default) = the seed's plain store.
+        if self.hints["replication_factor"] > 1:
+            fs.enable_replication(path, self.hints["replication_factor"])
         # End-to-end integrity (docs/integrity.md): arm the page sidecar
         # on the server and publish the config for the transport.  Both
         # default off, so the fast path never pays for the machinery.

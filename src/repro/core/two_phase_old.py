@@ -214,7 +214,7 @@ def write_all_old(
                 if covered < span_hi - span_lo:
                     # Holes: pre-read so the span write-back preserves
                     # the gap bytes (integrated data sieving's RMW).
-                    pre = env.adio.local.read(span_lo, span_hi - span_lo)
+                    pre = env.adio.read_contig(span_lo, span_hi - span_lo)
                     cbuf[span_lo - span[0] : span_hi - span[0]] = pre
         with env.ctx.trace("tp:exchange", round=r):
             env.stats.bytes_exchanged += exchange_data(
@@ -223,7 +223,7 @@ def write_all_old(
         with env.ctx.trace("tp:io", round=r):
             if cbuf is not None:
                 env.stats.note_flush("datasieve-integrated")
-                env.adio.local.write(
+                env.adio.write_contig(
                     span_lo, cbuf[span_lo - span[0] : span_hi - span[0]]
                 )
     env.stats.collective_writes += 1
@@ -253,7 +253,7 @@ def read_all_old(
                 span_hi = int((m_offs + m_lens).max())
                 cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
                 env.stats.note_flush("datasieve-integrated")
-                cbuf[span_lo - span[0] : span_hi - span[0]] = env.adio.local.read(
+                cbuf[span_lo - span[0] : span_hi - span[0]] = env.adio.read_contig(
                     span_lo, span_hi - span_lo
                 )
         with env.ctx.trace("tp:exchange", round=r):

@@ -85,6 +85,56 @@ class TransientNetworkError(TransientIOError):
         super().__init__(site, rank)
 
 
+class OSTUnavailable(TransientIOError):
+    """A server call needed an OST that is down (or fenced).
+
+    Raised before any byte reaches the store, so a reissue is safe —
+    the OST may recover inside the retry window, replication may
+    restore a quorum, or the circuit breaker may shed the call faster
+    next time.  ``reason`` is ``"down"`` (health says the OST is
+    crashed/flapped out), ``"breaker-open"`` (the per-OST circuit
+    breaker fast-failed the call without touching the sick OST), or
+    ``"quorum"`` (a replicated write found fewer live replicas than
+    its write-quorum)."""
+
+    def __init__(
+        self, site: str, client, path: str = "", *, ost: int = -1,
+        reason: str = "down",
+    ) -> None:
+        super().__init__(site, client, path)
+        self.ost = ost
+        self.reason = reason
+        self.args = (
+            f"OST {ost} unavailable ({reason}) at {site} (client {client}"
+            + (f", file {path!r}" if path else "")
+            + ")",
+        )
+
+
+class OSTOverloaded(TransientIOError):
+    """Typed backpressure: an OST's bounded queue refused the request.
+
+    The admission check fires before any booking or store mutation, so
+    the call is safe to reissue after backing off — which is the whole
+    point: clients slow down instead of piling more service time onto
+    a queue that is already ``queue_limit`` seconds deep."""
+
+    def __init__(
+        self, site: str, client, path: str = "", *, ost: int = -1,
+        backlog: float = 0.0, limit: float = 0.0,
+    ) -> None:
+        super().__init__(site, client, path)
+        self.ost = ost
+        self.backlog = backlog
+        self.limit = limit
+        self.args = (
+            f"OST {ost} overloaded at {site}: backlog {backlog:g}s exceeds "
+            f"queue limit {limit:g}s (client {client}"
+            + (f", file {path!r}" if path else "")
+            + ")",
+        )
+
+
 class IntegrityError(FileSystemError):
     """Stored data failed its checksum: silent corruption detected.
 
@@ -136,6 +186,24 @@ class RetryExhausted(FileSystemError):
         )
         self.site = site
         self.attempts = attempts
+
+
+class RetryBudgetExhausted(RetryExhausted):
+    """A client's cross-operation retry *budget* ran dry.
+
+    Unlike plain :class:`RetryExhausted` (one operation used up its
+    per-operation attempts), this is the storm-control limit: the
+    client as a whole has spent ``limit`` retries across all its
+    operations and is cut off — further faults fail fast instead of
+    adding retry load to an already-sick storage system."""
+
+    def __init__(self, site: str, attempts: int, limit: int) -> None:
+        super().__init__(site, attempts)
+        self.limit = limit
+        self.args = (
+            f"client retry budget ({limit}) exhausted; last fault "
+            f"injected at {site} (attempt {attempts})",
+        )
 
 
 class CollectiveIOError(ReproError):

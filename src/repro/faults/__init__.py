@@ -32,6 +32,7 @@ from repro.faults.injector import FaultInjector, FaultStats, find_injector
 from repro.faults.plan import (
     EVENT_KINDS,
     FAULTS_KEY,
+    OST_KINDS,
     FaultEvent,
     FaultPlan,
     FaultPlanError,
@@ -41,6 +42,7 @@ from repro.faults.scenarios import SCENARIOS, load_scenario, scenario, scenario_
 __all__ = [
     "FAULTS_KEY",
     "EVENT_KINDS",
+    "OST_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultPlanError",

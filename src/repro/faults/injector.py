@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import TransientIOError
-from repro.faults.plan import FAULTS_KEY, FaultPlan
+from repro.faults.plan import FAULTS_KEY, OST_KINDS, FaultPlan
+from repro.fs import ostfault
 from repro.obs.metrics import MetricsRegistry, metrics_registry
 
 __all__ = ["FaultStats", "FaultInjector"]
@@ -72,6 +73,10 @@ class FaultStats:
         "page_corruptions_detected": "faults.page.corruptions_detected",
         "net_corruptions_detected": "faults.net.corruptions_detected",
         "net_redeliveries": "faults.net.redeliveries",
+        "ost_rejections": "faults.ost.rejections",
+        "ost_slow_extra_seconds": "faults.ost.slow_extra_seconds",
+        "ost_failovers": "faults.ost.failovers",
+        "ost_quorum_failures": "faults.ost.quorum_failures",
     }
 
     #: attributes counting *injected* events — increments to these also
@@ -91,6 +96,7 @@ class FaultStats:
             "agg_crashes",
             "page_bits_flipped",
             "net_bits_flipped",
+            "ost_rejections",
         }
     )
 
@@ -275,6 +281,52 @@ class FaultInjector:
             self.stats.disk_slowdowns += 1
             self.stats.disk_extra_seconds += extra
         return extra
+
+    # -- fs.ostfault hooks -------------------------------------------------
+    def has_ost_faults(self) -> bool:
+        """Fast-path gate: any ``ost_*`` health kinds in the plan?"""
+        return bool(self._active_kinds & OST_KINDS)
+
+    def ost_events(self) -> list:
+        """The plan's OST health events (lane export, health checks)."""
+        return [e for e in self.plan.events if e.kind in OST_KINDS]
+
+    def ost_down(self, ost: int, now: float) -> bool:
+        if not self.has_ost_faults():
+            return False
+        return ostfault.ost_down(self.plan.events, ost, now)
+
+    def ost_state(self, ost: int, now: float) -> int:
+        if not self.has_ost_faults():
+            return ostfault.UP
+        return ostfault.ost_state(self.plan.events, ost, now)
+
+    def ost_service_factor(self, ost: int, now: float) -> float:
+        """Brownout multiplier from ``ost_slow`` events (stats noted)."""
+        if "ost_slow" not in self._active_kinds:
+            return 1.0
+        return ostfault.ost_service_factor(self.plan.events, ost, now)
+
+    def note_ost_rejection(self) -> None:
+        self.stats.ost_rejections += 1
+
+    def note_ost_slow(self, extra: float) -> None:
+        self.stats.ost_slow_extra_seconds += extra
+
+    def note_ost_failover(self) -> None:
+        self.stats.ost_failovers += 1
+
+    def note_ost_quorum_failure(self) -> None:
+        self.stats.ost_quorum_failures += 1
+
+    def retry_jitter(self, actor: int) -> float:
+        """Seeded uniform draw in [0, 1) for full-jitter backoff.
+
+        Keyed per actor so concurrently-faulted ranks desynchronize
+        their retry waves instead of stampeding in lockstep; drawn from
+        the position-draw counter namespace so arming jitter never
+        perturbs the fault decision sequences."""
+        return self._draw("retry_jitter", actor) / _U64
 
     # -- fs.locks hook ----------------------------------------------------
     def lock_storm_rpcs(self, client: int, now: float) -> int:

@@ -64,6 +64,24 @@ Event kinds
     Conflicting acquirers must wait; the liveness layer's lock lease
     caps the wait and a waits-for cycle among pinned holders is broken
     with a typed :class:`~repro.errors.LockDeadlock`.
+``ost_crash``
+    The named ``osts`` are *down* for the whole window: every server
+    call needing one raises a typed
+    :class:`~repro.errors.OSTUnavailable` before any byte moves.  The
+    window's end is the OST's recovery epoch — replicated files
+    re-replicate stale ranges from there on.
+``ost_slow``
+    Gray brownout: the named ``osts`` serve at ``factor``× service
+    time while the window is active and report health *degraded* (not
+    down — calls succeed, slowly).  Differs from ``slow_disk`` in
+    being a first-class health state: it shows in the ``fs.ost.health``
+    gauges, the per-OST trace rows, and the breaker's view.
+``ost_flap``
+    The named ``osts`` alternate up/down with half-period ``delay``
+    seconds inside the window (a flaky controller or link): down
+    during the odd half-periods, up during the even ones.  The worst
+    case for naive retry loops — which is what the circuit breaker and
+    retry budget exist for.
 
 Scenario strings (``name[:seed]``, e.g. ``transient-io:42``) are
 resolved by :func:`repro.faults.scenarios.load_scenario`.
@@ -77,7 +95,14 @@ from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 
-__all__ = ["FAULTS_KEY", "FaultPlanError", "FaultEvent", "FaultPlan", "EVENT_KINDS"]
+__all__ = [
+    "FAULTS_KEY",
+    "FaultPlanError",
+    "FaultEvent",
+    "FaultPlan",
+    "EVENT_KINDS",
+    "OST_KINDS",
+]
 
 #: Key under which the installed injector lives in ``Simulator.shared``.
 FAULTS_KEY = "fault-injector"
@@ -94,7 +119,13 @@ EVENT_KINDS = (
     "bit_flip_net",
     "rank_stall",
     "lock_hold",
+    "ost_crash",
+    "ost_slow",
+    "ost_flap",
 )
+
+#: Kinds evaluated against per-OST health (see :mod:`repro.fs.ostfault`).
+OST_KINDS = frozenset({"ost_crash", "ost_slow", "ost_flap"})
 
 
 class FaultPlanError(ReproError):
@@ -122,7 +153,8 @@ class FaultEvent:
     rate: float = 1.0
     #: Affected ranks / client ids (``None`` = all).
     ranks: Optional[FrozenSet[int]] = None
-    #: Affected OSTs for ``slow_disk`` (``None`` = all).
+    #: Affected OSTs for ``slow_disk`` (``None`` = all) and the
+    #: ``ost_*`` health kinds (which must name them explicitly).
     osts: Optional[FrozenSet[int]] = None
     #: Slowdown multiplier for ``slow_disk`` / ``straggler``.
     factor: float = 1.0
@@ -163,6 +195,20 @@ class FaultEvent:
                 raise FaultPlanError("rank_stall events need a positive delay")
         if self.kind == "lock_hold" and self.delay <= 0:
             raise FaultPlanError("lock_hold events need a positive hold (delay)")
+        if self.kind in OST_KINDS and self.osts is None:
+            raise FaultPlanError(f"{self.kind} events must name the affected osts")
+        if self.kind == "ost_crash" and self.end == math.inf:
+            raise FaultPlanError(
+                "ost_crash events need a finite window end (the recovery epoch)"
+            )
+        if self.kind == "ost_slow" and self.factor <= 1.0:
+            raise FaultPlanError(
+                f"ost_slow events need a brownout factor > 1, got {self.factor}"
+            )
+        if self.kind == "ost_flap" and self.delay <= 0:
+            raise FaultPlanError(
+                "ost_flap events need a positive half-period (delay, seconds)"
+            )
 
     def active(self, t: float) -> bool:
         """True when virtual time ``t`` falls inside the event window."""
@@ -284,6 +330,29 @@ class FaultPlan:
             FaultEvent("lock_hold", start, end, rate, delay=hold, ranks=_rankset(ranks))
         )
 
+    def ost_crash(
+        self, osts, *, start: float = 0.0, end: float = 0.0
+    ) -> "FaultPlan":
+        """OSTs hard-down during [start, end); ``end`` is the recovery
+        epoch (re-replication may begin there)."""
+        return self.add(FaultEvent("ost_crash", start, end, osts=_rankset(osts)))
+
+    def ost_slow(
+        self, osts, factor: float, *, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        """Gray brownout: OSTs degraded (``factor``× service) in window."""
+        return self.add(
+            FaultEvent("ost_slow", start, end, factor=factor, osts=_rankset(osts))
+        )
+
+    def ost_flap(
+        self, osts, *, period: float, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        """OSTs alternate up/down with half-period ``period`` seconds."""
+        return self.add(
+            FaultEvent("ost_flap", start, end, delay=period, osts=_rankset(osts))
+        )
+
     def page_bitflip(
         self, rate: float, *, start: float = 0.0, end: float = math.inf, ranks=None
     ) -> "FaultPlan":
@@ -361,9 +430,11 @@ class FaultPlan:
                 "bit_flip_page", "bit_flip_net", "lock_hold",
             ):
                 bits.append(f"rate={e.rate:g}")
-            if e.kind in ("slow_disk", "straggler"):
-                bits.append(f"factor={e.factor:g}")
-            if e.delay:
+            if e.kind in ("slow_disk", "straggler", "ost_slow"):
+                bits.append(f"factor={e.factor:g}x")
+            if e.kind == "ost_flap":
+                bits.append(f"period={e.delay:g}s")
+            elif e.delay:
                 bits.append(f"delay={e.delay:g}s")
             if e.kind in ("agg_crash", "rank_stall"):
                 bits.append(

@@ -159,6 +159,34 @@ def _gray(seed: int) -> FaultPlan:
     )
 
 
+@scenario("ost-crash")
+def _ost_crash(seed: int) -> FaultPlan:
+    """OST 0 dies mid-run and recovers (docs/storage_faults.md).
+
+    Test-scale files (< one stripe) live entirely on OST 0, so every
+    server call inside the window hits the outage.  The window is
+    sized so the default retry policy's backoff can ride it out; with
+    ``replication_factor >= 2`` reads degrade to surviving replicas,
+    while writes ride the window on retries (majority write-quorum)."""
+    return FaultPlan(seed).ost_crash([0], start=2e-3, end=1e-2)
+
+
+@scenario("ost-slow")
+def _ost_slow(seed: int) -> FaultPlan:
+    """OST 0 browns out at quarter speed — like ``slow-disk`` but as a
+    first-class health state: the OST reports *degraded*, feeds the
+    ``fs.ost.health`` gauge, and gets its own trace lane."""
+    return FaultPlan(seed).ost_slow([0], factor=4.0)
+
+
+@scenario("ost-flap")
+def _ost_flap(seed: int) -> FaultPlan:
+    """OST 0 flaps — alternating 2 ms up/down phases for 20 ms.  The
+    worst case for naive retry loops (a retry can land in the *next*
+    down phase) and the scenario circuit breakers are judged on."""
+    return FaultPlan(seed).ost_flap([0], period=2e-3, start=0.0, end=2e-2)
+
+
 @scenario("chaos")
 def _chaos(seed: int) -> FaultPlan:
     """Everything at once, gently: the kitchen-sink soak scenario."""

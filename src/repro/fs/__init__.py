@@ -12,7 +12,10 @@ Components:
 * :mod:`~repro.fs.cache` — per-client page cache (write-back /
   write-through / off) with read-allocate for partial pages;
 * :mod:`~repro.fs.client` — :class:`FSClient` / :class:`LocalFile`, the
-  per-rank handle every higher layer talks to.
+  per-rank handle every higher layer talks to;
+* :mod:`~repro.fs.ostfault` — per-OST health (``ost_crash`` /
+  ``ost_slow`` / ``ost_flap`` fault kinds), circuit breakers, and the
+  storage trace lanes (docs/storage_faults.md).
 
 Data correctness is real (bytes live in numpy pages); *time* comes from
 the :class:`repro.config.CostModel`.
@@ -21,8 +24,9 @@ the :class:`repro.config.CostModel`.
 from repro.fs.client import FSClient, LocalFile
 from repro.fs.filesystem import SimFileSystem
 from repro.fs.locks import ExtentLockManager
+from repro.fs.ostfault import BreakerPolicy, CircuitBreaker, health_lanes, ost_state
 from repro.fs.schedule import FIFOScheduler, FairShareScheduler, OSTScheduler, make_scheduler
-from repro.fs.store import PageStore
+from repro.fs.store import PageStore, ReplicatedStore
 
 __all__ = [
     "SimFileSystem",
@@ -30,8 +34,13 @@ __all__ = [
     "LocalFile",
     "ExtentLockManager",
     "PageStore",
+    "ReplicatedStore",
     "OSTScheduler",
     "FIFOScheduler",
     "FairShareScheduler",
     "make_scheduler",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "health_lanes",
+    "ost_state",
 ]

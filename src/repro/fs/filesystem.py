@@ -18,26 +18,49 @@ Cost model of one server call (a batch of contiguous extents):
   covered page (writes only), serialized on that OST's availability —
   which is how OST contention between aggregators arises;
 * the call completes when the slowest OST involved finishes.
+
+**Storage fault domain** (``docs/storage_faults.md``): when a fault
+plan carries OST events (``ost_crash`` / ``ost_slow`` / ``ost_flap``),
+every server call runs a *plan phase* before touching any store byte:
+per-OST circuit breakers fast-fail calls against OSTs that keep
+failing, down OSTs raise a typed retryable
+:class:`~repro.errors.OSTUnavailable`, ``ost_slow`` brownouts multiply
+the affected OST's service time, and — with a ``queue_limit`` armed —
+batches whose queueing delay would exceed it are shed with
+:class:`~repro.errors.OSTOverloaded` instead of ever being booked.
+Files opened with a ``replication_factor`` hint swap their store for a
+:class:`~repro.fs.store.ReplicatedStore`: writes commit on a majority
+write-quorum of live replicas (missed replicas are healed by
+background re-replication once their OST recovers), reads fail over to
+surviving fresh replicas.  The fault-free path runs none of this —
+costs and contents stay bit-identical to the seed.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 import math
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
-from repro.errors import FileSystemError, IntegrityError, LockDeadlock
+from repro.errors import (
+    FileSystemError,
+    IntegrityError,
+    LockDeadlock,
+    OSTOverloaded,
+    OSTUnavailable,
+)
 from repro.faults.plan import FAULTS_KEY
 from repro.fs.locks import ExtentLockManager, LockCharge
+from repro.fs.ostfault import BreakerPolicy, CircuitBreaker
 from repro.fs.schedule import OSTScheduler, make_scheduler
 from repro.liveness import LIVENESS_KEY
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import BLOCK_TIMEOUT
 from repro.fs.runs import ByteRuns
-from repro.fs.store import PageStore
+from repro.fs.store import PageStore, ReplicatedStore
 from repro.sim.engine import RankContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -158,6 +181,10 @@ class SimFileSystem:
         lock_granularity: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         scheduler: "OSTScheduler | str | None" = None,
+        *,
+        storage_faults=None,
+        queue_limit: Optional[float] = None,
+        breaker: "BreakerPolicy | bool" = True,
     ) -> None:
         cost.validate()
         self.cost = cost
@@ -177,6 +204,222 @@ class SimFileSystem:
         self._tenant_weight: Dict[str, float] = {}
         #: tenant name -> lazily-built mirror counters / histograms.
         self._tenant_mirrors: Dict[Optional[str], Dict[str, object]] = {}
+        #: File-system-level fault injector (multi-tenant runs: OST
+        #: faults belong to the shared storage, not any one tenant's
+        #: plan — per-tenant overlays mask the shared FAULTS_KEY).
+        self.storage_faults = storage_faults
+        #: Admission-control bound on one batch fragment's queueing
+        #: delay (virtual seconds; ``None`` = queues grow unboundedly,
+        #: the seed's behaviour).
+        self.queue_limit = queue_limit
+        #: Per-OST circuit-breaker policy (``True`` = defaults,
+        #: ``False`` = breakers disabled — every retry probes the OST).
+        if breaker is True:
+            self.breaker_policy: Optional[BreakerPolicy] = BreakerPolicy()
+        elif breaker:
+            self.breaker_policy = breaker
+        else:
+            self.breaker_policy = None
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        #: Lazily-interned fs.ost.* counters: a fault-free session's
+        #: registry stays exactly as the seed left it.
+        self._ost_counter_cache: Dict[str, object] = {}
+
+    # -- OST health / breakers ----------------------------------------------
+    def _ost_counter(self, name: str):
+        c = self._ost_counter_cache.get(name)
+        if c is None:
+            c = self._ost_counter_cache[name] = self.registry.counter(f"fs.ost.{name}")
+        return c
+    def _fault_views(self, ctx: Optional[RankContext]):
+        """The distinct installed injectors carrying OST events."""
+        views = []
+        for inj in (
+            self.storage_faults,
+            ctx.shared.get(FAULTS_KEY) if ctx is not None else None,
+        ):
+            if inj is not None and inj not in views and inj.has_ost_faults():
+                views.append(inj)
+        return views
+
+    def _breaker(self, ost: int) -> Optional[CircuitBreaker]:
+        if self.breaker_policy is None:
+            return None
+        br = self._breakers.get(ost)
+        if br is None:
+            br = self._breakers[ost] = CircuitBreaker(self.breaker_policy)
+        return br
+
+    def _set_ost_gauges(self, views, now: float) -> None:
+        for ost in range(self.cost.num_osts):
+            state = max(inj.ost_state(ost, now) for inj in views)
+            self.registry.gauge("fs.ost.health", ost).set(state)
+            br = self._breakers.get(ost)
+            if br is not None:
+                self.registry.gauge("fs.ost.breaker_state", ost).set(br.state)
+
+    def _ost_is_down(self, views, ost: int, now: float) -> bool:
+        return any(inj.ost_down(ost, now) for inj in views)
+
+    def _check_ost(self, views, ost: int, now: float, client_id, path: str, site: str) -> None:
+        """Breaker-gated health check for one OST; raises typed errors.
+
+        Fast-fails on an open breaker *without* touching the OST;
+        otherwise a down OST counts one wasted hit (the probe that the
+        breaker exists to avoid), feeds the breaker, and raises."""
+        br = self._breaker(ost)
+        if br is not None and not br.allow(now):
+            self._ost_counter("breaker_fastfail").inc()
+            raise OSTUnavailable(site, client_id, path, ost=ost, reason="breaker-open")
+        if self._ost_is_down(views, ost, now):
+            self._ost_counter("down_hits").inc()
+            views[0].note_ost_rejection()
+            if br is not None:
+                br.record_failure(now)
+                self.registry.gauge("fs.ost.breaker_state", ost).set(br.state)
+            raise OSTUnavailable(site, client_id, path, ost=ost, reason="down")
+        if br is not None and br.state != 0:
+            br.record_success()
+            self.registry.gauge("fs.ost.breaker_state", ost).set(br.state)
+
+    def _up_set(self, views, now: float) -> Set[int]:
+        """Live OSTs for replica placement: up *and* breaker-admitted."""
+        up: Set[int] = set()
+        for ost in range(self.cost.num_osts):
+            br = self._breaker(ost)
+            if br is not None and not br.allow(now):
+                continue
+            if self._ost_is_down(views, ost, now):
+                if br is not None:
+                    br.record_failure(now)
+                continue
+            if br is not None and br.state != 0:
+                br.record_success()
+            up.add(ost)
+        return up
+
+    def _check_admission(
+        self, views, bytes_per, reqs_per, rmw_pages, now, client_id, path, site
+    ) -> None:
+        """Reject the batch when any fragment's queueing delay would
+        exceed :attr:`queue_limit` — before any scheduler booking."""
+        if self.queue_limit is None:
+            return
+        cost = self.cost
+        tenant = self._tenant_of.get(client_id)
+        weight = self._tenant_weight.get(tenant, 1.0)
+        total_reqs = int(reqs_per.sum())
+        for ost in range(cost.num_osts):
+            if reqs_per[ost] == 0:
+                continue
+            share = rmw_pages * (reqs_per[ost] / total_reqs) if total_reqs else 0.0
+            service = (
+                int(reqs_per[ost]) * cost.ost_op_latency
+                + int(bytes_per[ost]) * cost.ost_byte_time
+                + share * cost.page_rmw_penalty
+            )
+            delay = self.scheduler.queue_delay(ost, tenant, weight, now, service)
+            if delay > self.queue_limit:
+                self._ost_counter("overloads").inc()
+                if views:
+                    views[0].note_ost_rejection()
+                raise OSTOverloaded(
+                    site,
+                    client_id,
+                    path,
+                    ost=ost,
+                    backlog=delay,
+                    limit=self.queue_limit,
+                )
+
+    def _storage_plan(
+        self,
+        ctx: RankContext,
+        client_id: Hashable,
+        f: "_File",
+        path: str,
+        offs: np.ndarray,
+        lens: np.ndarray,
+        rmw: int,
+        site: str,
+        *,
+        write: bool,
+    ):
+        """Pre-mutation storage checks for one server call.
+
+        Runs health/breaker checks, write-quorum validation, background
+        healing, and admission control — raising typed retryable errors
+        before any store byte or scheduler booking is touched.  Returns
+        ``(demand, up, views)``: ``demand`` is the per-OST
+        ``(bytes, request-fragments)`` service demand for :meth:`_serve`
+        (``None`` = derive from the stripe map, the seed's path), ``up``
+        the live-OST set for a replicated store (``None`` for plain
+        stores).  The fault-free unreplicated path returns immediately
+        with no state touched."""
+        views = self._fault_views(ctx)
+        store = f.store
+        replicated = isinstance(store, ReplicatedStore)
+        if (
+            not views
+            and not self._breakers
+            and self.queue_limit is None
+            and not replicated
+        ):
+            return None, None, views
+        now = ctx.now
+        if views:
+            self._set_ost_gauges(views, now)
+        if not replicated:
+            bytes_per, reqs_per = self._split_over_osts(offs, lens)
+            if views or self._breakers:
+                for ost in range(self.cost.num_osts):
+                    if reqs_per[ost]:
+                        self._check_ost(views, ost, now, client_id, path, site)
+            self._check_admission(
+                views, bytes_per, reqs_per, rmw, now, client_id, path, site
+            )
+            return (bytes_per, reqs_per), None, views
+        if views or self._breakers:
+            up = self._up_set(views, now)
+        else:
+            up = set(range(self.cost.num_osts))
+        self._heal(store, up)
+        if not write:
+            # Reads only need one live fresh replica per piece; the
+            # service demand depends on which replica actually serves
+            # and is built by the caller from the store's report.
+            for o, l in zip(offs.tolist(), lens.tolist()):
+                for pos, chunk, osts in store._pieces(int(o), int(l)):
+                    if store.fresh_replicas(pos, chunk, up):
+                        continue
+                    self._ost_counter("down_hits").inc()
+                    if views:
+                        views[0].note_ost_rejection()
+                    bad = next((x for x in osts if x not in up), osts[0])
+                    raise OSTUnavailable(site, client_id, path, ost=bad, reason="down")
+            return None, up, views
+        n_ost = self.cost.num_osts
+        bytes_per = np.zeros(n_ost, dtype=np.int64)
+        reqs_per = np.zeros(n_ost, dtype=np.int64)
+        quorum = store.quorum
+        for o, l in zip(offs.tolist(), lens.tolist()):
+            for pos, chunk, osts in store._pieces(int(o), int(l)):
+                live = [x for x in osts if x in up]
+                if len(live) < quorum:
+                    self._ost_counter("quorum_failures").inc()
+                    if views:
+                        views[0].note_ost_quorum_failure()
+                    missing = next(x for x in osts if x not in up)
+                    raise OSTUnavailable(
+                        site, client_id, path, ost=missing, reason="quorum"
+                    )
+                for x in live:
+                    bytes_per[x] += chunk
+                    reqs_per[x] += 1
+        self._check_admission(
+            views, bytes_per, reqs_per, rmw, now, client_id, path, site
+        )
+        return (bytes_per, reqs_per), up, views
 
     # -- namespace ---------------------------------------------------------
     def ensure_file(self, path: str) -> None:
@@ -204,7 +447,7 @@ class SimFileSystem:
         """Every file in the namespace (fsck's iteration order)."""
         return sorted(self._files)
 
-    def page_store(self, path: str) -> PageStore:
+    def page_store(self, path: str) -> "PageStore | ReplicatedStore":
         """Direct access to a file's page store (fsck, tests)."""
         return self._file(path).store
 
@@ -212,6 +455,74 @@ class SimFileSystem:
         """Arm the CRC32 page sidecar for ``path`` (idempotent)."""
         self.ensure_file(path)
         self._file(path).store.enable_integrity()
+
+    def enable_replication(self, path: str, factor: int) -> None:
+        """Swap ``path``'s store for a :class:`ReplicatedStore` with
+        ``factor`` replicas per stripe (the ``replication_factor``
+        hint).  Idempotent for the same factor; existing contents are
+        migrated.  ``factor=1`` is a no-op (the plain store *is*
+        1-way replication)."""
+        if factor <= 1:
+            return
+        self.ensure_file(path)
+        f = self._file(path)
+        store = f.store
+        if isinstance(store, ReplicatedStore):
+            if store.factor != factor:
+                raise FileSystemError(
+                    f"{path!r} already replicated with factor {store.factor}, "
+                    f"cannot re-open with {factor}"
+                )
+            return
+        cost = self.cost
+        repl = ReplicatedStore(
+            cost.page_size,
+            cost.stripe_size,
+            cost.num_osts,
+            factor,
+            integrity=store.integrity,
+        )
+        ps = cost.page_size
+        for idx in sorted(store._pages):
+            repl.write(idx * ps, store._pages[idx])
+        repl.size = store.size
+        f.store = repl
+
+    def replication_of(self, path: str) -> int:
+        """The file's replication factor (1 = unreplicated)."""
+        store = self._file(path).store
+        return store.factor if isinstance(store, ReplicatedStore) else 1
+
+    def rereplicate(self, path: str, *, now: float = 0.0, faults=None) -> int:
+        """Admin re-replication pass: rebuild stale replicas on OSTs
+        that are up at ``now`` (``repro fsck``'s healing hook; the same
+        healing also runs opportunistically before every server call on
+        a replicated file).  Returns bytes healed."""
+        f = self._file(path)
+        if not isinstance(f.store, ReplicatedStore):
+            return 0
+        views = [
+            inj
+            for inj in (faults, self.storage_faults)
+            if inj is not None and inj.has_ost_faults()
+        ]
+        up = {
+            ost
+            for ost in range(self.cost.num_osts)
+            if not self._ost_is_down(views, ost, now)
+        }
+        healed = f.store.rereplicate(up)
+        if healed:
+            self._ost_counter("rereplicated_bytes").inc(healed)
+        return healed
+
+    def _heal(self, store: ReplicatedStore, up: Set[int]) -> None:
+        """Opportunistic background re-replication (no client cost:
+        the rebuild daemon is not on the caller's critical path)."""
+        if store.stale_bytes():
+            healed = store.rereplicate(up)
+            if healed:
+                self._ost_counter("rereplicated_bytes").inc(healed)
 
     def raw_bytes(self, path: str, offset: int, nbytes: int) -> np.ndarray:
         """Server-side contents, for verification only (no cost).
@@ -462,6 +773,9 @@ class SimFileSystem:
         offsets: np.ndarray,
         lengths: np.ndarray,
         rmw_pages: int,
+        *,
+        demand: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        views=None,
     ) -> None:
         """Charge OST service for a batch, honoring per-OST queues.
 
@@ -469,10 +783,18 @@ class SimFileSystem:
         (FIFO by default; fair-share/weighted lanes for multi-tenant
         runs) — this method computes service demands, books them, and
         records each fragment's queueing delay against the client's
-        tenant."""
+        tenant.  ``demand`` overrides the stripe-map split (replicated
+        stores: every live replica does the write work, one replica the
+        read work); ``views`` carries the OST-faulted injectors whose
+        ``ost_slow`` brownouts inflate the affected OSTs' service."""
         cost = self.cost
         faults = ctx.shared.get(FAULTS_KEY)
-        bytes_per, reqs_per = self._split_over_osts(offsets, lengths)
+        if views is None:
+            views = self._fault_views(ctx)
+        if demand is not None:
+            bytes_per, reqs_per = demand
+        else:
+            bytes_per, reqs_per = self._split_over_osts(offsets, lengths)
         # Spread the RMW penalty over the OSTs proportionally to requests.
         total_reqs = int(reqs_per.sum())
         arrive = ctx.now
@@ -491,6 +813,14 @@ class SimFileSystem:
             )
             if faults is not None:
                 service += faults.disk_penalty(ost, arrive, service)
+            if views:
+                factor = 1.0
+                for inj in views:
+                    factor *= inj.ost_service_factor(ost, arrive)
+                if factor > 1.0:
+                    extra = service * (factor - 1.0)
+                    service += extra
+                    views[0].note_ost_slow(extra)
             done = self.scheduler.request(ost, tenant, weight, arrive, service)
             wait_hist.record(max(0.0, done - arrive - service))
             finish = max(finish, done)
@@ -589,6 +919,12 @@ class SimFileSystem:
         if acquire_locks:
             self._charge_locks(ctx, f, client_id, offs, lens, path)
         rmw = self._partial_pages(offs, lens, self.cost.page_size)
+        # Storage plan phase: typed health/quorum/admission failures
+        # fire here, before any byte mutates — a retried call starts
+        # from an untouched store.
+        demand, up, views = self._storage_plan(
+            ctx, client_id, f, path, offs, lens, rmw, "server_write", write=True
+        )
         f.stats.rmw_pages += rmw
         f.stats.server_writes += 1
         f.stats.bytes_written += total
@@ -605,9 +941,15 @@ class SimFileSystem:
                 )
             target = txn.store
             f.stats.journal_writes += 1
+            # Journaled bytes go to the (plain) shadow store; the live
+            # set matters at commit time, when they publish.
+            demand = None
         pos = 0
         for o, l in zip(offs.tolist(), lens.tolist()):
-            target.write(o, data[pos : pos + l])
+            if txn is None and isinstance(target, ReplicatedStore):
+                target.write(o, data[pos : pos + l], up=up)
+            else:
+                target.write(o, data[pos : pos + l])
             if txn is not None:
                 txn.record(o, l)
             pos += l
@@ -618,7 +960,7 @@ class SimFileSystem:
             faults.corrupt_stored(
                 target, self._touched_pages(offs, lens), client_id, ctx.now
             )
-        self._serve(ctx, client_id, offs, lens, rmw)
+        self._serve(ctx, client_id, offs, lens, rmw, demand=demand, views=views)
 
     def _touched_pages(self, offs: np.ndarray, lens: np.ndarray) -> List[int]:
         """Sorted page indices covered by a batch (corruption targets)."""
@@ -654,14 +996,25 @@ class SimFileSystem:
         self._maybe_io_fault(ctx, client_id, path, "server_read")
         if acquire_locks:
             self._charge_locks(ctx, f, client_id, offs, lens, path)
+        demand, up, views = self._storage_plan(
+            ctx, client_id, f, path, offs, lens, 0, "server_read", write=False
+        )
         f.stats.server_reads += 1
         f.stats.bytes_read += total
         self._mirror_inc(client_id, "fs.server.reads", 1)
         self._mirror_inc(client_id, "fs.bytes.read", total)
+        replicated = isinstance(f.store, ReplicatedStore)
+        served: List[Tuple[int, int]] = []
+        failovers: List[int] = []
         pos = 0
         try:
             for o, l in zip(offs.tolist(), lens.tolist()):
-                piece = f.store.read(o, l)
+                if replicated:
+                    piece = f.store.read(
+                        o, l, up=up, served=served, failovers=failovers
+                    )
+                else:
+                    piece = f.store.read(o, l)
                 if journaled and f.txn is not None:
                     self._overlay_txn(f.txn, o, piece)
                 out[pos : pos + l] = piece
@@ -669,7 +1022,23 @@ class SimFileSystem:
         except IntegrityError as exc:
             self._note_page_corruption(ctx)
             raise IntegrityError(exc.site, exc.page_index, path) from exc
-        self._serve(ctx, client_id, offs, lens, 0)
+        if failovers:
+            self._ost_counter("failovers").inc(len(failovers))
+            if views:
+                for _ in failovers:
+                    views[0].note_ost_failover()
+        if replicated:
+            # Service demand is whatever replicas actually served.
+            bytes_per = np.zeros(self.cost.num_osts, dtype=np.int64)
+            reqs_per = np.zeros(self.cost.num_osts, dtype=np.int64)
+            for ost, chunk in served:
+                bytes_per[ost] += chunk
+                reqs_per[ost] += 1
+            demand = (bytes_per, reqs_per)
+            self._check_admission(
+                views, bytes_per, reqs_per, 0, ctx.now, client_id, path, "server_read"
+            )
+        self._serve(ctx, client_id, offs, lens, 0, demand=demand, views=views)
         return out
 
     @staticmethod
@@ -741,8 +1110,13 @@ class SimFileSystem:
         with ctx.trace("fs:journal_commit", path=path):
             self._maybe_io_fault(ctx, client_id, path, "txn_commit")
             pages = sorted(txn.valid)
+            # Health/quorum gate before any byte publishes: an outage
+            # mid-commit yields a typed retryable failure with the
+            # journal intact, never a torn publish.
+            up = self._txn_commit_gate(ctx, client_id, f, path, pages)
             ctx.charge(len(pages) * self.cost.journal_commit_page)
             ps = self.cost.page_size
+            replicated = isinstance(f.store, ReplicatedStore)
             for pidx in pages:
                 base = pidx * ps
                 for s, e in txn.valid[pidx]:
@@ -751,7 +1125,10 @@ class SimFileSystem:
                     except IntegrityError as exc:
                         self._note_page_corruption(ctx)
                         raise IntegrityError("journal-commit", pidx, path) from exc
-                    f.store.write(base + s, good)
+                    if replicated:
+                        f.store.write(base + s, good, up=up)
+                    else:
+                        f.store.write(base + s, good)
             f.txn = None
             f.stats.journal_commits += 1
             f.stats.journal_pages_committed += len(pages)
@@ -767,6 +1144,55 @@ class SimFileSystem:
                         )
         ctx.yield_now()
         return len(pages)
+
+    def _txn_commit_gate(
+        self,
+        ctx: RankContext,
+        client_id: Hashable,
+        f: _File,
+        path: str,
+        pages: List[int],
+    ) -> Optional[Set[int]]:
+        """Pre-publish storage checks for a journal commit.
+
+        Plain store: every OST holding a committed page must be up (and
+        breaker-admitted).  Replicated store: every committed page's
+        stripe must retain a write-quorum of live replicas; returns the
+        live set the publish writes to (missed replicas go stale and
+        heal later)."""
+        views = self._fault_views(ctx)
+        store = f.store
+        replicated = isinstance(store, ReplicatedStore)
+        if not views and not self._breakers and not replicated:
+            return None
+        now = ctx.now
+        if views:
+            self._set_ost_gauges(views, now)
+        ps = self.cost.page_size
+        if not replicated:
+            stripe = self.cost.stripe_size
+            osts = sorted({(pidx * ps // stripe) % self.cost.num_osts for pidx in pages})
+            for ost in osts:
+                self._check_ost(views, ost, now, client_id, path, "txn_commit")
+            return None
+        if views or self._breakers:
+            up = self._up_set(views, now)
+        else:
+            up = set(range(self.cost.num_osts))
+        self._heal(store, up)
+        quorum = store.quorum
+        for pidx in pages:
+            osts = store.replicas_of(pidx * ps)
+            live = [x for x in osts if x in up]
+            if len(live) < quorum:
+                self._ost_counter("quorum_failures").inc()
+                if views:
+                    views[0].note_ost_quorum_failure()
+                missing = next(x for x in osts if x not in up)
+                raise OSTUnavailable(
+                    "txn_commit", client_id, path, ost=missing, reason="quorum"
+                )
+        return up
 
     # -- resize --------------------------------------------------------------
     def resize(self, ctx: RankContext, client_id: Hashable, path: str, size: int) -> None:

@@ -46,6 +46,47 @@ class ByteRuns:
             out.append((lo, hi))
         self._runs = out
 
+    def remove(self, lo: int, hi: int) -> None:
+        """Delete [lo, hi) from the set, splitting runs that straddle it.
+
+        The inverse of :meth:`add`; the replication layer uses it to
+        mark stale bytes fresh again once they are rewritten or
+        re-replicated."""
+        if hi < lo or lo < 0:
+            raise FileSystemError(f"invalid run [{lo}, {hi})")
+        if hi == lo or not self._runs:
+            return
+        out: List[Tuple[int, int]] = []
+        for s, e in self._runs:
+            if e <= lo or s >= hi:
+                out.append((s, e))
+                continue
+            if s < lo:
+                out.append((s, lo))
+            if e > hi:
+                out.append((hi, e))
+        self._runs = out
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True when any run intersects [lo, hi)."""
+        if hi <= lo:
+            return False
+        for s, e in self._runs:
+            if s < hi and e > lo:
+                return True
+            if s >= hi:
+                break
+        return False
+
+    def intersect(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """The runs clipped to [lo, hi) (re-replication's work list)."""
+        out: List[Tuple[int, int]] = []
+        for s, e in self._runs:
+            a, b = max(s, lo), min(e, hi)
+            if b > a:
+                out.append((a, b))
+        return out
+
     def covers(self, lo: int, hi: int) -> bool:
         """True when [lo, hi) lies entirely inside one run."""
         if hi <= lo:

@@ -38,6 +38,14 @@ is factored out here behind :class:`OSTScheduler`:
 Schedulers are deterministic, keep all state in plain dicts (the
 engine's single-running-thread invariant), and are consulted only by
 :meth:`repro.fs.filesystem.SimFileSystem._serve`.
+
+**Admission control** (``docs/storage_faults.md``): every scheduler
+also exposes ``queue_delay`` — the queueing delay a request *would*
+suffer, computed without booking it.  The file system compares that
+estimate against its ``queue_limit`` before mutating any scheduler
+state and rejects over-limit batches with a typed
+:class:`~repro.errors.OSTOverloaded`, so a saturated OST sheds load
+instead of growing its queue without bound.
 """
 
 from __future__ import annotations
@@ -75,6 +83,20 @@ class OSTScheduler:
     ) -> float:
         raise NotImplementedError
 
+    def queue_delay(
+        self,
+        ost: int,
+        tenant: Hashable,
+        weight: float,
+        arrive: float,
+        service: float,
+    ) -> float:
+        """The queueing delay (``done - arrive - service``) this request
+        would suffer, *without* booking it — the admission-control
+        probe.  Must match what an immediate :meth:`request` with the
+        same arguments would charge."""
+        raise NotImplementedError
+
     def reset(self) -> None:
         raise NotImplementedError
 
@@ -100,6 +122,16 @@ class FIFOScheduler(OSTScheduler):
         self._available[ost] = done
         return done
 
+    def queue_delay(
+        self,
+        ost: int,
+        tenant: Hashable,
+        weight: float,
+        arrive: float,
+        service: float,
+    ) -> float:
+        return max(0.0, self._available.get(ost, 0.0) - arrive)
+
     def reset(self) -> None:
         self._available.clear()
 
@@ -120,7 +152,7 @@ class FairShareScheduler(OSTScheduler):
         #: tenant -> last-declared weight (what competitors see).
         self._weights: Dict[Hashable, float] = {}
 
-    def request(
+    def _delay(
         self,
         ost: int,
         tenant: Hashable,
@@ -128,8 +160,7 @@ class FairShareScheduler(OSTScheduler):
         arrive: float,
         service: float,
     ) -> float:
-        weight = max(weight, 1e-9) if self.weighted else 1.0
-        self._weights[tenant] = weight
+        """Queueing delay (own backlog + capped interference); pure."""
         backlog_self = max(0.0, self._busy.get((ost, tenant), 0.0) - arrive)
         others = 0.0
         w_others = 0.0
@@ -142,9 +173,32 @@ class FairShareScheduler(OSTScheduler):
                 w_others += self._weights.get(t, 1.0)
         own = backlog_self + service
         interference = min(others, own * (w_others / weight)) if w_others else 0.0
-        done = arrive + own + interference
+        return backlog_self + interference
+
+    def request(
+        self,
+        ost: int,
+        tenant: Hashable,
+        weight: float,
+        arrive: float,
+        service: float,
+    ) -> float:
+        weight = max(weight, 1e-9) if self.weighted else 1.0
+        self._weights[tenant] = weight
+        done = arrive + service + self._delay(ost, tenant, weight, arrive, service)
         self._busy[(ost, tenant)] = done
         return done
+
+    def queue_delay(
+        self,
+        ost: int,
+        tenant: Hashable,
+        weight: float,
+        arrive: float,
+        service: float,
+    ) -> float:
+        weight = max(weight, 1e-9) if self.weighted else 1.0
+        return self._delay(ost, tenant, weight, arrive, service)
 
     def reset(self) -> None:
         self._busy.clear()

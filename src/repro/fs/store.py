@@ -11,18 +11,29 @@ silent corruption (e.g. the fault model's ``bit_flip_page`` events,
 which mutate page bytes *without* touching the sidecar) becomes a loud,
 typed failure at the first read.  :meth:`verify_all` is the offline
 scrub used by ``repro fsck``.
+
+:class:`ReplicatedStore` (the ``replication_factor`` hint) composes
+``r`` per-OST :class:`PageStore` shards behind the same interface:
+each stripe's pages live on ``r`` distinct OSTs, writes land on every
+*live* replica (missed ones are tracked as stale byte runs for later
+re-replication), and reads serve from the first fresh replica — with
+integrity-driven failover to the next when a shard's page fails its
+sidecar.  Health/quorum policy stays in
+:class:`~repro.fs.filesystem.SimFileSystem`; the store only tracks
+bytes and staleness.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import FileSystemError, IntegrityError
+from repro.fs.runs import ByteRuns
 
-__all__ = ["PageStore"]
+__all__ = ["PageStore", "ReplicatedStore"]
 
 
 class PageStore:
@@ -199,6 +210,269 @@ class PageStore:
         acc = self.size
         for idx in sorted(self._pages):
             page = self._pages[idx]
+            if not page.any():
+                continue
+            acc = (acc * 1000003 + idx) & 0xFFFFFFFFFFFF
+            acc = (acc + int(page.astype(np.uint64).sum())) & 0xFFFFFFFFFFFF
+        return acc
+
+
+class ReplicatedStore:
+    """``r`` per-OST page-store shards behind the PageStore interface.
+
+    Placement: the pages of stripe ``s`` replicate to OSTs
+    ``(s + k) % num_osts`` for ``k < factor`` — the primary is exactly
+    where the unreplicated striping formula puts the stripe, so with
+    ``factor=1`` the layout degenerates to the seed's.
+
+    The store is *mechanism only*: callers (the file system) decide
+    which OSTs are up and whether a write has quorum; the store applies
+    a write to the given live subset and records the missed replicas'
+    byte ranges as **stale** so reads skip them and
+    :meth:`rereplicate` can heal them later.  Each shard stores pages
+    at their *logical* file offsets (sparse, so no address translation
+    is needed); staleness is the only divergence tracked.
+    """
+
+    __slots__ = ("page_size", "stripe_size", "num_osts", "factor", "shards", "stale", "size")
+
+    def __init__(
+        self,
+        page_size: int,
+        stripe_size: int,
+        num_osts: int,
+        factor: int,
+        *,
+        integrity: bool = False,
+    ) -> None:
+        if stripe_size <= 0 or stripe_size % page_size:
+            raise FileSystemError(
+                f"stripe size must be a positive multiple of page size, got {stripe_size}"
+            )
+        if not 1 < factor <= num_osts:
+            raise FileSystemError(
+                f"replication factor must be in (1, num_osts={num_osts}], got {factor}"
+            )
+        self.page_size = page_size
+        self.stripe_size = stripe_size
+        self.num_osts = num_osts
+        self.factor = factor
+        self.shards: List[PageStore] = [
+            PageStore(page_size, integrity=integrity) for _ in range(num_osts)
+        ]
+        #: Per-OST byte ranges whose replica on that OST missed a write
+        #: (the OST was down) and must not serve reads until healed.
+        self.stale: List[ByteRuns] = [ByteRuns() for _ in range(num_osts)]
+        self.size = 0
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def quorum(self) -> int:
+        """Live replicas a write needs to commit (majority)."""
+        return self.factor // 2 + 1
+
+    def replicas_of(self, offset: int) -> List[int]:
+        """The OSTs holding the stripe containing ``offset``, primary first."""
+        stripe = offset // self.stripe_size
+        return [(stripe + k) % self.num_osts for k in range(self.factor)]
+
+    def _pieces(self, offset: int, nbytes: int):
+        """Split [offset, offset+nbytes) at stripe boundaries: yields
+        (piece offset, piece length, replica OSTs)."""
+        pos, end = offset, offset + nbytes
+        while pos < end:
+            chunk = min(end - pos, self.stripe_size - pos % self.stripe_size)
+            yield pos, chunk, self.replicas_of(pos)
+            pos += chunk
+
+    # -- data plane ---------------------------------------------------------
+    def write(self, offset: int, data: np.ndarray, up: Optional[Set[int]] = None) -> None:
+        """Write to every live replica; mark missed ones stale.
+
+        ``up=None`` means all OSTs are live.  Quorum enforcement is the
+        caller's job — by the time this runs the write is committed."""
+        data = np.asarray(data, dtype=np.uint8)
+        n = int(data.size)
+        if n == 0:
+            return
+        if offset < 0:
+            raise FileSystemError(f"negative file offset {offset}")
+        for pos, chunk, osts in self._pieces(offset, n):
+            piece = data[pos - offset : pos - offset + chunk]
+            for ost in osts:
+                if up is None or ost in up:
+                    self.shards[ost].write(pos, piece)
+                    self.stale[ost].remove(pos, pos + chunk)
+                else:
+                    self.stale[ost].add(pos, pos + chunk)
+        self.size = max(self.size, offset + n)
+
+    def fresh_replicas(self, offset: int, nbytes: int, up: Optional[Set[int]] = None) -> List[int]:
+        """Live replicas of the (single-stripe) range with no stale bytes
+        in it, in placement (primary-first) order."""
+        return [
+            ost
+            for ost in self.replicas_of(offset)
+            if (up is None or ost in up) and not self.stale[ost].overlaps(offset, offset + nbytes)
+        ]
+
+    def readable(self, offset: int, nbytes: int, up: Optional[Set[int]] = None) -> bool:
+        """True when every piece of the range has a live fresh replica."""
+        return all(
+            self.fresh_replicas(pos, chunk, up) for pos, chunk, _ in self._pieces(offset, nbytes)
+        )
+
+    def read(
+        self,
+        offset: int,
+        nbytes: int,
+        *,
+        verify: bool = True,
+        up: Optional[Set[int]] = None,
+        served: Optional[List[Tuple[int, int]]] = None,
+        failovers: Optional[List[int]] = None,
+    ) -> np.ndarray:
+        """Read from the first live *fresh* replica of each piece.
+
+        A replica whose page fails its integrity sidecar is skipped in
+        favour of the next fresh candidate (recorded in ``failovers``
+        as the bad OST); only when every candidate is corrupt does the
+        :class:`~repro.errors.IntegrityError` propagate.  ``served``
+        collects ``(ost, nbytes)`` per piece actually read, so the
+        caller can charge service time to the OSTs that did the work.
+        Raises when a piece has no live fresh replica — callers should
+        pre-check with :meth:`readable` to raise a typed error with
+        more context."""
+        if offset < 0 or nbytes < 0:
+            raise FileSystemError(f"invalid read range ({offset}, {nbytes})")
+        out = np.zeros(nbytes, dtype=np.uint8)
+        for pos, chunk, _ in self._pieces(offset, nbytes):
+            candidates = self.fresh_replicas(pos, chunk, up)
+            if not candidates:
+                raise FileSystemError(
+                    f"no live fresh replica for bytes [{pos}, {pos + chunk})"
+                )
+            error: Optional[IntegrityError] = None
+            for ost in candidates:
+                try:
+                    piece = self.shards[ost].read(pos, chunk, verify=verify)
+                except IntegrityError as exc:
+                    if error is None:
+                        error = exc
+                    if failovers is not None:
+                        failovers.append(ost)
+                    continue
+                out[pos - offset : pos - offset + chunk] = piece
+                if served is not None:
+                    served.append((ost, chunk))
+                break
+            else:
+                raise error  # every fresh replica corrupt
+        return out
+
+    def truncate(self, size: int) -> None:
+        if size < 0:
+            raise FileSystemError(f"negative truncate size {size}")
+        for shard in self.shards:
+            shard.truncate(size)
+        for runs in self.stale:
+            end = max((hi for _, hi in runs), default=0)
+            if end > size:
+                runs.remove(size, end)
+        self.size = size
+
+    # -- healing ------------------------------------------------------------
+    def stale_bytes(self) -> int:
+        """Total bytes awaiting re-replication across all OSTs."""
+        return sum(runs.total for runs in self.stale)
+
+    def rereplicate(self, up: Optional[Set[int]] = None) -> int:
+        """Rebuild stale replicas on live OSTs from fresh copies.
+
+        Returns the number of bytes healed.  Ranges with no live fresh
+        source are left stale (healed on a later pass once a holder
+        recovers)."""
+        healed = 0
+        verify = self.integrity  # never launder corrupt bytes into a
+        # freshly-checksummed replica: corrupt sources are skipped (the
+        # read fails over) or, with none good, the range stays stale.
+        for ost, runs in enumerate(self.stale):
+            if up is not None and ost not in up:
+                continue
+            for lo, hi in list(runs):
+                try:
+                    data = self.read(lo, hi - lo, verify=verify, up=up)
+                except (FileSystemError, IntegrityError):
+                    continue
+                self.shards[ost].write(lo, data)
+                runs.remove(lo, hi)
+                healed += hi - lo
+        return healed
+
+    # -- integrity / repair (fsck) ------------------------------------------
+    @property
+    def integrity(self) -> bool:
+        return self.shards[0].integrity
+
+    def enable_integrity(self) -> None:
+        for shard in self.shards:
+            shard.enable_integrity()
+
+    def _holders(self, index: int) -> List[int]:
+        """Replica OSTs of page ``index``, primary first."""
+        return self.replicas_of(index * self.page_size)
+
+    def verify_page(self, index: int) -> bool:
+        return all(self.shards[ost].verify_page(index) for ost in self._holders(index))
+
+    def verify_all(self) -> List[int]:
+        bad: Set[int] = set()
+        for shard in self.shards:
+            bad.update(shard.verify_all())
+        return sorted(bad)
+
+    def flip_bit(self, page_index: int, bit_index: int) -> None:
+        """Corrupt one replica (the primary shard holding the page) —
+        divergence between replicas is exactly what the corruption
+        model should produce."""
+        for ost in self._holders(page_index):
+            if page_index in self.shards[ost]._pages:
+                self.shards[ost].flip_bit(page_index, bit_index)
+                return
+        raise FileSystemError(f"cannot corrupt unallocated page {page_index}")
+
+    def zero_page(self, index: int) -> None:
+        for ost in self._holders(index):
+            self.shards[ost].zero_page(index)
+
+    def accept_page(self, index: int) -> None:
+        for ost in self._holders(index):
+            self.shards[ost].accept_page(index)
+
+    def rewrite_page(self, index: int, data: np.ndarray) -> None:
+        lo = index * self.page_size
+        for ost in self._holders(index):
+            self.shards[ost].rewrite_page(index, data)
+            self.stale[ost].remove(lo, lo + self.page_size)
+
+    # -- fingerprints -------------------------------------------------------
+    @property
+    def allocated_pages(self) -> int:
+        pages: Set[int] = set()
+        for shard in self.shards:
+            pages.update(shard._pages)
+        return len(pages)
+
+    def checksum(self) -> int:
+        """Logical-content fingerprint, identical to an unreplicated
+        :meth:`PageStore.checksum` of the same bytes."""
+        pages: Set[int] = set()
+        for shard in self.shards:
+            pages.update(shard._pages)
+        ps = self.page_size
+        acc = self.size
+        for idx in sorted(pages):
+            page = self.read(idx * ps, ps, verify=False)
             if not page.any():
                 continue
             acc = (acc * 1000003 + idx) & 0xFFFFFFFFFFFF

@@ -12,10 +12,18 @@ Repair strategies for a bad page:
   corruption becomes the new truth; what a checksum-less system does
   silently on every read);
 * ``"reference"`` — rewrite the page from a caller-supplied good copy
-  (a replica, a backup, or a test oracle).
+  (a replica, a backup, or a test oracle);
+* ``"replica"`` — for a :class:`~repro.fs.store.ReplicatedStore` only:
+  rewrite the page from a surviving replica whose copy still verifies
+  (the self-healing mode replication exists for — no external image
+  needed).  Pages with *no* good replica stay bad and are reported.
 
-``fsck(fs)`` runs the scrub over every file of a
-:class:`~repro.fs.filesystem.SimFileSystem`.
+On a replicated store the scrub walks every shard, so divergence that
+the read path would silently fail over past (one replica corrupt, the
+primary fine) is surfaced and healed.  ``fsck(fs)`` runs the scrub over
+every file of a :class:`~repro.fs.filesystem.SimFileSystem` and also
+finishes any pending re-replication (stale replicas left by an OST
+outage).
 """
 
 from __future__ import annotations
@@ -26,10 +34,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import FileSystemError
+from repro.fs.store import ReplicatedStore
 
 __all__ = ["FsckReport", "scrub_store", "fsck", "REPAIR_MODES"]
 
-REPAIR_MODES = ("zero", "accept", "reference")
+REPAIR_MODES = ("zero", "accept", "reference", "replica")
 
 
 @dataclass
@@ -81,6 +90,11 @@ def scrub_store(
         )
     if repair == "reference" and reference is None:
         raise FileSystemError("fsck: repair='reference' needs a reference image")
+    replicated = isinstance(store, ReplicatedStore)
+    if repair == "replica" and not replicated:
+        raise FileSystemError(
+            f"fsck: repair='replica' needs a replicated store, {path!r} is plain"
+        )
     report = FsckReport(
         path=path,
         pages_scanned=store.allocated_pages,
@@ -95,6 +109,11 @@ def scrub_store(
             store.zero_page(idx)
         elif repair == "accept":
             store.accept_page(idx)
+        elif repair == "replica":
+            good = _good_replica_copy(store, idx)
+            if good is None:
+                continue  # no surviving good copy — stays bad, reported
+            store.rewrite_page(idx, good)
         else:
             lo = idx * ps
             good = np.zeros(ps, dtype=np.uint8)
@@ -106,6 +125,24 @@ def scrub_store(
     return report
 
 
+def _good_replica_copy(store: ReplicatedStore, index: int) -> Optional[np.ndarray]:
+    """The page's bytes from a replica that still verifies, if any.
+
+    Stale replicas (pending re-replication) are not good sources — they
+    verify but hold pre-outage bytes."""
+    lo = index * store.page_size
+    hi = lo + store.page_size
+    for ost in store.replicas_of(lo):
+        shard = store.shards[ost]
+        if index not in shard._pages:
+            continue
+        if store.stale[ost].overlaps(lo, hi):
+            continue
+        if shard.verify_page(index):
+            return shard.read(lo, store.page_size, verify=False)
+    return None
+
+
 def fsck(
     fs,
     path: Optional[str] = None,
@@ -113,10 +150,15 @@ def fsck(
     repair: Optional[str] = None,
     references: Optional[Dict[str, np.ndarray]] = None,
 ) -> List[FsckReport]:
-    """Scrub one file (or every file) of a ``SimFileSystem``."""
+    """Scrub one file (or every file) of a ``SimFileSystem``.
+
+    Replicated files additionally get any pending re-replication
+    finished first (fsck runs after recovery, when every OST is up), so
+    the scrub sees fully-redundant files."""
     paths = [path] if path is not None else fs.paths()
     reports = []
     for p in paths:
+        fs.rereplicate(p)
         ref = references.get(p) if references else None
         reports.append(
             scrub_store(fs.page_store(p), p, repair=repair, reference=ref)

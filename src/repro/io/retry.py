@@ -18,20 +18,66 @@ Backoff is charged with ``ctx.advance`` — it is simulated time, visible
 to the scheduler, so other ranks (and the fault window itself) make
 progress while this rank waits; riding out a timed outage window is
 exactly the behaviour the ``io-outage`` scenario verifies.
+
+Two storm-control refinements (``docs/storage_faults.md``):
+
+* **Full jitter** (``jitter=True``, the ``retry_jitter`` hint): each
+  sleep is ``u * capped_exponential`` with ``u`` a *seeded* uniform
+  draw from the fault injector, keyed per rank — so ranks that fault
+  together stop retrying in lockstep waves against a recovering OST,
+  while a fixed plan seed still replays the exact same delays.
+* **Retry budget** (:class:`RetryBudget`, the ``io_retry_budget``
+  hint): a mutable cross-operation allowance shared by all of one
+  client's policies.  When it runs dry the client stops retrying
+  *anything* and fails fast with a typed
+  :class:`~repro.errors.RetryBudgetExhausted` — bounded load on a sick
+  storage system instead of an open-ended storm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, TypeVar
+from typing import Any, Callable, Optional, TypeVar
 
 from repro.config import DEFAULT_FAULT_CONFIG, FaultConfig
-from repro.errors import RetryExhausted, TransientIOError
+from repro.errors import RetryBudgetExhausted, RetryExhausted, TransientIOError
 from repro.faults.plan import FAULTS_KEY
 
-__all__ = ["RetryPolicy"]
+__all__ = ["RetryPolicy", "RetryBudget"]
 
 T = TypeVar("T")
+
+
+class RetryBudget:
+    """A client's cross-operation retry allowance (0 limit = unlimited).
+
+    Mutable on purpose: one budget instance is shared by every policy
+    of a client, so retries anywhere draw down the same pool."""
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int = 0) -> None:
+        if limit < 0:
+            raise ValueError(f"retry budget must be >= 0, got {limit}")
+        self.limit = int(limit)
+        self.used = 0
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Retries left, or ``None`` when unlimited."""
+        if self.limit == 0:
+            return None
+        return max(0, self.limit - self.used)
+
+    def spend(self) -> bool:
+        """Consume one retry; False when the budget is already dry."""
+        if self.limit and self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RetryBudget(used={self.used}, limit={self.limit})"
 
 
 @dataclass(frozen=True)
@@ -47,6 +93,13 @@ class RetryPolicy:
     #: the uncapped tail (factor^n) dominates total recovery time for
     #: no extra politeness — real clients cap it.
     backoff_max: float = DEFAULT_FAULT_CONFIG.retry_backoff_max
+    #: Full-jitter: sleep a seeded uniform fraction of the capped
+    #: exponential instead of the whole thing (needs an installed
+    #: injector for the draw; falls back to no jitter without one).
+    jitter: bool = DEFAULT_FAULT_CONFIG.retry_jitter
+    #: Shared cross-operation budget (``None`` = per-operation retries
+    #: only).  The dataclass stays frozen; the budget object mutates.
+    budget: Optional[RetryBudget] = None
 
     @classmethod
     def from_config(cls, config: FaultConfig) -> "RetryPolicy":
@@ -55,6 +108,8 @@ class RetryPolicy:
             backoff=config.retry_backoff,
             backoff_factor=config.retry_backoff_factor,
             backoff_max=config.retry_backoff_max,
+            jitter=config.retry_jitter,
+            budget=RetryBudget(config.retry_budget) if config.retry_budget else None,
         )
 
     def run(self, ctx: Any, op: Callable[[], T]) -> T:
@@ -73,10 +128,18 @@ class RetryPolicy:
                     if injector is not None:
                         injector.note_retry_exhausted()
                     raise RetryExhausted(exc.site, attempt) from exc
+                if self.budget is not None and not self.budget.spend():
+                    if injector is not None:
+                        injector.note_retry_exhausted()
+                    raise RetryBudgetExhausted(
+                        exc.site, attempt, self.budget.limit
+                    ) from exc
                 delay = min(
                     self.backoff * self.backoff_factor ** (attempt - 1),
                     self.backoff_max,
                 )
+                if self.jitter and injector is not None:
+                    delay *= injector.retry_jitter(ctx.rank)
                 if injector is not None:
                     injector.note_retry(delay)
                 ctx.advance(delay)

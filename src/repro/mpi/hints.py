@@ -101,6 +101,13 @@ _SPEC: Dict[str, tuple] = {
     "io_retry_backoff": (_non_negative_float, DEFAULT_FAULT_CONFIG.retry_backoff),
     # Ceiling on one exponential-backoff sleep (virtual seconds).
     "retry_backoff_max": (_non_negative_float, DEFAULT_FAULT_CONFIG.retry_backoff_max),
+    # Full-jitter backoff: seeded uniform sleep in [0, cap] instead of
+    # the deterministic cap, desynchronizing cross-rank retry waves.
+    "retry_jitter": (_boolean, DEFAULT_FAULT_CONFIG.retry_jitter),
+    # Cross-operation retry budget per client (0 = unlimited): retries
+    # past it raise RetryBudgetExhausted — storm control under OST
+    # outages (docs/storage_faults.md).
+    "io_retry_budget": (_non_negative_int, DEFAULT_FAULT_CONFIG.retry_budget),
     "failover": (_boolean, DEFAULT_FAULT_CONFIG.failover),
     # End-to-end integrity (docs/integrity.md).  Off by default: the
     # fault-free fast path pays nothing for the machinery.
@@ -114,6 +121,12 @@ _SPEC: Dict[str, tuple] = {
     # mid-call, stalled clients served by survivors) and lock leases.
     "coll_deadline": (_non_negative_float, 0.0),
     "liveness": (_boolean, False),
+    # Storage-side replication (docs/storage_faults.md): place each
+    # stripe's pages on this many distinct OSTs.  Writes commit on a
+    # write-quorum (r//2 + 1 live replicas); reads fail over to any
+    # surviving fresh replica.  1 (default) = no replication, the
+    # seed's exact data path.
+    "replication_factor": (_positive_int, 1),
     # Multi-tenant QoS weight (docs/multi_tenant.md): under the shared
     # file system's ``wfq`` OST scheduler, a tenant with priority 2
     # absorbs half the cross-tenant interference of a priority-1 one.

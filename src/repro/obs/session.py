@@ -67,6 +67,14 @@ class Session:
         the tracer's fast path is a bare ``yield``.
     lock_granularity:
         Optional lock granularity override for the file system.
+    queue_limit:
+        Per-OST admission bound (virtual seconds of queueing delay;
+        ``None`` = unbounded queues, the seed's behaviour).  See
+        ``docs/storage_faults.md``.
+    breaker:
+        Per-OST circuit breakers: ``True`` (default policy), ``False``
+        (off — every retry probes the OST), or a
+        :class:`~repro.fs.ostfault.BreakerPolicy`.
     """
 
     def __init__(
@@ -79,6 +87,8 @@ class Session:
         faults: Union[None, str, "FaultPlan"] = None,
         trace: bool = False,
         lock_granularity: Optional[int] = None,
+        queue_limit: Optional[float] = None,
+        breaker: Any = True,
     ) -> None:
         from repro.fs.filesystem import SimFileSystem
         from repro.mpi.hints import Hints
@@ -102,7 +112,11 @@ class Session:
         #: second run's spans append after the first's).
         self.tracer = Tracer(enabled=trace)
         self.fs = SimFileSystem(
-            cost, lock_granularity=lock_granularity, registry=self.registry
+            cost,
+            lock_granularity=lock_granularity,
+            registry=self.registry,
+            queue_limit=queue_limit,
+            breaker=breaker,
         )
         self._injector = None
         self._results: List[Any] = []
@@ -199,8 +213,31 @@ class Session:
         return self.tracer.time_by_state(rank)
 
     def chrome_trace(self) -> Dict[str, Any]:
-        """The recorded spans as a Chrome ``trace_event`` JSON object."""
-        return self.tracer.to_chrome_trace()
+        """The recorded spans as a Chrome ``trace_event`` JSON object.
+
+        When the session's fault plan carries OST events, per-OST
+        health lanes (``ost:down`` / ``ost:degraded`` spans on their
+        own rows) are appended so storage outages line up against the
+        compute rows."""
+        doc = self.tracer.to_chrome_trace()
+        if self.plan is not None:
+            from repro.faults.plan import OST_KINDS
+            from repro.fs.ostfault import chrome_lane_events
+
+            events = [e for e in self.plan.events if e.kind in OST_KINDS]
+            if events:
+                horizon = max(
+                    (
+                        (ev["ts"] + ev.get("dur", 0.0)) / 1e6
+                        for ev in doc["traceEvents"]
+                        if ev["ph"] == "X"
+                    ),
+                    default=0.0,
+                )
+                doc["traceEvents"].extend(
+                    chrome_lane_events(events, self.cost.num_osts, horizon)
+                )
+        return doc
 
     def write_trace(self, path: str, *, validate: bool = True) -> Dict[str, Any]:
         """Write the Chrome trace JSON to ``path`` and return it.

@@ -174,6 +174,17 @@ class Cluster:
     trace:
         Record structured spans; the one Chrome trace labels each row
         ``<tenant>:r<local_rank>``.
+    storage_faults:
+        ``None``, a scenario spec, or a
+        :class:`~repro.faults.FaultPlan` of **storage-side** events
+        (``ost_crash`` / ``ost_slow`` / ``ost_flap``).  Per-tenant
+        ``faults=`` plans live in each tenant's overlay and mask the
+        shared injector, so OST outages — which belong to the shared
+        hardware, not any one job — install here, on the file system
+        itself, and hit every tenant (``docs/storage_faults.md``).
+    queue_limit / breaker:
+        Admission bound and per-OST circuit breakers, forwarded to the
+        shared :class:`~repro.fs.filesystem.SimFileSystem`.
 
     Usage::
 
@@ -192,8 +203,13 @@ class Cluster:
         scheduler: Any = "fifo",
         lock_granularity: Optional[int] = None,
         trace: bool = False,
+        storage_faults: Any = None,
+        queue_limit: Optional[float] = None,
+        breaker: Any = True,
     ) -> None:
+        from repro.faults.injector import FaultInjector
         from repro.fs.filesystem import SimFileSystem
+        from repro.obs.session import Session
         from repro.sim.trace import Tracer
 
         self.cost = cost
@@ -201,11 +217,20 @@ class Cluster:
         #: ``tenant.<name>.`` prefix views of it.
         self.registry = MetricsRegistry()
         self.tracer = Tracer(enabled=trace)
+        self.storage_plan = Session._resolve_plan(storage_faults)
+        storage_injector = None
+        if self.storage_plan is not None:
+            storage_injector = FaultInjector(self.storage_plan)
+            storage_injector.stats.rebind(self.registry)
+        self.storage_faults = storage_injector
         self.fs = SimFileSystem(
             cost,
             lock_granularity=lock_granularity,
             registry=self.registry,
             scheduler=scheduler,
+            storage_faults=storage_injector,
+            queue_limit=queue_limit,
+            breaker=breaker,
         )
         self.tenants: List[TenantSpec] = []
         self._background = 0
@@ -419,8 +444,29 @@ class Cluster:
         return per_tenant, self.registry.total(metric)
 
     def chrome_trace(self) -> Dict[str, Any]:
-        """The one cluster-wide Chrome trace (per-tenant row labels)."""
-        return self.tracer.to_chrome_trace()
+        """The one cluster-wide Chrome trace (per-tenant row labels).
+
+        When the cluster has storage faults, per-OST health lanes are
+        appended below the tenant rows."""
+        doc = self.tracer.to_chrome_trace()
+        if self.storage_plan is not None:
+            from repro.faults.plan import OST_KINDS
+            from repro.fs.ostfault import chrome_lane_events
+
+            events = [e for e in self.storage_plan.events if e.kind in OST_KINDS]
+            if events:
+                horizon = max(
+                    (
+                        (ev["ts"] + ev.get("dur", 0.0)) / 1e6
+                        for ev in doc["traceEvents"]
+                        if ev["ph"] == "X"
+                    ),
+                    default=0.0,
+                )
+                doc["traceEvents"].extend(
+                    chrome_lane_events(events, self.cost.num_osts, horizon)
+                )
+        return doc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         names = ", ".join(t.name for t in self.tenants)

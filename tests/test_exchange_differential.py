@@ -138,9 +138,11 @@ def _hints(case, impl, exchange):
     return Hints(values)
 
 
-def _roundtrip(case, impl, exchange, payloads, image_size):
+def _roundtrip(case, impl, exchange, payloads, image_size, *, plan=None, replication=1):
     fs = SimFileSystem(COST)
     hints = _hints(case, impl, exchange)
+    if replication > 1:
+        hints = hints.replace(replication_factor=replication)
 
     def main(ctx):
         comm = Communicator(ctx, COST)
@@ -155,7 +157,10 @@ def _roundtrip(case, impl, exchange, payloads, image_size):
         f.close()
         return out
 
-    readbacks = Simulator(case["nprocs"]).run(main)
+    sim = Simulator(case["nprocs"])
+    if plan is not None:
+        plan.install(sim)
+    readbacks = sim.run(main)
     return fs.raw_bytes(PATH, 0, image_size), readbacks
 
 
@@ -214,3 +219,35 @@ def test_cache_coherence_regressions(case):
     """Pinned falsifying examples: stale reads under mid-yield lock
     revocation, visible only when read realms differ from write realms."""
     _check_case(case)
+
+
+#: A fixed differential case for the storage-fault domain (ISSUE 7):
+#: big enough to span both of COST's OSTs, drawn from the same space
+#: as the property sweep.
+_REPLICATION_CASE = {
+    "nprocs": 4, "slot": 20, "seg_lo": 3, "seg_len": 9, "tiles": 5,
+    "ppn": 2, "cb": 160, "cb_nodes": 2, "strategy": "even",
+    "alignment": 0, "io_method": "datasieve", "empty_last": False,
+    "seed": 11,
+}
+
+
+@pytest.mark.parametrize("label,impl,exchange", MODES)
+def test_replicated_ost_crash_byte_identical(label, impl, exchange):
+    """Replication differential: every exchange backend, run with
+    ``replication_factor=2`` under a mid-run OST crash, must still
+    produce the byte-identical image and read-backs of the fault-free
+    reference — the storage fault domain is invisible to the data
+    plane."""
+    from repro.faults import FaultPlan
+
+    case = dict(_REPLICATION_CASE)
+    payloads = _payloads(case)
+    ref = _reference(case, payloads)
+    plan = FaultPlan(3).ost_crash([0], start=1e-3, end=8e-3)
+    image, readbacks = _roundtrip(
+        case, impl, exchange, payloads, ref.size, plan=plan, replication=2
+    )
+    assert np.array_equal(image, ref), label
+    for rank, out in enumerate(readbacks):
+        assert np.array_equal(out, payloads[rank]), (label, rank)

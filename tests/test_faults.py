@@ -101,8 +101,11 @@ class TestPlanDSL:
             .net_bitflip(rate=0.05, ranks=[2])
             .rank_stall(0, delay=5e-2, round_index=1)
             .lock_hold(rate=0.4, hold=1e-2)
+            .ost_crash([0], start=1e-3, end=1e-2)
+            .ost_slow([1], factor=4.0)
+            .ost_flap([2], period=2e-3)
         )
-        assert len(plan.events) == 11
+        assert len(plan.events) == 14
         assert sorted({e.kind for e in plan.events}) == sorted(EVENT_KINDS)
 
     def test_bad_rate_rejected(self):
