@@ -1,0 +1,175 @@
+"""Crash-recovery acceptance sweep: resume vs. restart-from-scratch.
+
+The acceptance benchmark for fail-stop rank crashes
+(``docs/crash_recovery.md``): one rank is killed at each phase
+boundary (epoch) of a collective write, the survivors finish, and the
+victim rejoins through :meth:`Session.rejoin`, replaying the write
+journal's epoch commit records so it rewrites only the bytes no
+survivor committed on its behalf.
+
+Two headlines, both asserted here and in CI:
+
+* **Byte identity** — after crash + rejoin the file matches an
+  uninterrupted run byte-for-byte, at every crash epoch and site.
+* **Resume beats restart** — at every crash epoch > 0 the rejoined
+  rank rewrites *strictly fewer* bytes than a restart-from-scratch
+  would (its full access), and the savings grow with the epoch: the
+  later the crash, the more epoch records cover.
+
+The sweep is emitted to ``BENCH_crash_recovery.json`` at the repo
+root.  Run either way::
+
+    python -m pytest -q benchmarks/bench_crash_recovery.py
+    PYTHONPATH=src python benchmarks/bench_crash_recovery.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro import BYTE, Session, contiguous, resized
+from repro.faults import FaultPlan
+
+_NPROCS = 4
+_REGION = 64
+_COUNT = 16
+_VICTIM = 2
+_EPOCHS = (0, 1, 2, 3, 4, 5)
+_SITES = ("boundary", "exchange", "flush")
+_HINTS = {"coll_impl": "new", "cb_nodes": 2, "cb_buffer_size": 256}
+_TOTAL = _NPROCS * _REGION * _COUNT
+_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_crash_recovery.json"
+
+
+def _body(ctx, comm, f):
+    tile = resized(contiguous(_REGION, BYTE), 0, _REGION * _NPROCS)
+    f.set_view(disp=comm.rank * _REGION, filetype=tile)
+    data = (
+        np.arange(_REGION * _COUNT, dtype=np.int64) * (comm.rank + 1) % 251
+    ).astype(np.uint8)
+    f.write_all(data)
+
+
+def _baseline_bytes() -> bytes:
+    s = Session.open("/bench-crash", nprocs=_NPROCS, hints=_HINTS)
+    s.run(_body)
+    return s.fs.raw_bytes("/bench-crash", 0, _TOTAL)
+
+
+def _run_cell(epoch: int, site: str, baseline: bytes) -> Dict[str, object]:
+    plan = FaultPlan(seed=0).rank_crash(
+        _VICTIM, call_index=0, round_index=epoch, site=site
+    )
+    s = Session.open("/bench-crash", nprocs=_NPROCS, hints=_HINTS, faults=plan)
+    s.run(_body)
+    out = s.rejoin(_VICTIM, _body)
+    got = s.fs.raw_bytes("/bench-crash", 0, _TOTAL)
+    rewritten = int(out["rewritten"])
+    skipped = int(out["skipped"])
+    return {
+        "epoch": epoch,
+        "site": site,
+        "crashed": sorted(s.sim.crashed),
+        # What a restart-from-scratch would rewrite: the victim's full
+        # access for the call.
+        "scratch_bytes": rewritten + skipped,
+        "resume_rewritten_bytes": rewritten,
+        "resume_skipped_bytes": skipped,
+        "identical": bool(np.array_equal(got, baseline)),
+        "makespan_seconds": s.makespan,
+    }
+
+
+def _sweep() -> Dict[str, object]:
+    baseline = _baseline_bytes()
+    rows: List[Dict[str, object]] = []
+    for site in _SITES:
+        for epoch in _EPOCHS:
+            rows.append(_run_cell(epoch, site, baseline))
+    return {
+        "benchmark": "crash_recovery",
+        "nprocs": _NPROCS,
+        "victim": _VICTIM,
+        "total_bytes": _TOTAL,
+        "sweep": rows,
+    }
+
+
+def emit_json(doc: Dict[str, object]) -> Path:
+    _JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    return _JSON_PATH
+
+
+def _cell(doc, epoch, site):
+    for row in doc["sweep"]:
+        if (row["epoch"], row["site"]) == (epoch, site):
+            return row
+    raise KeyError((epoch, site))
+
+
+@pytest.fixture(scope="module")
+def sweep_doc():
+    doc = _sweep()
+    emit_json(doc)
+    return doc
+
+
+def test_sweep_emits_json(sweep_doc):
+    recorded = json.loads(_JSON_PATH.read_text())
+    assert recorded["benchmark"] == "crash_recovery"
+    assert len(recorded["sweep"]) == len(_EPOCHS) * len(_SITES)
+
+
+def test_byte_identity_everywhere(sweep_doc):
+    """Crash + rejoin + resume must reproduce the uninterrupted file
+    exactly, whatever the crash epoch or site."""
+    for row in sweep_doc["sweep"]:
+        assert row["identical"], row
+        assert row["crashed"] == [_VICTIM], row
+
+
+def test_resume_strictly_beats_restart(sweep_doc):
+    """The acceptance headline: at every crash epoch > 0 the resume
+    path rewrites strictly fewer bytes than a restart-from-scratch."""
+    for site in _SITES:
+        for epoch in _EPOCHS:
+            row = _cell(sweep_doc, epoch, site)
+            if epoch > 0:
+                assert (
+                    row["resume_rewritten_bytes"] < row["scratch_bytes"]
+                ), row
+            else:
+                # Nothing was committed before the first boundary —
+                # resume degenerates to the full rewrite, never more.
+                assert (
+                    row["resume_rewritten_bytes"] <= row["scratch_bytes"]
+                ), row
+
+
+def test_savings_grow_with_epoch(sweep_doc):
+    """Later crashes leave more committed epochs behind: the skipped
+    byte count is non-decreasing in the crash epoch (and strictly
+    increasing while rounds still carry the victim's data)."""
+    for site in _SITES:
+        skipped = [_cell(sweep_doc, e, site)["resume_skipped_bytes"] for e in _EPOCHS]
+        assert skipped == sorted(skipped), (site, skipped)
+        assert skipped[-1] > skipped[0], (site, skipped)
+
+
+if __name__ == "__main__":
+    doc = _sweep()
+    path = emit_json(doc)
+    print(f"wrote {path}")
+    for row in doc["sweep"]:
+        print(
+            f"  epoch={row['epoch']} site={row['site']:<9} "
+            f"identical={row['identical']} "
+            f"rewritten={row['resume_rewritten_bytes']:>5} "
+            f"skipped={row['resume_skipped_bytes']:>5} "
+            f"scratch={row['scratch_bytes']:>5}"
+        )

@@ -142,6 +142,67 @@ def selfcheck(
     return 0
 
 
+def crash_check(spec: str) -> int:
+    """``selfcheck --crash RANK[:EPOCH]``: fail-stop crash + rejoin.
+
+    Kills RANK at phase boundary EPOCH (default 1) of the first
+    collective write, at each crash site, under both implementations
+    and every exchange backend.  Survivors must finish their bytes,
+    the rejoined rank resumes from the epoch commit records, and the
+    recovered file must match the oracle byte-for-byte.  Prints the
+    re-written vs. skipped byte split per combination
+    (docs/crash_recovery.md)."""
+    from repro.bench import ChaosHarness
+    from repro.faults import FaultPlan
+    from repro.mpi import Hints
+
+    nprocs = 4
+    rank_text, _, epoch_text = spec.partition(":")
+    try:
+        rank = int(rank_text)
+        epoch = int(epoch_text) if epoch_text else 1
+    except ValueError:
+        print(f"--crash requires RANK[:EPOCH] integers, got {spec!r}")
+        return 2
+    if not 0 <= rank < nprocs:
+        print(f"--crash rank must be in [0, {nprocs}), got {rank}")
+        return 2
+    if epoch < 0:
+        print(f"--crash epoch must be >= 0, got {epoch}")
+        return 2
+    modes = [
+        ("new+two_layer", "new", "two_layer"),
+        ("new+alltoallw", "new", "alltoallw"),
+        ("new+nonblocking", "new", "nonblocking"),
+        ("old", "old", None),
+    ]
+    print(f"crash selfcheck: kill rank {rank} at epoch {epoch}, then rejoin")
+    failures = 0
+    for label, impl, exchange in modes:
+        for site in ("boundary", "exchange", "flush"):
+            hints = Hints(coll_impl=impl, cb_nodes=2, cb_buffer_size=512)
+            if exchange is not None:
+                hints = hints.replace(exchange=exchange)
+            plan = FaultPlan(seed=0).rank_crash(
+                rank, call_index=0, round_index=epoch, site=site
+            )
+            harness = ChaosHarness(plan, nprocs=nprocs, hints=hints)
+            _, verified, _, stats, _ = harness.run_once(plan)
+            ok = verified and stats.rejoins == 1
+            status = "ok" if ok else "FAILED"
+            print(
+                f"  {label:<16} site={site:<9} {status:<6} "
+                f"rewritten={stats.resume_rewritten_bytes:>5} "
+                f"skipped={stats.resume_skipped_bytes:>5}"
+            )
+            failures += 0 if ok else 1
+    if failures:
+        print(f"crash selfcheck: {failures} combinations FAILED")
+        return 1
+    print("crash selfcheck: all combinations recovered byte-identical")
+    return 0
+
+
 def _print_fault_summary(spec, plan, stats) -> None:
     print(f"\nfault scenario {spec!r} (seed {plan.seed}):")
     for kind, detail in plan.describe():
@@ -565,6 +626,14 @@ def main(argv: list[str]) -> int:
             print(f"--replicate must be >= 1, got {replicate}")
             return 2
         del args[i : i + 2]
+    crash_spec: Optional[str] = None
+    if "--crash" in args:
+        i = args.index("--crash")
+        if i + 1 >= len(args):
+            print("--crash requires RANK[:EPOCH] (e.g. --crash 2:1)")
+            return 2
+        crash_spec = args[i + 1]
+        del args[i : i + 2]
     as_json = "--json" in args
     if as_json:
         args.remove("--json")
@@ -583,6 +652,7 @@ def main(argv: list[str]) -> int:
             f"usage: python -m repro [{'|'.join(commands)}] "
             "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N] "
             "[--replicate R]\n"
+            "       python -m repro selfcheck --crash RANK[:EPOCH]\n"
             "       python -m repro trace [OUT.json] [--ppn N] "
             "[--faults NAME[:SEED]]\n"
             "       python -m repro mt [--tenants N] [--sched fifo|fair|wfq] "
@@ -594,6 +664,8 @@ def main(argv: list[str]) -> int:
         return trace(fault_spec, integrity, liveness, ppn, out)
     if cmd == "mt":
         return mt(fault_spec, integrity, liveness, ppn, tenants, sched, as_json)
+    if cmd == "selfcheck" and crash_spec is not None:
+        return crash_check(crash_spec)
     if cmd in ("selfcheck", "chaos"):
         return commands[cmd](fault_spec, integrity, liveness, ppn, replicate)
     return commands[cmd](fault_spec, integrity, liveness, ppn)

@@ -53,6 +53,7 @@ from repro.datatypes.segments import FlatCursor
 from repro.datatypes.packing import scatter_segments
 from repro.errors import (
     AggregatorLost,
+    CollectiveAborted,
     DeadlineExceeded,
     IntegrityError,
     LockDeadlock,
@@ -215,6 +216,13 @@ class ChaosHarness:
         #: The plan carries OST fault events — typed storage errors are
         #: then bounded outcomes, not harness bugs.
         self.storage = any(e.kind in OST_KINDS for e in self.plan.events)
+        #: The plan carries fail-stop rank crashes — survivors must
+        #: still terminate, the crashed ranks are rejoined and resumed,
+        #: and after resume the *full* oracle must match
+        #: (docs/crash_recovery.md).  A quorum-loss
+        #: :class:`~repro.errors.CollectiveAborted` is a bounded typed
+        #: outcome, same contract as the liveness and storage domains.
+        self.crash = any(e.kind == "rank_crash" for e in self.plan.events)
         self.replication = replication
         if replication > 1:
             self.hints = self.hints.replace(replication_factor=replication)
@@ -283,6 +291,12 @@ class ChaosHarness:
         except ReproError as exc:
             stats = session.fault_stats or FaultStats()
             counters = session.registry.snapshot()
+            if self.crash and any(
+                isinstance(e, CollectiveAborted) for e in _chain(exc)
+            ):
+                # Quorum lost: the collective died loudly with the typed
+                # abort instead of hanging on the corpses.  Bounded.
+                return 0.0, True, True, stats, counters
             if self.liveness and _liveness_in_chain(exc):
                 # Killed loudly by a typed liveness error — the bounded
                 # (and reported) alternative to a hang.  The raising
@@ -299,9 +313,23 @@ class ChaosHarness:
             # Killed loudly by detected corruption — the opposite of a
             # silent wrong answer.  No meaningful completion time.
             return 0.0, True, True, stats, counters
+        if self.crash and session.sim is not None and session.sim.crashed:
+            # Rejoin every corpse and resume: replay the same program,
+            # rewriting only what no survivor committed on its behalf.
+            # After resume the *full* oracle must match.
+            def rejoin_body(rank):
+                def run(ctx, comm, f):
+                    tile = resized(contiguous(region, BYTE), 0, region * nprocs)
+                    f.set_view(disp=rank * region, filetype=tile)
+                    f.write_all(self._rank_buffer(rank))
+
+                return run
+
+            for rank in sorted(session.sim.crashed):
+                session.rejoin(rank, rejoin_body(rank))
         stats = session.fault_stats or FaultStats()
         counters = session.registry.snapshot()
-        seconds = max(times)
+        seconds = max(t for t in times if t is not None)
         got = fs.raw_bytes(_PATH, 0, self.total_bytes)
         diff = np.flatnonzero(got != self._oracle())
         detected = bool(

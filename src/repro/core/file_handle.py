@@ -42,6 +42,8 @@ from repro.io.adio import AdioFile
 from repro.liveness import LivenessState, install_liveness
 from repro.config import LivenessConfig
 from repro.io.retry import RetryBudget, RetryPolicy
+from repro.liveness import find_crash_state
+from repro.mpi.agreement import AliveGroup
 from repro.mpi.comm import Communicator
 from repro.mpi.hints import Hints
 from repro.obs.metrics import MetricsView, metrics_registry
@@ -62,9 +64,17 @@ class CollectiveFile:
         hints: Optional[Hints] = None,
         cost: CostModel = DEFAULT_COST_MODEL,
         client_id: Optional[Hashable] = None,
+        resume_rank: Optional[int] = None,
     ) -> None:
         self.ctx = ctx
         self.comm = comm
+        #: Rejoin replay mode (docs/crash_recovery.md): collective
+        #: writes route through journal-replay resume instead of the
+        #: two-phase drivers, rewriting only uncommitted bytes.
+        self.resume_rank = resume_rank
+        self._resume_calls = 0
+        self.resume_rewritten = 0
+        self.resume_skipped = 0
         self.fs = fs
         self.path = path
         self.hints = hints if hints is not None else Hints()
@@ -135,8 +145,9 @@ class CollectiveFile:
         self._pointer = 0
         self._open = True
         # Opening is collective in MPI; synchronize so later collective
-        # calls start aligned.
-        comm.barrier()
+        # calls start aligned (over the survivors once ranks have died
+        # fail-stop — a corpse would deadlock the full barrier).
+        self._alive_barrier()
 
     # -- observability -------------------------------------------------------
     @property
@@ -169,7 +180,7 @@ class CollectiveFile:
         self._require_open()
         self.view = FileView(disp, etype, filetype)
         self._pointer = 0
-        self.comm.barrier()
+        self._alive_barrier()
 
     # -- individual file pointer ------------------------------------------------
     SEEK_SET = 0
@@ -194,6 +205,24 @@ class CollectiveFile:
         return self._pointer
 
     # -- helpers --------------------------------------------------------------
+    def _crash_dead(self) -> frozenset:
+        """Ranks known dead fail-stop in this simulation (empty when
+        crashes were never armed)."""
+        crash = find_crash_state(self.ctx.shared)
+        return frozenset(crash.dead) if crash is not None else frozenset()
+
+    def _alive_barrier(self) -> None:
+        """Synchronize the live ranks.  Full-membership barriers
+        deadlock forever once a rank died fail-stop; deaths only happen
+        at collective-call boundaries, so every survivor reaching a
+        teardown barrier sees the same dead set and interns the same
+        shrunk communicator."""
+        dead = self._crash_dead()
+        if not dead:
+            self.comm.barrier()
+        else:
+            AliveGroup(self.comm, dead, -2).barrier()
+
     def _require_open(self) -> None:
         if not self._open:
             raise CollectiveIOError(f"collective file {self.path!r} is closed")
@@ -294,11 +323,29 @@ class CollectiveFile:
         op_name = "write_all" if write else "read_all"
         t_begin = self.ctx.now
         with self.ctx.trace(op_name):
-            if write:
+            if self.resume_rank is not None:
+                # Rejoin replay (docs/crash_recovery.md): the Nth
+                # collective call of the replayed program is resumed
+                # against the Nth call's epoch records.
+                from repro.core.resume import resume_write
+                if not write:
+                    raise CollectiveIOError(
+                        "rejoin replay sessions support collective writes only"
+                    )
+                call = self._resume_calls
+                self._resume_calls += 1
+                rewritten, skipped = resume_write(
+                    env, buf8, memflat, total, start,
+                    call_index=call, rank=self.resume_rank,
+                )
+                self.resume_rewritten += rewritten
+                self.resume_skipped += skipped
+            elif write:
                 driver = write_all_old if self.hints["coll_impl"] == "old" else write_all_new
+                driver(env, buf8, memflat, total, start)
             else:
                 driver = read_all_old if self.hints["coll_impl"] == "old" else read_all_new
-            driver(env, buf8, memflat, total, start)
+                driver(env, buf8, memflat, total, start)
         self._call_seconds.record(self.ctx.now - t_begin)
         if write:
             self._epilogue_write()
@@ -413,32 +460,56 @@ class CollectiveFile:
         if size < 0:
             raise CollectiveIOError(f"file size must be non-negative, got {size}")
         self.adio.retry.run(self.ctx, self.local.sync)
-        self.comm.barrier()
-        if self.comm.rank == 0:
+        self._alive_barrier()
+        # The resizing rank is the first *survivor* — rank 0 may be dead.
+        dead = self._crash_dead()
+        committer = next(r for r in range(self.comm.size) if r not in dead)
+        if self.comm.rank == committer:
             self.adio.retry.run(
                 self.ctx,
                 lambda: self.fs.resize(
                     self.ctx, self.local.client.client_id, self.path, size
                 ),
             )
-        self.comm.barrier()
+        self._alive_barrier()
 
     # -- lifecycle ------------------------------------------------------------------
     def sync(self) -> None:
         """Collective flush of client caches to the server."""
         self._require_open()
         self.adio.retry.run(self.ctx, self.local.sync)
-        self.comm.barrier()
+        self._alive_barrier()
 
     def close(self) -> None:
-        """Collective close: flush, invalidate, synchronize."""
+        """Collective close: flush, invalidate, synchronize.
+
+        A rank that died fail-stop mid-collective still unwinds through
+        its ``finally`` blocks before the engine reaps it; its close is
+        a pure local teardown — a corpse's dirty cache dies with it
+        (nothing may become durable after the crash point), and it
+        cannot join the survivors' barrier it is dead in."""
         if not self._open:
+            return
+        self._publish_retry_budget()
+        if self.comm.rank in self._crash_dead():
+            self._open = False
             return
         # close() flushes dirty pages, which is a server write; give it
         # the same transient-fault protection as the data path.
         self.adio.retry.run(self.ctx, self.local.close)
         self._open = False
-        self.comm.barrier()
+        self._alive_barrier()
+
+    def _publish_retry_budget(self) -> None:
+        """Surface the cross-operation retry budget in the registry so
+        ``Session.summary()`` can report per-rank headroom."""
+        budget = self.adio.retry.budget
+        if budget is None:
+            return
+        self.registry.gauge("retry.budget.used", self.ctx.rank).set(budget.used)
+        self.registry.gauge("retry.budget.remaining", self.ctx.rank).set(
+            budget.remaining
+        )
 
     def get_info(self) -> dict:
         """Effective hints (MPI_File_get_info analogue): every known key

@@ -16,6 +16,7 @@ __all__ = [
     "merge_extents",
     "concat_batches",
     "clip_to_range",
+    "subtract_intervals",
     "access_histogram",
 ]
 
@@ -136,6 +137,35 @@ def clip_to_range(batch: SegmentBatch, lo: int, hi: int) -> SegmentBatch:
     if not keep.all():
         f, l, d = f[keep], l[keep], d[keep]
     return SegmentBatch(f, l, d)
+
+
+def subtract_intervals(batch: SegmentBatch, covered) -> SegmentBatch:
+    """The pieces of ``batch`` outside the ``covered`` file intervals.
+
+    ``covered`` is an iterable of (lo, hi) byte ranges, in any order,
+    possibly overlapping; it is normalized first.  The remainder is
+    assembled by clipping to the complement intervals, so data offsets
+    stay consistent with the original access.  Crash recovery uses this
+    twice: the old two-phase path subtracts already-written rounds on a
+    mid-call re-plan, and rejoin-time resume subtracts the epoch
+    records' committed intervals (docs/crash_recovery.md)."""
+    spans = sorted((int(lo), int(hi)) for lo, hi in covered if int(hi) > int(lo))
+    if batch.empty or not spans:
+        return batch
+    merged: list = []
+    for lo, hi in spans:
+        if merged and lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    far = 1 << 62
+    parts = []
+    prev = -far
+    for lo, hi in merged:
+        parts.append(clip_to_range(batch, prev, lo))
+        prev = hi
+    parts.append(clip_to_range(batch, prev, far))
+    return concat_batches(parts)
 
 
 def access_histogram(

@@ -46,10 +46,16 @@ from repro.datatypes.flatten import FlatType
 from repro.datatypes.packing import gather_segments, scatter_segments
 from repro.datatypes.segments import FlatCursor, SegmentBatch
 from repro.datatypes.serialize import decode_flat, encode_flat
-from repro.errors import AggregatorLost, CollectiveIOError
+from repro.errors import (
+    AggregatorLost,
+    CollectiveAborted,
+    CollectiveIOError,
+    RankCrashed,
+)
 from repro.faults.plan import FAULTS_KEY
 from repro.io.selection import choose_method
-from repro.liveness import LIVENESS_KEY
+from repro.liveness import LIVENESS_KEY, install_crash_state
+from repro.mpi.agreement import AliveGroup, agree_dead_set
 from repro.mpi.topology import resolve_topology
 
 __all__ = ["write_all_new", "read_all_new"]
@@ -77,15 +83,6 @@ class _Plan:
         ctx, comm, hints = env.ctx, env.comm, env.hints
         view = env.view
 
-        lo, hi = view.access_span(self.data_hi, data_lo)
-        self.aar_lo, self.aar_hi = compute_aar(comm, lo, hi, total_bytes > 0)
-        # Node topology for this call: leader-aware aggregator placement
-        # and the two_layer exchange's grouping.  None on flat clusters,
-        # so the default path is untouched.
-        self.topology = resolve_topology(hints, env.cost)
-        self.aggs = select_aggregators(
-            comm.size, hints["cb_nodes"], hints["cb_layout"], topology=self.topology
-        )
         # Resilience state: which collective call this is (a pure
         # function of per-rank program order, so every rank agrees
         # without communication), which phase boundaries have passed,
@@ -103,13 +100,53 @@ class _Plan:
         # around; ``skip`` feeds the exchange layer's exclusion.
         self._liveness = ctx.shared.get(LIVENESS_KEY)
         self._suspects: set[int] = set()
-        self.skip: frozenset = frozenset()
         self.i_am_suspect = False
         self._suspect_tails: Optional[List[RealmDomain]] = None
         #: Virtual seconds this rank spent servicing its aggregator
         #: role this call (routing + flushing); feeds the balanced
         #: strategy's straggler-aware weights on the *next* call.
         self.service_seconds = 0.0
+        # Fail-stop crash machinery (docs/crash_recovery.md), armed only
+        # when the plan carries ``rank_crash`` events so the fault-free
+        # path is untouched.  ``group`` is the survivors' communicator
+        # view: every *control* collective of the planning phase (AAR,
+        # histogram, bounds, extent) runs on it, so planning a new call
+        # never blocks waiting on a corpse from an earlier one.
+        self._crash = None
+        self._crash_pending: Optional[str] = None
+        self._known_dead: set[int] = set()
+        self.group: Optional[AliveGroup] = None
+        if self._injector is not None and self._injector.enabled("rank_crash"):
+            self._crash = install_crash_state(ctx.shared)
+            self._known_dead = set(self._crash.dead)
+            self.group = AliveGroup(comm, frozenset(self._known_dead), -1)
+            quorum = hints["crash_quorum"]
+            if self.group.size < quorum:
+                raise CollectiveAborted(
+                    -1, self.group.size, quorum, tuple(sorted(self._known_dead))
+                )
+        self.skip: frozenset = frozenset(self._known_dead)
+        coll = self._coll
+
+        lo, hi = view.access_span(self.data_hi, data_lo)
+        self.aar_lo, self.aar_hi = compute_aar(coll, lo, hi, total_bytes > 0)
+        # Node topology for this call: leader-aware aggregator placement
+        # and the two_layer exchange's grouping.  None on flat clusters,
+        # so the default path is untouched.
+        self.topology = resolve_topology(hints, env.cost)
+        self.aggs = select_aggregators(
+            comm.size, hints["cb_nodes"], hints["cb_layout"], topology=self.topology
+        )
+        if self._known_dead:
+            # Ranks that died fail-stop in earlier calls never regain
+            # the aggregator role; if every chosen aggregator is a
+            # corpse, re-aggregate elastically over the survivors.
+            alive_aggs = [a for a in self.aggs if a not in self._known_dead]
+            if alive_aggs:
+                self.aggs = alive_aggs
+            else:
+                live = [x for x in range(comm.size) if x not in self._known_dead]
+                self.aggs = live[: max(1, len(self.aggs))]
         if self._injector is not None:
             # Aggregators that died in *earlier* collective calls never
             # regain the role: drop them before realm assignment so
@@ -138,7 +175,7 @@ class _Plan:
         # The conditional-sieving metric: the largest filetype extent in
         # play (identical on all ranks for uniform views).
         my_ext = view.flat.extent if total_bytes > 0 else 0
-        self.ft_extent = comm.allreduce(my_ext, op=max)
+        self.ft_extent = coll.allreduce(my_ext, op=max)
 
         # Client-side per-aggregator cursors over my own access.
         self.client_cursors: Optional[List[FlatCursor]] = None
@@ -156,7 +193,7 @@ class _Plan:
         # clusters must not inflate the round count with empty windows.
         # One allgather keeps clients and aggregators agreeing on the
         # window geometry.
-        bounds = comm.allgather(self._request_bounds())
+        bounds = coll.allgather(self._request_bounds())
         for ai, a in enumerate(self.aggs):
             b = bounds[a]
             if b is None:
@@ -164,6 +201,14 @@ class _Plan:
             else:
                 self.domains[ai] = self.domains[ai].clip(b[0], b[1])
         self.nrounds = max((d.nrounds(cb) for d in self.domains), default=0)
+
+    # -- control-collective carrier -------------------------------------------
+    @property
+    def _coll(self):
+        """The alive group when fail-stop crashes are armed, the full
+        communicator otherwise — every planning-phase collective rides
+        on this so corpses are never waited on."""
+        return self.group if self.group is not None else self.env.comm
 
     # -- realms ---------------------------------------------------------------
     def _assign_realms(self) -> List[FileRealm]:
@@ -187,12 +232,12 @@ class _Plan:
                 self.aar_lo,
                 self.aar_hi,
             )
-            histogram = env.comm.allreduce(local, op=lambda a, b: a + b)
+            histogram = self._coll.allreduce(local, op=lambda a, b: a + b)
             # Straggler-aware rebalancing: feed each aggregator's
             # observed service time from the *previous* collective call
             # back as an inverse weight, so a slow aggregator's realm
             # shrinks.  One allgather, paid only on the balanced path.
-            times = env.comm.allgather(env.stats.last_agg_service_seconds)
+            times = self._coll.allgather(env.stats.last_agg_service_seconds)
             per_agg = [float(times[a]) for a in self.aggs]
             if any(t > 0.0 for t in per_agg):
                 known = [1.0 / t for t in per_agg if t > 0.0]
@@ -225,6 +270,8 @@ class _Plan:
             return
         cursors: List[Optional[FlatCursor]] = [None] * comm.size
         for c in range(comm.size):
+            if c in self._known_dead:
+                continue
             got = payload if c == comm.rank else comm.recv(c, _TAG_META)
             if got is None:
                 continue
@@ -394,7 +441,8 @@ class _Plan:
             return False
         crash_on = inj.enabled("agg_crash")
         stall_on = inj.enabled("rank_stall")
-        if not crash_on and not stall_on:
+        fail_stop_on = self._crash is not None
+        if not crash_on and not stall_on and not fail_stop_on:
             return False
         env = self.env
         rank = env.comm.rank
@@ -424,13 +472,86 @@ class _Plan:
             new_suspects = sorted(
                 s for s in stalls if s not in self._suspects and s not in dead
             )
-        if not newly_dead and not new_suspects:
+
+        # Fail-stop crashes (docs/crash_recovery.md).  Detection is the
+        # same pure plan evaluation as above; what follows differs per
+        # role.  The *victim* records its death and dies at its site;
+        # *survivors* run one epoch-agreement round, shrink the working
+        # group, and re-carve the schedule without the corpses.
+        crash_newly: List[int] = []
+        if fail_stop_on:
+            crashed = inj.crashed_ranks(self._call_index, boundary)
+            crash_newly = sorted(c for c in crashed if c not in self._known_dead)
+        reporter = 0
+        if fail_stop_on and self._known_dead:
+            # Once fail-stop deaths exist, "rank 0 reports" stops being
+            # safe — the designated reporter is the first survivor.
+            reporter = min(
+                x for x in range(env.comm.size) if x not in self._known_dead
+            )
+        if crash_newly and rank in crash_newly:
+            event = inj.crash_event_for(rank, self._call_index)
+            site = event.site if event is not None else "boundary"
+            if self._crash.mark_dead(rank, self._call_index, boundary):
+                inj.note_crash()
+            self._known_dead.add(rank)
+            self.skip = frozenset(self.skip | {rank})
+            if site == "boundary":
+                raise RankCrashed(rank, site)
+            # Die deeper in the round: keep walking the round
+            # structure fully skipped (``dying``) until the site.
+            self._crash_pending = site
+            return False
+        if fail_stop_on and self._known_dead and rank == reporter:
+            # Plan events whose every target is already dead fire into
+            # the void; count them (satellite of docs/crash_recovery.md)
+            # *before* folding this boundary's fresh deaths in.
+            sup = inj.suppressed_for(
+                frozenset(self._known_dead), self._call_index, boundary
+            )
+            if sup:
+                inj.note_suppressed(sup)
+        if crash_newly:
+            proposal = frozenset(self._known_dead | set(crash_newly))
+            with env.ctx.trace("crash:agree", epoch=boundary):
+                self.group = agree_dead_set(env.comm, proposal, boundary)
+            for c in crash_newly:
+                if self._crash.mark_dead(c, self._call_index, boundary):
+                    inj.note_crash()
+            self._known_dead.update(crash_newly)
+            reporter = self.group.first_alive()
+            if rank == reporter:
+                inj.note_agreement()
+            quorum = env.hints["crash_quorum"]
+            if self.group.size < quorum:
+                if rank == reporter:
+                    inj.note_aborted()
+                raise CollectiveAborted(
+                    boundary,
+                    self.group.size,
+                    quorum,
+                    tuple(sorted(self._known_dead)),
+                )
+            # Survivors stop expecting the corpses' data and stop
+            # exchanging with them.
+            if self.agg_cursors is not None:
+                for c in crash_newly:
+                    self.agg_cursors[c] = None
+            self.skip = frozenset(self._suspects | self._known_dead)
+        crash_lost = [a for a in self.aggs if a in crash_newly]
+
+        if not newly_dead and not new_suspects and not crash_lost:
+            # Pure-client deaths leave the window geometry untouched:
+            # survivors carry on at the same round, minus the corpses.
             return False
         if newly_dead and not env.hints["failover"]:
             raise AggregatorLost(newly_dead[0])
         with env.ctx.trace("tp:failover", round=r):
-            lost_ranks = set(newly_dead) | set(new_suspects)
-            gone = self._dead | set(dead) | self._suspects | lost_ranks
+            lost_ranks = set(newly_dead) | set(new_suspects) | set(crash_lost)
+            gone = (
+                self._dead | set(dead) | self._suspects | lost_ranks
+                | self._known_dead
+            )
             survivors = [ai for ai, a in enumerate(self.aggs) if a not in gone]
             if not survivors:
                 raise AggregatorLost(min(lost_ranks))
@@ -450,13 +571,13 @@ class _Plan:
             for ai in survivors:
                 shares[ai].append(tails[ai])
             nsurv = len(survivors)
-            dead_set = set(newly_dead)
+            dead_set = set(newly_dead) | set(crash_lost)
             for ai, a in enumerate(self.aggs):
                 if a not in lost_ranks:
                     continue
                 tail = tails[ai]
                 total = tail.total_bytes
-                if env.comm.rank == 0 and a in dead_set:
+                if env.comm.rank == reporter and a in dead_set:
                     inj.note_failover(a, total)
                 chunk = -(-total // nsurv) if total else 0
                 for k, si in enumerate(survivors):
@@ -468,6 +589,7 @@ class _Plan:
                 for ai in range(len(self.aggs))
             ]
             self._dead.update(newly_dead)
+            self._dead.update(crash_lost)
             for s in new_suspects:
                 self._suspects.add(s)
                 if liv is not None and liv.mark_suspect(s):
@@ -476,7 +598,7 @@ class _Plan:
                 # description simply drops out of the aggregation.
                 if self.agg_cursors is not None:
                     self.agg_cursors[s] = None
-            self.skip = frozenset(self._suspects)
+            self.skip = frozenset(self._suspects | self._known_dead)
             # Adopted intervals may precede a cursor's current position:
             # every monotonic scan restarts from the top.
             if self.client_cursors is not None:
@@ -488,6 +610,63 @@ class _Plan:
                         cur.reset()
             self.nrounds = max((d.nrounds(self.cb) for d in self.domains), default=0)
         return True
+
+    # -- fail-stop crash sites and epoch commits ------------------------------
+    @property
+    def dying(self) -> bool:
+        """True once this rank's fail-stop death is pending: it keeps
+        walking the round structure fully skipped (no exchange legs, no
+        flush) until its designated site raises."""
+        return self._crash_pending is not None
+
+    def crash_point(self, site: str) -> None:
+        """Raise the pending death when its site (``exchange`` |
+        ``flush``) is reached."""
+        if self._crash_pending == site:
+            raise RankCrashed(self.env.comm.rank, site)
+
+    def commit_epoch(self, r: int) -> None:
+        """Make round ``r`` durable and cut its epoch commit record.
+
+        Only runs with fail-stop crashes armed — the fault-free path
+        pays nothing.  Durability first: each live aggregator flushes
+        its client cache, so the round's bytes are on the server before
+        any record claims them (journaled writes skip the flush — their
+        durability point is the transaction commit, and their records
+        stage inside the transaction until then).  Then one recorder —
+        the first live aggregator — appends the record: the round's
+        file intervals plus the ranks whose data entered the round.
+        :meth:`Session.rejoin <repro.obs.session.Session.rejoin>`
+        replays these records to rewrite only uncommitted bytes."""
+        if self._crash is None:
+            return
+        env = self.env
+        rank = env.comm.rank
+        journaled = env.hints["journal_writes"]
+        excluded = self._known_dead | self._suspects
+        if not journaled and self.my_agg_index >= 0 and rank not in excluded:
+            t0 = env.ctx.now
+            env.adio.retry.run(env.ctx, env.adio.local.sync)
+            self.service_seconds += env.ctx.now - t0
+        recorder = next((a for a in self.aggs if a not in excluded), None)
+        if recorder != rank:
+            return
+        intervals: List[tuple] = []
+        for d in self.domains:
+            w = d.window(r, self.cb)
+            if not w.empty:
+                intervals.extend(w.intervals)
+        if not intervals:
+            return
+        local = env.adio.local
+        local.fs.journal_record_epoch(
+            local.path,
+            call_index=self._call_index,
+            epoch=self._boundary - 1,
+            participants=[c for c in range(env.comm.size) if c not in excluded],
+            intervals=intervals,
+            journaled=journaled,
+        )
 
     # -- suspect tail I/O ----------------------------------------------------
     def run_suspect_tail(self, buf: np.ndarray, *, write: bool) -> None:
@@ -572,15 +751,19 @@ def _journal_commit(env: CollEnv, plan: _Plan) -> None:
     its pre-collective image (the crash-consistency contract)."""
     comm = env.comm
     local = env.adio.local
-    comm.barrier()
-    alive = [a for a in plan.aggs if a not in plan._dead and a not in plan._suspects]
+    # Teardown barriers run over the survivors: a corpse would deadlock
+    # the full-membership barrier forever.
+    sync = plan.group if plan.group is not None else comm
+    excluded = plan._dead | plan._suspects | plan._known_dead
+    sync.barrier()
+    alive = [a for a in plan.aggs if a not in excluded]
     committer = alive[0] if alive else plan.aggs[0]
     if comm.rank == committer:
         env.adio.retry.run(
             env.ctx,
             lambda: local.fs.txn_commit(env.ctx, local.client.client_id, local.path),
         )
-    comm.barrier()
+    sync.barrier()
 
 
 def _flush_merged(env: CollEnv, plan: _Plan, window, merged, cbuf: np.ndarray) -> None:
@@ -653,17 +836,21 @@ def write_all_new(
             if liv is not None:
                 liv.set_phase(rank, f"exchange[{r}]")
             with env.ctx.trace("tp:exchange", round=r):
-                env.stats.bytes_exchanged += exchange_data(
-                    comm, cost, mode, buf, send_plan, cbuf, recv_plan,
-                    skip=plan.skip, topology=plan.topology,
-                )
+                plan.crash_point("exchange")
+                if not plan.dying:
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, mode, buf, send_plan, cbuf, recv_plan,
+                        skip=plan.skip, topology=plan.topology,
+                    )
             if liv is not None:
                 liv.set_phase(rank, f"io[{r}]")
             with env.ctx.trace("tp:io", round=r):
+                plan.crash_point("flush")
                 if window is not None and cbuf is not None:
                     t0 = env.ctx.now
                     _flush_merged(env, plan, window, merged, cbuf)
                     plan.service_seconds += env.ctx.now - t0
+            plan.commit_epoch(r)
             r += 1
 
     try:
@@ -729,7 +916,8 @@ def read_all_new(
             if liv is not None:
                 liv.set_phase(rank, f"io[{r}]")
             with env.ctx.trace("tp:io", round=r):
-                if window is not None:
+                plan.crash_point("flush")
+                if window is not None and not plan.dying:
                     t0 = env.ctx.now
                     cbuf = _fill_merged(env, plan, window, merged)
                     plan.service_seconds += env.ctx.now - t0
@@ -738,10 +926,12 @@ def read_all_new(
             if liv is not None:
                 liv.set_phase(rank, f"exchange[{r}]")
             with env.ctx.trace("tp:exchange", round=r):
-                env.stats.bytes_exchanged += exchange_data(
-                    comm, cost, mode, cbuf, send_plan, buf, recv_plan,
-                    skip=plan.skip, topology=plan.topology,
-                )
+                plan.crash_point("exchange")
+                if not plan.dying:
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, mode, cbuf, send_plan, buf, recv_plan,
+                        skip=plan.skip, topology=plan.topology,
+                    )
             r += 1
     finally:
         if liv is not None:

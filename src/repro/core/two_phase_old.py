@@ -25,10 +25,20 @@ import numpy as np
 from repro.core.aggregation import select_aggregators
 from repro.core.env import CollEnv
 from repro.core.exchange import exchange_data
-from repro.core.plan import clip_to_range, compute_aar, mem_batch_for, merge_extents
+from repro.core.plan import (
+    clip_to_range,
+    compute_aar,
+    mem_batch_for,
+    merge_extents,
+    subtract_intervals,
+)
 from repro.core.realms import EvenPartition
 from repro.datatypes.flatten import FlatType
 from repro.datatypes.segments import SegmentBatch
+from repro.errors import CollectiveAborted, RankCrashed
+from repro.faults.plan import FAULTS_KEY
+from repro.liveness import install_crash_state
+from repro.mpi.agreement import AliveGroup, agree_dead_set
 
 __all__ = ["write_all_old", "read_all_old"]
 
@@ -37,7 +47,14 @@ _TAG_REQS = (1 << 19) + 2  # library p2p range: below COLLECTIVE_TAG_BASE
 
 class _OldPlan:
     def __init__(
-        self, env: CollEnv, memflat: FlatType, total_bytes: int, data_lo: int = 0
+        self,
+        env: CollEnv,
+        memflat: FlatType,
+        total_bytes: int,
+        data_lo: int = 0,
+        *,
+        covered: Optional[List[tuple]] = None,
+        resume_state: Optional[tuple] = None,
     ) -> None:
         self.env = env
         self.memflat = memflat
@@ -46,22 +63,78 @@ class _OldPlan:
         ctx, comm, cost, hints = env.ctx, env.comm, env.cost, env.hints
         view = env.view
 
-        # Flatten the whole access: M pairs, charged per pair.
+        # Fail-stop crash state (docs/crash_recovery.md), armed only
+        # when the plan carries ``rank_crash`` events.  On a mid-call
+        # re-plan (``resume_state``) the bookkeeping — call ordinal,
+        # boundary counter, agreed dead set, survivor group — carries
+        # over instead of being re-armed.
+        if resume_state is None:
+            self._injector = ctx.shared.get(FAULTS_KEY)
+            self._call_index = (
+                self._injector.begin_collective(comm.rank)
+                if self._injector is not None
+                else 0
+            )
+            self._boundary = 0
+            self._crash = None
+            self._known_dead: set[int] = set()
+            self.group: Optional[AliveGroup] = None
+            if self._injector is not None and self._injector.enabled("rank_crash"):
+                self._crash = install_crash_state(ctx.shared)
+                self._known_dead = set(self._crash.dead)
+                self.group = AliveGroup(comm, frozenset(self._known_dead), -1)
+                quorum = hints["crash_quorum"]
+                if self.group.size < quorum:
+                    raise CollectiveAborted(
+                        -1, self.group.size, quorum, tuple(sorted(self._known_dead))
+                    )
+        else:
+            (
+                self._injector,
+                self._call_index,
+                self._boundary,
+                self._crash,
+                self._known_dead,
+                self.group,
+            ) = resume_state
+        self._crash_pending: Optional[str] = None
+        self._covered: List[tuple] = list(covered) if covered else []
+        self.skip: frozenset = frozenset(self._known_dead)
+        coll = self.group if self.group is not None else comm
+
+        # Flatten the whole access: M pairs, charged per pair.  A
+        # re-plan subtracts the already-written file intervals, so
+        # survivors only re-partition the remainder.
         if total_bytes > 0:
             cursor = view.cursor(data_lo + total_bytes, data_lo)
             self.my_access = cursor.all_segments()
             ctx.charge(self.my_access.pairs_evaluated * cost.cpu_per_flat_pair)
             env.stats.client_pairs += self.my_access.pairs_evaluated
+            if self._covered:
+                self.my_access = subtract_intervals(self.my_access, self._covered)
+        else:
+            self.my_access = SegmentBatch.empty_batch()
+        if self.my_access.empty:
+            lo = hi = 0
+        else:
             lo, hi = int(self.my_access.file_offsets[0]), int(
                 (self.my_access.file_offsets + self.my_access.lengths).max()
             )
-        else:
-            self.my_access = SegmentBatch.empty_batch()
-            lo = hi = 0
-        self.aar_lo, self.aar_hi = compute_aar(comm, lo, hi, total_bytes > 0)
+        self.aar_lo, self.aar_hi = compute_aar(
+            coll, lo, hi, not self.my_access.empty
+        )
         self.aggs = select_aggregators(
             comm.size, hints["cb_nodes"], hints["cb_layout"]
         )
+        if self._known_dead:
+            # Corpses never aggregate; if every chosen aggregator is
+            # dead, re-aggregate over the survivors.
+            alive_aggs = [a for a in self.aggs if a not in self._known_dead]
+            if alive_aggs:
+                self.aggs = alive_aggs
+            else:
+                live = [x for x in range(comm.size) if x not in self._known_dead]
+                self.aggs = live[: max(1, len(self.aggs))]
         self.my_agg_index = self.aggs.index(comm.rank) if comm.rank in self.aggs else -1
         naggs = len(self.aggs)
 
@@ -91,8 +164,11 @@ class _OldPlan:
             ctx.charge(self.my_access.num_segments * cost.cpu_per_flat_pair)
             env.stats.client_pairs += self.my_access.num_segments
 
-        # The request exchange is an all-to-all of per-aggregator lists.
-        received = comm.alltoall(send_objs)
+        # The request exchange is an all-to-all of per-aggregator lists
+        # (over the survivor group when crashes are armed: a corpse
+        # would deadlock the full-membership alltoall, and its slots
+        # come back None so its requests drop out of the aggregation).
+        received = coll.alltoall(send_objs)
         self.client_reqs: List[Optional[SegmentBatch]] = [None] * comm.size
         if self.my_agg_index >= 0:
             for c, wire in enumerate(received):
@@ -122,7 +198,7 @@ class _OldPlan:
             mine = (req_lo, req_hi) if req_lo is not None else None
         else:
             mine = None
-        gathered = comm.allgather(mine)
+        gathered = coll.allgather(mine)
         self.win_bounds: List[tuple[int, int]] = []
         for ai, a in enumerate(self.aggs):
             b = gathered[a]
@@ -140,6 +216,108 @@ class _OldPlan:
         w_lo = lo + r * self.cb
         w_hi = min(w_lo + self.cb, hi)
         return w_lo, max(w_hi, w_lo)
+
+    # -- fail-stop crash sites ------------------------------------------------
+    @property
+    def dying(self) -> bool:
+        """True once this rank's fail-stop death is pending: it walks
+        the round fully skipped until its designated site raises."""
+        return self._crash_pending is not None
+
+    def crash_point(self, site: str) -> None:
+        """Raise the pending death at its site (``exchange``|``flush``)."""
+        if self._crash_pending == site:
+            raise RankCrashed(self.env.comm.rank, site)
+
+
+def _check_boundary(plan: _OldPlan, r: int) -> Optional[_OldPlan]:
+    """Fail-stop boundary check before round ``r`` of the old path.
+
+    Detection mirrors the new implementation: a pure evaluation of the
+    fault plan at ``(call, boundary)``, identical on every rank.  The
+    *victim* records its death and dies at its site; *survivors* run
+    one epoch agreement and then **re-plan**: the first ``r`` rounds of
+    every realm are already written back (the old path writes its span
+    each round), so survivors subtract that covered region from their
+    access and re-partition the remainder among the surviving
+    aggregators — the dead rank's requests drop out with it.
+
+    Returns the replacement plan (the caller restarts its round counter
+    at zero) or ``None`` to continue the current one."""
+    inj = plan._injector
+    if plan._crash is None:
+        return None
+    env = plan.env
+    rank = env.comm.rank
+    boundary = plan._boundary
+    plan._boundary += 1
+    crashed = inj.crashed_ranks(plan._call_index, boundary)
+    newly = sorted(c for c in crashed if c not in plan._known_dead)
+    if newly and rank in newly:
+        event = inj.crash_event_for(rank, plan._call_index)
+        site = event.site if event is not None else "boundary"
+        if plan._crash.mark_dead(rank, plan._call_index, boundary):
+            inj.note_crash()
+        plan._known_dead.add(rank)
+        plan.skip = frozenset(plan.skip | {rank})
+        if site == "boundary":
+            raise RankCrashed(rank, site)
+        plan._crash_pending = site
+        return None
+    if plan._known_dead and rank == min(
+        x for x in range(env.comm.size) if x not in plan._known_dead
+    ):
+        # Count plan events aimed entirely at corpses *before* folding
+        # this boundary's fresh deaths in (docs/crash_recovery.md).
+        sup = inj.suppressed_for(
+            frozenset(plan._known_dead), plan._call_index, boundary
+        )
+        if sup:
+            inj.note_suppressed(sup)
+    if not newly:
+        return None
+    proposal = frozenset(plan._known_dead | set(newly))
+    with env.ctx.trace("crash:agree", epoch=boundary):
+        group = agree_dead_set(env.comm, proposal, boundary)
+    for c in newly:
+        if plan._crash.mark_dead(c, plan._call_index, boundary):
+            inj.note_crash()
+    plan._known_dead.update(newly)
+    reporter = group.first_alive()
+    if rank == reporter:
+        inj.note_agreement()
+    quorum = env.hints["crash_quorum"]
+    if group.size < quorum:
+        if rank == reporter:
+            inj.note_aborted()
+        raise CollectiveAborted(
+            boundary, group.size, quorum, tuple(sorted(plan._known_dead))
+        )
+    covered: List[tuple] = list(plan._covered)
+    for ai, a in enumerate(plan.aggs):
+        lo, hi = plan.win_bounds[ai]
+        done_hi = min(lo + r * plan.cb, hi)
+        if done_hi > lo:
+            covered.append((lo, done_hi))
+        if a in newly and rank == reporter:
+            inj.note_failover(a, max(hi - done_hi, 0))
+    state = (
+        inj,
+        plan._call_index,
+        plan._boundary,
+        plan._crash,
+        plan._known_dead,
+        group,
+    )
+    with env.ctx.trace("tp:failover", round=r):
+        return _OldPlan(
+            env,
+            plan.memflat,
+            plan.total_bytes,
+            plan.data_lo,
+            covered=covered,
+            resume_state=state,
+        )
 
 
 def _client_plan(plan: _OldPlan, r: int) -> List[Optional[SegmentBatch]]:
@@ -198,8 +376,14 @@ def write_all_old(
     with env.ctx.trace("tp:plan"):
         plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
-    env.stats.rounds += plan.nrounds
-    for r in range(plan.nrounds):
+    r = 0
+    while r < plan.nrounds:
+        replacement = _check_boundary(plan, r)
+        if replacement is not None:
+            plan = replacement
+            r = 0
+            continue
+        env.stats.rounds += 1
         with env.ctx.trace("tp:route", round=r):
             send_plan = _client_plan(plan, r)
             span, recv_plan, (m_offs, m_lens) = _agg_layout(plan, r)
@@ -217,15 +401,26 @@ def write_all_old(
                     pre = env.adio.read_contig(span_lo, span_hi - span_lo)
                     cbuf[span_lo - span[0] : span_hi - span[0]] = pre
         with env.ctx.trace("tp:exchange", round=r):
-            env.stats.bytes_exchanged += exchange_data(
-                comm, cost, "nonblocking", buf, send_plan, cbuf, recv_plan
-            )
+            plan.crash_point("exchange")
+            if not plan.dying:
+                env.stats.bytes_exchanged += exchange_data(
+                    comm, cost, "nonblocking", buf, send_plan, cbuf, recv_plan,
+                    skip=plan.skip,
+                )
         with env.ctx.trace("tp:io", round=r):
+            plan.crash_point("flush")
             if cbuf is not None:
                 env.stats.note_flush("datasieve-integrated")
                 env.adio.write_contig(
                     span_lo, cbuf[span_lo - span[0] : span_hi - span[0]]
                 )
+                if plan._crash is not None:
+                    # Crash-armed runs make each round durable: a later
+                    # death must not take already-written rounds down
+                    # with the corpse's cache (the re-plan treats them
+                    # as covered).
+                    env.adio.retry.run(env.ctx, env.adio.local.sync)
+        r += 1
     env.stats.collective_writes += 1
 
 
@@ -241,13 +436,20 @@ def read_all_old(
     with env.ctx.trace("tp:plan"):
         plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
-    env.stats.rounds += plan.nrounds
-    for r in range(plan.nrounds):
+    r = 0
+    while r < plan.nrounds:
+        replacement = _check_boundary(plan, r)
+        if replacement is not None:
+            plan = replacement
+            r = 0
+            continue
+        env.stats.rounds += 1
         with env.ctx.trace("tp:route", round=r):
             recv_plan = _client_plan(plan, r)
             span, send_plan, (m_offs, m_lens) = _agg_layout(plan, r)
         cbuf = None
         with env.ctx.trace("tp:io", round=r):
+            plan.crash_point("flush")
             if span is not None and m_offs is not None and m_offs.size:
                 span_lo = int(m_offs[0])
                 span_hi = int((m_offs + m_lens).max())
@@ -257,7 +459,11 @@ def read_all_old(
                     span_lo, span_hi - span_lo
                 )
         with env.ctx.trace("tp:exchange", round=r):
-            env.stats.bytes_exchanged += exchange_data(
-                comm, cost, "nonblocking", cbuf, send_plan, buf, recv_plan
-            )
+            plan.crash_point("exchange")
+            if not plan.dying:
+                env.stats.bytes_exchanged += exchange_data(
+                    comm, cost, "nonblocking", cbuf, send_plan, buf, recv_plan,
+                    skip=plan.skip,
+                )
+        r += 1
     env.stats.collective_reads += 1

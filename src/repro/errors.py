@@ -43,6 +43,24 @@ class RankFailed(SimulationError):
         self.rank = rank
 
 
+class RankCrashed(BaseException):
+    """A rank process died fail-stop (the ``rank_crash`` fault).
+
+    Derives from :class:`BaseException` — like the engine's internal
+    abort signal — so no ``except Exception`` handler or retry policy
+    between the crash site and the engine can swallow a death.  The
+    engine catches it in the rank thread, marks the rank done, and
+    keeps the remaining ranks running (unlike any other rank failure,
+    which aborts the whole simulation).  ``site`` names where in the
+    collective the process died (``"boundary"``, ``"exchange"``,
+    ``"flush"``)."""
+
+    def __init__(self, rank: int, site: str = "boundary") -> None:
+        super().__init__(f"rank {rank} crashed (fail-stop at {site})")
+        self.rank = rank
+        self.site = site
+
+
 class MPIError(ReproError):
     """Invalid use of the simulated MPI interface."""
 
@@ -220,6 +238,29 @@ class AggregatorLost(CollectiveIOError):
             f"aggregator rank {rank} lost{': ' + reason if reason else ''}"
         )
         self.rank = rank
+
+
+class CollectiveAborted(CollectiveIOError):
+    """A collective call lost its quorum of live participants.
+
+    Raised on every *survivor* when, after the epoch-agreement round
+    converges on the dead set, fewer than ``crash_quorum`` participants
+    remain alive — completing the call would no longer represent the
+    communicator.  ``epoch`` is the phase boundary at which agreement
+    ran, ``alive``/``dead`` the converged membership."""
+
+    def __init__(
+        self, epoch: int, alive: int, quorum: int, dead: tuple = ()
+    ) -> None:
+        super().__init__(
+            f"collective aborted at epoch {epoch}: {alive} live rank(s) "
+            f"below quorum {quorum}"
+            + (f" (dead: {sorted(dead)})" if dead else "")
+        )
+        self.epoch = epoch
+        self.alive = alive
+        self.quorum = quorum
+        self.dead = tuple(sorted(dead))
 
 
 class HintError(CollectiveIOError):

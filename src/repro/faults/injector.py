@@ -77,6 +77,13 @@ class FaultStats:
         "ost_slow_extra_seconds": "faults.ost.slow_extra_seconds",
         "ost_failovers": "faults.ost.failovers",
         "ost_quorum_failures": "faults.ost.quorum_failures",
+        "rank_crashes": "faults.crashes",
+        "crash_agreements": "faults.crash.agreements",
+        "collectives_aborted": "faults.crash.aborted",
+        "rejoins": "faults.crash.rejoins",
+        "resume_rewritten_bytes": "faults.crash.resume_rewritten_bytes",
+        "resume_skipped_bytes": "faults.crash.resume_skipped_bytes",
+        "suppressed": "faults.suppressed",
     }
 
     #: attributes counting *injected* events — increments to these also
@@ -97,6 +104,7 @@ class FaultStats:
             "page_bits_flipped",
             "net_bits_flipped",
             "ost_rejections",
+            "rank_crashes",
         }
     )
 
@@ -448,6 +456,75 @@ class FaultInjector:
         self.stats.agg_crashes += 1
         self.stats.failovers += 1
         self.stats.realm_bytes_rebalanced += bytes_rebalanced
+
+    # -- fail-stop crash hooks ----------------------------------------------
+    def crashed_ranks(self, call_index: int, boundary: int) -> FrozenSet[int]:
+        """Ranks dead fail-stop at this phase boundary (``rank_crash``).
+
+        Like :meth:`dead_aggregators` this is a pure function of the
+        plan, evaluated identically by every survivor — the agreement
+        exchange then confirms the converged set over real messages."""
+        if "rank_crash" not in self._active_kinds:
+            return frozenset()
+        return self.plan.rank_crashes_through(call_index, boundary)
+
+    def crash_event_for(self, rank: int, call_index: int):
+        """The ``rank_crash`` event that kills ``rank`` by this call."""
+        if "rank_crash" not in self._active_kinds:
+            return None
+        return self.plan.crash_for(rank, call_index)
+
+    def note_crash(self) -> None:
+        self.stats.rank_crashes += 1
+
+    def note_agreement(self) -> None:
+        self.stats.crash_agreements += 1
+
+    def note_aborted(self) -> None:
+        self.stats.collectives_aborted += 1
+
+    def note_rejoin(self) -> None:
+        self.stats.rejoins += 1
+
+    def note_resume(self, rewritten: int, skipped: int) -> None:
+        self.stats.resume_rewritten_bytes += rewritten
+        self.stats.resume_skipped_bytes += skipped
+
+    def note_suppressed(self, n: int = 1) -> None:
+        """Count fault events whose target rank was already dead when
+        their boundary arrived — the event could not apply, and before
+        this counter it silently vanished from the summary."""
+        self.stats.suppressed += n
+
+    def suppressed_for(self, dead: FrozenSet[int], call_index: int, boundary: int) -> int:
+        """How many plan events aimed at exactly this boundary target
+        only already-dead ranks (stalls and role-crashes of a corpse
+        cannot fire).  The caller gates the counting on one designated
+        survivor so the total is counted once, not once per rank."""
+        if not dead:
+            return 0
+        n = 0
+        key = (call_index, boundary)
+        for e in self.plan.events:
+            if e.kind not in ("rank_stall", "agg_crash", "rank_crash"):
+                continue
+            if (e.call_index, e.round_index) != key:
+                continue
+            targets = e.ranks or frozenset()
+            if not targets or not targets <= dead:
+                continue
+            if e.kind == "rank_crash":
+                # The event that *creates* a death is not suppressed;
+                # it is only when every victim already died at an
+                # earlier boundary (a crash aimed at a corpse).
+                earlier: set = set()
+                for o in self.plan.of_kind("rank_crash"):
+                    if o is not e and (o.call_index, o.round_index) < key:
+                        earlier.update(o.ranks or ())
+                if not targets <= earlier:
+                    continue
+            n += 1
+        return n
 
     # -- io retry reporting -------------------------------------------------
     def note_retry(self, backoff: float) -> None:

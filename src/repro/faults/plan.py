@@ -82,6 +82,21 @@ Event kinds
     during the odd half-periods, up during the even ones.  The worst
     case for naive retry loops — which is what the circuit breaker and
     retry budget exist for.
+``rank_crash``
+    Fail-stop process death: rank ``ranks`` dies — engine coroutine
+    and all — inside round ``round_index`` of collective call
+    ``call_index``, at the point named by ``site`` (``"boundary"``
+    before the round's exchange, ``"exchange"`` mid-exchange,
+    ``"flush"`` mid-flush).  Unlike ``agg_crash`` (the I/O delegate
+    dies, the process lives) and ``rank_stall`` (transient), the rank
+    is *gone*: survivors run the epoch-agreement protocol at the next
+    phase boundary, converge on the dead set, shrink the exchange
+    schedule, and complete their own bytes — or raise a typed
+    :class:`~repro.errors.CollectiveAborted` when fewer than
+    ``crash_quorum`` participants remain.  With ``journal_writes`` on,
+    the per-epoch commit records let the dead rank
+    ``Session.rejoin()`` later and rewrite only its un-committed
+    bytes.
 
 Scenario strings (``name[:seed]``, e.g. ``transient-io:42``) are
 resolved by :func:`repro.faults.scenarios.load_scenario`.
@@ -102,6 +117,7 @@ __all__ = [
     "FaultPlan",
     "EVENT_KINDS",
     "OST_KINDS",
+    "CRASH_SITES",
 ]
 
 #: Key under which the installed injector lives in ``Simulator.shared``.
@@ -122,7 +138,11 @@ EVENT_KINDS = (
     "ost_crash",
     "ost_slow",
     "ost_flap",
+    "rank_crash",
 )
+
+#: Where inside its target round a ``rank_crash`` victim dies.
+CRASH_SITES = ("boundary", "exchange", "flush")
 
 #: Kinds evaluated against per-OST health (see :mod:`repro.fs.ostfault`).
 OST_KINDS = frozenset({"ost_crash", "ost_slow", "ost_flap"})
@@ -168,6 +188,9 @@ class FaultEvent:
     call_index: int = 0
     #: ... and which phase boundary within it (0 = before round 0).
     round_index: int = 0
+    #: ``rank_crash`` only: where inside the target round the victim
+    #: dies (``"boundary"`` | ``"exchange"`` | ``"flush"``).
+    site: str = "boundary"
 
     def validate(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -209,6 +232,13 @@ class FaultEvent:
             raise FaultPlanError(
                 "ost_flap events need a positive half-period (delay, seconds)"
             )
+        if self.kind == "rank_crash":
+            if self.ranks is None:
+                raise FaultPlanError("rank_crash events must name the dying ranks")
+            if self.site not in CRASH_SITES:
+                raise FaultPlanError(
+                    f"unknown crash site {self.site!r}; options: {CRASH_SITES}"
+                )
 
     def active(self, t: float) -> bool:
         """True when virtual time ``t`` falls inside the event window."""
@@ -322,6 +352,19 @@ class FaultPlan:
             )
         )
 
+    def rank_crash(
+        self, rank: int, *, call_index: int = 0, round_index: int = 0,
+        site: str = "boundary",
+    ) -> "FaultPlan":
+        """Rank ``rank`` dies fail-stop in round ``round_index`` of
+        collective call ``call_index``, at ``site`` within the round."""
+        return self.add(
+            FaultEvent(
+                "rank_crash", ranks=_rankset([rank]),
+                call_index=call_index, round_index=round_index, site=site,
+            )
+        )
+
     def lock_hold(
         self, rate: float, *, hold: float = 5e-2, start: float = 0.0,
         end: float = math.inf, ranks=None,
@@ -386,6 +429,34 @@ class FaultPlan:
                 dead.update(e.ranks or ())
         return frozenset(dead)
 
+    def rank_crashes_through(self, call_index: int, boundary: int) -> FrozenSet[int]:
+        """Ranks dead fail-stop at phase boundary ``boundary`` of call
+        ``call_index`` — i.e. every ``rank_crash`` victim whose target
+        round has been reached.  Death is permanent: once a victim's
+        ``(call_index, round_index)`` is ``<=`` the queried boundary it
+        stays in the set for every later boundary and call.  Like all
+        fault detection here this is a pure function of the plan, so
+        every survivor converges on the same dead set with no
+        failure-detector messages — the agreement exchange then
+        *confirms* (and exercises) the convergence."""
+        dead: set[int] = set()
+        for e in self.of_kind("rank_crash"):
+            if (e.call_index, e.round_index) <= (call_index, boundary):
+                dead.update(e.ranks or ())
+        return frozenset(dead)
+
+    def crash_for(self, rank: int, call_index: int) -> Optional[FaultEvent]:
+        """The earliest ``rank_crash`` event that kills ``rank`` at or
+        before call ``call_index`` (None when the rank survives it)."""
+        best: Optional[FaultEvent] = None
+        for e in self.of_kind("rank_crash"):
+            if e.call_index <= call_index and rank in (e.ranks or ()):
+                if best is None or (e.call_index, e.round_index) < (
+                    best.call_index, best.round_index
+                ):
+                    best = e
+        return best
+
     def stalls_at(self, call_index: int, boundary: int) -> dict:
         """``{rank: stall seconds}`` for ranks frozen at exactly phase
         boundary ``boundary`` of collective call ``call_index``.
@@ -436,11 +507,13 @@ class FaultPlan:
                 bits.append(f"period={e.delay:g}s")
             elif e.delay:
                 bits.append(f"delay={e.delay:g}s")
-            if e.kind in ("agg_crash", "rank_stall"):
+            if e.kind in ("agg_crash", "rank_stall", "rank_crash"):
                 bits.append(
                     f"ranks={sorted(e.ranks or ())} call={e.call_index} "
                     f"boundary={e.round_index}"
                 )
+                if e.kind == "rank_crash":
+                    bits.append(f"site={e.site}")
             elif e.ranks is not None:
                 bits.append(f"ranks={sorted(e.ranks)}")
             if e.osts is not None:

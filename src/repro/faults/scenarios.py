@@ -187,6 +187,26 @@ def _ost_flap(seed: int) -> FaultPlan:
     return FaultPlan(seed).ost_flap([0], period=2e-3, start=0.0, end=2e-2)
 
 
+@scenario("rank-crash")
+def _rank_crash(seed: int) -> FaultPlan:
+    """Fail-stop rank death mid-collective (docs/crash_recovery.md).
+
+    A non-aggregator rank (1) dies at the second phase boundary of the
+    first collective; survivors agree on the dead set, shrink the
+    exchange, and finish their own bytes.  Vary the seed to move the
+    victim and site: seed picks from ranks {1, 2, 3} and the three
+    crash sites, so a seed sweep exercises boundary, exchange, and
+    flush deaths."""
+    victims = (1, 2, 3)
+    sites = ("boundary", "exchange", "flush")
+    return FaultPlan(seed).rank_crash(
+        victims[seed % len(victims)],
+        call_index=0,
+        round_index=1 + (seed // 3) % 3,
+        site=sites[seed % len(sites)],
+    )
+
+
 @scenario("chaos")
 def _chaos(seed: int) -> FaultPlan:
     """Everything at once, gently: the kitchen-sink soak scenario."""

@@ -91,6 +91,7 @@ class FileStats:
         "journal_commits": "journal.commits",
         "journal_aborts": "journal.aborts",
         "journal_pages_committed": "journal.pages_committed",
+        "journal_epochs": "journal.epochs",
     }
 
     __slots__ = ("registry", "path", "_instruments")
@@ -135,12 +136,15 @@ class _Txn:
     like — discards them, leaving the main store at its pre-transaction
     image."""
 
-    __slots__ = ("txid", "store", "valid")
+    __slots__ = ("txid", "store", "valid", "epochs")
 
     def __init__(self, txid: int, page_size: int, integrity: bool) -> None:
         self.txid = txid
         self.store = PageStore(page_size, integrity=integrity)
         self.valid: Dict[int, ByteRuns] = {}
+        #: Epoch commit records staged inside this transaction; they
+        #: become durable (join the file's epoch log) only at commit.
+        self.epochs: List[dict] = []
 
     def record(self, offset: int, nbytes: int) -> None:
         ps = self.store.page_size
@@ -152,7 +156,7 @@ class _Txn:
 
 
 class _File:
-    __slots__ = ("store", "locks", "stats", "txn")
+    __slots__ = ("store", "locks", "stats", "txn", "epoch_log")
 
     def __init__(
         self,
@@ -165,6 +169,11 @@ class _File:
         self.locks = ExtentLockManager(lock_granularity)
         self.stats = FileStats(registry, path)
         self.txn: Optional[_Txn] = None
+        #: Committed per-epoch records (``docs/crash_recovery.md``):
+        #: one entry per collective round whose bytes are durable, in
+        #: commit order.  A rejoining rank replays this log to learn
+        #: which of its rounds survived its crash.
+        self.epoch_log: List[dict] = []
 
 
 class SimFileSystem:
@@ -1062,6 +1071,62 @@ class SimFileSystem:
         if faults is not None:
             faults.note_page_corruption_detected()
 
+    # -- epoch commit records (resumable collectives) -----------------------
+    def journal_record_epoch(
+        self,
+        path: str,
+        *,
+        call_index: int,
+        epoch: int,
+        participants: Iterable[int],
+        intervals: Iterable[Tuple[int, int]],
+        journaled: bool = False,
+    ) -> None:
+        """Record one completed collective round (an *epoch*) for ``path``.
+
+        ``participants`` are the world ranks whose data entered this
+        round's exchange (a rank that crashed before the round is not a
+        participant — its bytes for the round never reached an
+        aggregator).  ``intervals`` are the file byte ranges the round's
+        flush covered, union over all aggregator windows.
+
+        Un-journaled collectives append straight to the durable epoch
+        log: the round's bytes hit the main store before the record is
+        cut, so the record never claims more than the store holds.
+        With ``journaled=True`` the record is staged inside the open
+        shadow transaction and becomes durable only when the
+        transaction commits — uncommitted journal bytes and their epoch
+        records vanish together."""
+        f = self._file(path)
+        record = {
+            "call_index": int(call_index),
+            "epoch": int(epoch),
+            "participants": tuple(sorted(int(r) for r in participants)),
+            "intervals": tuple(
+                (int(lo), int(hi)) for lo, hi in intervals if int(hi) > int(lo)
+            ),
+        }
+        if journaled and f.txn is not None:
+            f.txn.epochs.append(record)
+        else:
+            self._publish_epoch(f, record)
+
+    def _publish_epoch(self, f: _File, record: dict) -> None:
+        rec = dict(record)
+        rec["seq"] = len(f.epoch_log)
+        f.epoch_log.append(rec)
+        f.stats.journal_epochs += 1
+
+    def journal_replay(self, path: str) -> List[dict]:
+        """The committed epoch records for ``path``, in commit order.
+
+        This is crash recovery's first step: a rejoining rank scans the
+        replayed records for the rounds it participated in, intersects
+        their intervals with its own access, and re-writes only what no
+        committed epoch covers (:func:`repro.core.resume.resume_write`).
+        Returns copies — the log itself is append-only."""
+        return [dict(r) for r in self._file(path).epoch_log]
+
     # -- shadow-write transactions (the journal) -----------------------------
     def txn_begin(self, path: str, txid: int) -> None:
         """Open (or join) shadow transaction ``txid`` on ``path``.
@@ -1132,6 +1197,9 @@ class SimFileSystem:
             f.txn = None
             f.stats.journal_commits += 1
             f.stats.journal_pages_committed += len(pages)
+            # Staged epoch records become durable with their bytes.
+            for rec in txn.epochs:
+                self._publish_epoch(f, rec)
         # Cached pre-commit copies of the published pages are stale in
         # every client; drop clean copies (dirty bytes are newer than
         # the commit and must survive to their own flush).

@@ -40,6 +40,10 @@ __all__ = [
     "LivenessState",
     "install_liveness",
     "find_liveness",
+    "CRASH_KEY",
+    "CrashState",
+    "install_crash_state",
+    "find_crash_state",
 ]
 
 #: Key under which the active :class:`LivenessState` lives in
@@ -98,6 +102,55 @@ class LivenessState:
             return False
         self.suspects.add(rank)
         return True
+
+
+#: Key under which the simulation's :class:`CrashState` lives in
+#: ``Simulator.shared`` (installed at collective-file open when the
+#: fault plan carries ``rank_crash`` events).
+CRASH_KEY = "crash-state"
+
+
+class CrashState:
+    """Fail-stop membership bookkeeping for one simulation.
+
+    Tracks which ranks died (``rank_crash``), at which agreement epoch
+    each death was converged on, and how many agreement rounds ran.
+    Mutated only at phase boundaries by the single running rank thread
+    (the engine's invariant); every component that must avoid
+    communicating with a corpse — collective teardown, the session's
+    closing allreduce, journal commit — reads the same instance."""
+
+    __slots__ = ("dead", "epoch_of", "agreement_epochs")
+
+    def __init__(self) -> None:
+        #: World ranks dead fail-stop, cumulative over the run.
+        self.dead: Set[int] = set()
+        #: rank -> (call_index, boundary) at which its death was agreed.
+        self.epoch_of: Dict[int, tuple] = {}
+        #: Distinct (call_index, boundary) epochs that ran an agreement.
+        self.agreement_epochs: Set[tuple] = set()
+
+    def mark_dead(self, rank: int, call_index: int, boundary: int) -> bool:
+        """Record ``rank`` as dead; True the first time."""
+        if rank in self.dead:
+            return False
+        self.dead.add(rank)
+        self.epoch_of[rank] = (call_index, boundary)
+        return True
+
+    def is_dead(self, rank: int) -> bool:
+        return rank in self.dead
+
+
+def install_crash_state(shared: dict, state: Optional[CrashState] = None) -> CrashState:
+    """Arm (or find) the simulation's crash bookkeeping.  Idempotent:
+    the first install wins, so all ranks and files share one state."""
+    return shared.setdefault(CRASH_KEY, state if state is not None else CrashState())
+
+
+def find_crash_state(shared: dict) -> Optional[CrashState]:
+    """The installed :class:`CrashState`, if any."""
+    return shared.get(CRASH_KEY)
 
 
 def install_liveness(shared: dict, state: LivenessState) -> None:

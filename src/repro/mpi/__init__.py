@@ -16,6 +16,7 @@ rank's main function::
         comm.barrier()
 """
 
+from repro.mpi.agreement import AliveGroup, agree_dead_set
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpi.hints import Hints
 from repro.mpi.network import Network, payload_nbytes
@@ -29,4 +30,6 @@ __all__ = [
     "Hints",
     "Network",
     "payload_nbytes",
+    "AliveGroup",
+    "agree_dead_set",
 ]

@@ -121,6 +121,13 @@ _SPEC: Dict[str, tuple] = {
     # mid-call, stalled clients served by survivors) and lock leases.
     "coll_deadline": (_non_negative_float, 0.0),
     "liveness": (_boolean, False),
+    # Fail-stop crash tolerance (docs/crash_recovery.md): the minimum
+    # number of *live* participants a collective may continue with
+    # after the epoch agreement converges on a dead set.  Survivors
+    # below quorum raise a typed CollectiveAborted instead of
+    # completing an unrepresentative call.  1 (default) = any survivor
+    # may finish alone.
+    "crash_quorum": (_positive_int, 1),
     # Storage-side replication (docs/storage_faults.md): place each
     # stripe's pages on this many distinct OSTs.  Writes commit on a
     # write-quorum (r//2 + 1 live replicas); reads fail over to any

@@ -147,6 +147,7 @@ class Session:
         The simulator shares this session's tracer and registry, and
         has the session's fault plan (if any) installed.  Returns the
         per-rank results."""
+        from repro.errors import CollectiveAborted, RankFailed
         from repro.sim.engine import Simulator
 
         sim = Simulator(self.nprocs, tracer=self.tracer)
@@ -154,7 +155,14 @@ class Session:
         if self.plan is not None:
             self._injector = self.plan.install(sim)
         self.sim = sim
-        self._results = sim.run(main)
+        try:
+            self._results = sim.run(main)
+        except RankFailed as exc:
+            # Quorum loss surfaces as the typed abort, not the engine's
+            # generic rank-failure wrapper (docs/crash_recovery.md).
+            if isinstance(exc.__cause__, CollectiveAborted):
+                raise exc.__cause__ from None
+            raise
         return self._results
 
     def run(self, body: Callable[..., Any]) -> list:
@@ -170,6 +178,9 @@ class Session:
         from repro.core.file_handle import CollectiveFile
         from repro.mpi.comm import Communicator
 
+        from repro.liveness import find_crash_state
+        from repro.mpi.agreement import AliveGroup
+
         def main(ctx):
             comm = Communicator(ctx, self.cost)
             f = CollectiveFile(
@@ -180,13 +191,76 @@ class Session:
                 out = body(ctx, comm, f)
             finally:
                 f.close()
-            t1 = comm.allreduce(ctx.now, op=max)
+            # The closing timestamp reduction runs over the survivors:
+            # ranks dead fail-stop never reach it, and waiting on them
+            # would hang the teardown forever.
+            crash = find_crash_state(ctx.shared)
+            if crash is not None and crash.dead:
+                t1 = AliveGroup(comm, frozenset(crash.dead), -3).allreduce(
+                    ctx.now, op=max
+                )
+            else:
+                t1 = comm.allreduce(ctx.now, op=max)
             return (out, t0, t1)
 
         results = self.launch(main)
-        self._t0 = results[0][1]
-        self._t1 = results[0][2]
-        return [r[0] for r in results]
+        # Crashed ranks yield no result; time the run off any survivor.
+        finished = [r for r in results if r is not None]
+        if finished:
+            self._t0 = finished[0][1]
+            self._t1 = finished[0][2]
+        return [r[0] if r is not None else None for r in results]
+
+    def rejoin(self, rank: int, body: Callable[..., Any]) -> Dict[str, Any]:
+        """Restart a crashed ``rank`` and replay ``body`` to completion.
+
+        The rank runs alone in a fresh one-process simulation against
+        the *same* session file system and registry.  Its communicator
+        (:class:`~repro.core.resume.ResumeComm`) keeps the original
+        rank/size coordinates so views and plans resolve identically,
+        but collectives are one-process identities; each collective
+        write is routed through the resumable-write path, which replays
+        the journal's epoch records and rewrites only the bytes no
+        survivor committed on the rank's behalf.  Returns a dict with
+        the rank's ``result`` plus ``rewritten``/``skipped`` byte
+        totals.  See ``docs/crash_recovery.md``."""
+        from repro.core.file_handle import CollectiveFile
+        from repro.core.resume import ResumeComm
+        from repro.sim.engine import Simulator
+
+        if self.sim is None or rank not in self.sim.crashed:
+            raise ValueError(
+                f"rank {rank} did not crash in the last run "
+                f"(crashed: {sorted(self.sim.crashed) if self.sim else []})"
+            )
+        if self._injector is not None:
+            self._injector.note_rejoin()
+
+        def replay(ctx):
+            comm = ResumeComm(ctx, self.cost, rank, self.nprocs)
+            f = CollectiveFile(
+                ctx,
+                comm,
+                self.fs,
+                self.path,
+                hints=self.hints,
+                cost=self.cost,
+                client_id=("rejoin", rank),
+                resume_rank=rank,
+            )
+            try:
+                out = body(ctx, comm, f)
+            finally:
+                f.close()
+            return (out, f.resume_rewritten, f.resume_skipped)
+
+        sim = Simulator(1, tracer=self.tracer)
+        sim.shared[METRICS_KEY] = self.registry
+        (result,) = sim.run(replay)
+        out, rewritten, skipped = result
+        if self._injector is not None:
+            self._injector.note_resume(rewritten, skipped)
+        return {"result": out, "rewritten": rewritten, "skipped": skipped}
 
     # -- results -------------------------------------------------------------
     @property
@@ -253,12 +327,33 @@ class Session:
         return doc
 
     def summary(self) -> str:
-        """Human-readable digest: makespan, metrics, fault table."""
+        """Human-readable digest: makespan, metrics, retry-budget
+        headroom, per-OST breaker states, fault table."""
         lines = [
             f"session {self.path!r}: nprocs={self.nprocs}, "
             f"makespan={self.makespan * 1e3:.3f} ms"
         ]
         lines.append(self.registry.format())
+        limit = self.hints["io_retry_budget"]
+        if limit:
+            lines.append("")
+            lines.append(f"retry budget (limit {limit}/rank):")
+            for rank in range(self.nprocs):
+                used = self.registry.gauge("retry.budget.used", rank).value
+                left = self.registry.gauge("retry.budget.remaining", rank).value
+                lines.append(f"  rank {rank:<4} used={used} remaining={left}")
+        if self.fs._breakers:
+            from repro.fs.ostfault import breaker_states
+
+            names = {v: k for k, v in breaker_states().items()}
+            lines.append("")
+            lines.append("ost breakers:")
+            for ost in sorted(self.fs._breakers):
+                br = self.fs._breakers[ost]
+                lines.append(
+                    f"  ost {ost:<4} {names[br.state]:<9} "
+                    f"failures={br.failures}"
+                )
         if self.fault_stats is not None:
             lines.append("")
             lines.append("faults:")

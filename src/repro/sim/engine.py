@@ -34,7 +34,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterator, MutableMapping, Optional, Sequence
 
-from repro.errors import RankFailed, SimDeadlock, SimHang, SimulationError
+from repro.errors import RankCrashed, RankFailed, SimDeadlock, SimHang, SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.trace import Tracer
 
@@ -294,6 +294,11 @@ class Simulator:
         #: :meth:`RankContext.charge`/:meth:`RankContext.advance` for
         #: the straggler model (other layers find it in ``shared``).
         self.faults = None
+        #: Ranks that died fail-stop (:class:`repro.errors.RankCrashed`).
+        #: A crashed rank's ``run`` result is ``None``; the remaining
+        #: ranks keep running — death is a survivable event, not an
+        #: abort.
+        self.crashed: set[int] = set()
         self._mu = threading.Lock()
         self._done_event = threading.Event()
         self._procs: list[_Proc] = []
@@ -519,6 +524,14 @@ class Simulator:
             with self._mu:
                 proc.state = _DONE
                 self._done_event.set()
+        except RankCrashed:
+            # Fail-stop death: this rank is gone, the others live on.
+            # Its result stays None; messages queued for it rot
+            # harmlessly in the communicator state.
+            with self._mu:
+                self.crashed.add(proc.rank)
+                proc.state = _DONE
+                self._dispatch_next()
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
             failure = RankFailed(proc.rank, repr(exc))
             failure.__cause__ = exc

@@ -104,8 +104,9 @@ class TestPlanDSL:
             .ost_crash([0], start=1e-3, end=1e-2)
             .ost_slow([1], factor=4.0)
             .ost_flap([2], period=2e-3)
+            .rank_crash(3, call_index=0, round_index=2, site="exchange")
         )
-        assert len(plan.events) == 14
+        assert len(plan.events) == 15
         assert sorted({e.kind for e in plan.events}) == sorted(EVENT_KINDS)
 
     def test_bad_rate_rejected(self):

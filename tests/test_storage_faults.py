@@ -456,6 +456,52 @@ def test_unreplicated_long_crash_raises_typed_error():
     assert any(isinstance(e, OSTUnavailable) for e in chain)
 
 
+def test_rank_crash_composes_with_ost_flap():
+    """Fail-stop rank death *during* a flapping OST: the two fault
+    domains compose.  Survivors ride the flap out on retries and
+    finish their bytes; the rejoined rank resumes from the epoch
+    records; the recovered file matches an uninterrupted run
+    byte-for-byte (docs/crash_recovery.md)."""
+    region, count = 64, 8
+    total = NPROCS * region * count
+
+    def body(ctx, comm, f):
+        from repro.datatypes import BYTE, contiguous, resized
+
+        tile = resized(contiguous(region, BYTE), 0, region * comm.size)
+        f.set_view(disp=comm.rank * region, filetype=tile)
+        f.write_all(
+            (np.arange(region * count, dtype=np.int64) * (comm.rank + 1) % 251)
+            .astype(np.uint8)
+        )
+
+    hints = {
+        "coll_impl": "new",
+        "cb_nodes": 2,
+        "cb_buffer_size": 256,
+        "io_retries": 8,
+    }
+    base = Session(PATH, nprocs=NPROCS, hints=hints)
+    base.run(body)
+    ref = np.asarray(base.fs.raw_bytes(PATH, 0, total)).copy()
+
+    plan = (
+        FaultPlan(seed=3)
+        .rank_crash(1, call_index=0, round_index=2, site="exchange")
+        .ost_flap([0], period=2e-3, start=0.0, end=2e-2)
+    )
+    s = Session(PATH, nprocs=NPROCS, hints=hints, faults=plan)
+    s.run(body)
+    assert sorted(s.sim.crashed) == [1]
+    out = s.rejoin(1, body)
+    assert out["rewritten"] > 0
+    got = np.asarray(s.fs.raw_bytes(PATH, 0, total))
+    assert np.array_equal(got, ref)
+    snap = s.fault_stats.snapshot()
+    assert snap["rank_crashes"] == 1 and snap["rejoins"] == 1
+    assert snap["retries"] > 0 or snap["ost_rejections"] > 0
+
+
 def test_replicated_crash_byte_identical_and_checksum_equal():
     """The acceptance headline: replication_factor=2 plus a mid-run
     OST crash still reads back byte-identical, and the replicated
