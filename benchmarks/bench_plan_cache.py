@@ -1,0 +1,197 @@
+"""Persistent collective plans: cached vs cold on the Figure-7 loop.
+
+The checkpoint shape of the paper's time-series workload: the view is
+set once, then every time step rewrites the same slot geometry with
+fresh bytes (the steady state PFRs — and this cache — exist for).
+With ``plan_cache`` off every step re-flattens the filetype and
+re-plans the rounds; with it on the first step builds the plan and
+every later step replays it with **zero offset/length pairs
+evaluated**, so the per-step datatype-processing charge
+(``cpu_per_flat_pair``) disappears from the simulated clock.
+
+The sweep crosses steps × pattern × impl × cache on/off and emits
+``BENCH_plan_cache.json`` at the repo root.  Run it either way::
+
+    python -m pytest -q benchmarks/bench_plan_cache.py
+    PYTHONPATH=src python benchmarks/bench_plan_cache.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.config import DEFAULT_COST_MODEL
+from repro.hpio.timeseries import TimeSeriesPattern
+from repro.mpi import Hints
+from repro.obs.session import Session
+
+_NPROCS = 8
+_STEPS = (4, 8)
+_IMPLS = ("new", "old")
+_PATH = "/bench"
+_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_plan_cache.json"
+
+#: Figure-7 time-series geometries: fine (many small interleaved
+#: elements — pair-count-bound, the cache's best case) and coarse.
+_PATTERNS = {
+    "ts-fine": dict(element_size=32, elems_per_point=64, points=192),
+    "ts-coarse": dict(element_size=256, elems_per_point=8, points=96),
+}
+
+
+def _run_cell(pattern_name: str, steps: int, impl: str, cached: bool) -> Dict[str, object]:
+    ts = TimeSeriesPattern(nprocs=_NPROCS, timesteps=1, **_PATTERNS[pattern_name])
+    hints = Hints(
+        coll_impl=impl,
+        cb_nodes=4,
+        plan_cache=cached,
+    )
+    session = Session(_PATH, nprocs=_NPROCS, hints=hints, cost=DEFAULT_COST_MODEL)
+    reg = session.registry
+
+    def body(ctx, comm, f):
+        f.set_view(disp=0, filetype=ts.filetype(comm.rank, 0))
+
+        def pairs():
+            return reg.value("coll.client.pairs", ctx.rank) + reg.value(
+                "coll.agg.pairs", ctx.rank
+            )
+
+        written = 0
+        first_step_pairs = 0
+        for step in range(steps):
+            before = pairs()
+            buf = ts.step_buffer(comm.rank, step)
+            f.write_at_all(0, buf)
+            written += buf.size
+            if step == 0:
+                first_step_pairs = pairs() - before
+        return written, first_step_pairs
+
+    results = session.run(body)
+    total = sum(r[0] for r in results)
+    first_step_pairs = sum(r[1] for r in results)
+    pairs_total = reg.total("coll.client.pairs") + reg.total("coll.agg.pairs")
+    sim_seconds = session.makespan
+    return {
+        "pattern": pattern_name,
+        "impl": impl,
+        "steps": steps,
+        "cached": cached,
+        "nprocs": _NPROCS,
+        "total_bytes": total,
+        "sim_seconds": sim_seconds,
+        "bandwidth_mbs": round(total / (1024.0 * 1024.0) / sim_seconds, 3),
+        "pairs_total": int(pairs_total),
+        "pairs_first_step": int(first_step_pairs),
+        "pairs_steady_state": int(pairs_total - first_step_pairs),
+        "plan_hits": int(reg.total("coll.plan.hits")),
+        "plan_misses": int(reg.total("coll.plan.misses")),
+    }
+
+
+def _sweep() -> List[Dict[str, object]]:
+    return [
+        _run_cell(name, steps, impl, cached)
+        for name in _PATTERNS
+        for steps in _STEPS
+        for impl in _IMPLS
+        for cached in (True, False)
+    ]
+
+
+def emit_json(rows: List[Dict[str, object]]) -> Path:
+    _JSON_PATH.write_text(
+        json.dumps(
+            {"benchmark": "plan_cache", "nprocs": _NPROCS, "sweep": rows},
+            indent=2,
+        )
+        + "\n"
+    )
+    return _JSON_PATH
+
+
+def _cell(rows, pattern, steps, impl, cached):
+    for row in rows:
+        key = (row["pattern"], row["steps"], row["impl"], row["cached"])
+        if key == (pattern, steps, impl, cached):
+            return row
+    raise KeyError((pattern, steps, impl, cached))
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    rows = _sweep()
+    emit_json(rows)
+    return rows
+
+
+def test_sweep_emits_json(sweep_rows):
+    assert len(sweep_rows) == len(_PATTERNS) * len(_STEPS) * len(_IMPLS) * 2
+    recorded = json.loads(_JSON_PATH.read_text())
+    assert len(recorded["sweep"]) == len(sweep_rows)
+
+
+def test_cached_steady_state_evaluates_zero_pairs(sweep_rows):
+    """The acceptance bar: after the cold first step, every cached step
+    evaluates zero offset/length pairs — the whole pair budget is spent
+    on step 0."""
+    for row in sweep_rows:
+        if not row["cached"]:
+            continue
+        assert row["pairs_first_step"] > 0, row
+        assert row["pairs_steady_state"] == 0, row
+        assert row["plan_misses"] == _NPROCS, row
+        assert row["plan_hits"] == (row["steps"] - 1) * _NPROCS, row
+
+
+def test_cold_pays_pairs_every_step(sweep_rows):
+    """The differential's other half: uncached runs re-evaluate the
+    full pair count on every step (linear in ``steps``)."""
+    for row in sweep_rows:
+        if row["cached"]:
+            continue
+        assert row["plan_hits"] == 0 and row["plan_misses"] == 0
+        assert row["pairs_total"] == row["steps"] * row["pairs_first_step"], row
+
+
+def test_cached_strictly_faster_than_cold(sweep_rows):
+    """Replay drops the per-step datatype-processing charge, so cached
+    simulated time is strictly below cold for every cell."""
+    for pattern in _PATTERNS:
+        for steps in _STEPS:
+            for impl in _IMPLS:
+                hot = _cell(sweep_rows, pattern, steps, impl, True)
+                cold = _cell(sweep_rows, pattern, steps, impl, False)
+                assert hot["sim_seconds"] < cold["sim_seconds"], (pattern, steps, impl)
+                assert hot["bandwidth_mbs"] > cold["bandwidth_mbs"], (pattern, steps, impl)
+
+
+def test_cached_and_cold_write_identical_bytes(sweep_rows):
+    for row in sweep_rows:
+        ts = TimeSeriesPattern(nprocs=_NPROCS, timesteps=1, **_PATTERNS[row["pattern"]])
+        assert row["total_bytes"] == row["steps"] * ts.bytes_per_step
+
+
+def main() -> int:
+    rows = _sweep()
+    path = emit_json(rows)
+    print(f"{'pattern':<10} {'impl':<5} {'steps':>5} {'cached':<6} {'MB/s':>9} "
+          f"{'sim ms':>9} {'pairs/stdy':>10} {'hits':>5}")
+    for row in rows:
+        print(
+            f"{row['pattern']:<10} {row['impl']:<5} {row['steps']:>5} "
+            f"{str(row['cached']):<6} {row['bandwidth_mbs']:>9.2f} "
+            f"{row['sim_seconds'] * 1e3:>9.3f} {row['pairs_steady_state']:>10} "
+            f"{row['plan_hits']:>5}"
+        )
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,12 @@ command's workloads (the ``procs_per_node``/``node_aggregation``
 hints): the new implementation's exchanges run through the two-layer
 intra-node aggregation path, still held to byte-perfect results.
 
+``--plan-cache`` (selfcheck) arms the persistent-plan cache
+(``plan_cache=True``, docs/plan_cache.md) and repeats each combination's
+collective call three times: the first call must build (a miss), every
+identical later call must replay (hits), and the read-backs must stay
+byte-perfect — the cache-correctness smoke CI runs on every push.
+
 ``--replicate R`` (selfcheck, chaos) arms ``replication_factor=R``:
 every stripe's pages land on R distinct OSTs, writes commit on a
 majority quorum, reads fail over to surviving replicas.  Pair with
@@ -62,6 +68,7 @@ def selfcheck(
     liveness: bool = False,
     ppn: int = 0,
     replicate: int = 1,
+    plan_cache: bool = False,
 ) -> int:
     from repro import (
         BYTE,
@@ -111,6 +118,9 @@ def selfcheck(
                 hints = hints.replace(
                     replication_factor=replicate, io_retries=8
                 )
+            if plan_cache:
+                hints = hints.replace(plan_cache=True)
+            reps = 3 if plan_cache else 1
 
             def main(ctx):
                 comm = Communicator(ctx)
@@ -118,20 +128,37 @@ def selfcheck(
                 tile = resized(contiguous(region, BYTE), 0, region * nprocs)
                 f.set_view(disp=comm.rank * region, filetype=tile)
                 data = (np.arange(region * count, dtype=np.int64) * (comm.rank + 1) % 251).astype(np.uint8)
-                f.write_all(data)
-                f.seek(0)
-                out = np.zeros_like(data)
-                f.read_all(out)
+                ok = True
+                for _ in range(reps):
+                    f.seek(0)
+                    f.write_all(data)
+                    f.seek(0)
+                    out = np.zeros_like(data)
+                    f.read_all(out)
+                    ok = ok and bool(np.array_equal(out, data))
+                pc = f.plancache
+                hits, misses = (pc.hits, pc.misses) if pc is not None else (0, 0)
                 f.close()
-                return bool(np.array_equal(out, data))
+                return ok, hits, misses
 
             sim = Simulator(nprocs)
             injector = plan.install(sim) if plan is not None else None
-            ok = all(sim.run(main))
+            results = sim.run(main)
+            ok = all(r[0] for r in results)
+            extra = ""
+            if plan_cache:
+                hits = sum(r[1] for r in results)
+                misses = sum(r[2] for r in results)
+                extra = f"  plan {hits}h/{misses}m"
+                if plan is None:
+                    # Identical repeats must replay: one build per rank,
+                    # every later call a hit.  (Fault plans may stand the
+                    # cache down — bypass — so only the clean run gates.)
+                    ok = ok and misses == nprocs and hits == (2 * reps - 1) * nprocs
             if injector is not None:
                 totals.merge(injector.stats)
             status = "ok" if ok else "FAILED"
-            print(f"  {impl:>3} + {method:<12} {status}")
+            print(f"  {impl:>3} + {method:<12} {status}{extra}")
             failures += 0 if ok else 1
     if plan is not None:
         _print_fault_summary(fault_spec, plan, totals)
@@ -634,6 +661,9 @@ def main(argv: list[str]) -> int:
             return 2
         crash_spec = args[i + 1]
         del args[i : i + 2]
+    plan_cache = "--plan-cache" in args
+    if plan_cache:
+        args.remove("--plan-cache")
     as_json = "--json" in args
     if as_json:
         args.remove("--json")
@@ -651,7 +681,7 @@ def main(argv: list[str]) -> int:
         print(
             f"usage: python -m repro [{'|'.join(commands)}] "
             "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N] "
-            "[--replicate R]\n"
+            "[--replicate R] [--plan-cache]\n"
             "       python -m repro selfcheck --crash RANK[:EPOCH]\n"
             "       python -m repro trace [OUT.json] [--ppn N] "
             "[--faults NAME[:SEED]]\n"
@@ -666,8 +696,10 @@ def main(argv: list[str]) -> int:
         return mt(fault_spec, integrity, liveness, ppn, tenants, sched, as_json)
     if cmd == "selfcheck" and crash_spec is not None:
         return crash_check(crash_spec)
-    if cmd in ("selfcheck", "chaos"):
-        return commands[cmd](fault_spec, integrity, liveness, ppn, replicate)
+    if cmd == "selfcheck":
+        return selfcheck(fault_spec, integrity, liveness, ppn, replicate, plan_cache)
+    if cmd == "chaos":
+        return chaos(fault_spec, integrity, liveness, ppn, replicate)
     return commands[cmd](fault_spec, integrity, liveness, ppn)
 
 

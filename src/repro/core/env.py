@@ -14,7 +14,7 @@ reaching this object.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional
 
 from repro.config import CostModel
 from repro.core.file_view import FileView
@@ -24,6 +24,9 @@ from repro.mpi.comm import Communicator
 from repro.mpi.hints import Hints
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import RankContext
+
+if TYPE_CHECKING:  # pragma: no cover - plancache imports env types
+    from repro.core.plancache import PlanCache
 
 __all__ = ["CollStats", "CollEnv"]
 
@@ -132,3 +135,5 @@ class CollEnv:
     view: FileView
     stats: CollStats
     pfr: Optional[PFRState] = None
+    # Persistent plan cache (docs/plan_cache.md); None = plan every call.
+    plancache: Optional["PlanCache"] = None

@@ -30,6 +30,7 @@ from repro.config import CostModel, DEFAULT_COST_MODEL
 from repro.core.env import CollEnv, CollStats
 from repro.core.file_view import FileView
 from repro.core.pfr import PFRState
+from repro.core.plancache import PlanCache
 from repro.core.two_phase_new import read_all_new, write_all_new
 from repro.core.two_phase_old import read_all_old, write_all_old
 from repro.datatypes.base import BYTE, Datatype
@@ -140,6 +141,11 @@ class CollectiveFile:
         self._stats = CollStats(self.registry, ctx.rank)
         self._call_seconds = self.registry.histogram("coll.call.seconds", ctx.rank)
         self.pfr = PFRState()
+        # Persistent collective plans (docs/plan_cache.md): per-handle,
+        # armed by the plan_cache hint; None keeps today's exact path.
+        self.plancache = (
+            PlanCache(self.registry, ctx.rank) if self.hints["plan_cache"] else None
+        )
         #: Individual file pointer, counted in etypes (MPI semantics:
         #: advanced by pointer-relative operations, reset by set_view).
         self._pointer = 0
@@ -180,6 +186,11 @@ class CollectiveFile:
         self._require_open()
         self.view = FileView(disp, etype, filetype)
         self._pointer = 0
+        if self.plancache is not None:
+            # View epoch bump: every cached plan was carved against the
+            # old view's flattened filetype and must not survive it.
+            with self.ctx.trace("plan:invalidate", reason="set_view"):
+                self.plancache.invalidate("set_view")
         self._alive_barrier()
 
     # -- individual file pointer ------------------------------------------------
@@ -275,6 +286,7 @@ class CollectiveFile:
             view=self.view,
             stats=self._stats,
             pfr=self.pfr,
+            plancache=self.plancache,
         )
 
     @property

@@ -766,29 +766,129 @@ def _journal_commit(env: CollEnv, plan: _Plan) -> None:
     sync.barrier()
 
 
-def _flush_merged(env: CollEnv, plan: _Plan, window, merged, cbuf: np.ndarray) -> None:
+def _flush_merged(env: CollEnv, ft_extent: int, window, merged, cbuf: np.ndarray) -> None:
     offs, lens = merged
     if offs is None or offs.size == 0:
         return
     bufpos = window.to_buffer(offs)
     wbatch = SegmentBatch(offs, lens.copy(), bufpos)
-    method = choose_method(env.hints, plan.ft_extent, wbatch)
+    method = choose_method(env.hints, ft_extent, wbatch)
     env.stats.note_flush(method)
     env.adio.write_strided(wbatch, cbuf, method)
 
 
-def _fill_merged(env: CollEnv, plan: _Plan, window, merged) -> Optional[np.ndarray]:
+def _fill_merged(env: CollEnv, ft_extent: int, window, merged) -> Optional[np.ndarray]:
     offs, lens = merged
     cbuf = np.zeros(window.total_bytes, dtype=np.uint8)
     if offs is None or offs.size == 0:
         return cbuf
     bufpos = window.to_buffer(offs)
     rbatch = SegmentBatch(offs, lens.copy(), bufpos)
-    method = choose_method(env.hints, plan.ft_extent, rbatch)
+    method = choose_method(env.hints, ft_extent, rbatch)
     env.stats.note_flush(method)
     data = env.adio.read_strided(rbatch, method)
     cbuf[: data.size] = data
     return cbuf
+
+
+def _replay(env: CollEnv, entry, buf: np.ndarray, *, write: bool) -> None:
+    """Replay a cached plan: the data path of the cold drivers with the
+    planning phase elided entirely — no flattening, no AAR allreduce,
+    no metadata exchange, no window intersection (zero offset/length
+    pairs evaluated).  Per round: exchange along the recorded schedule,
+    then flush (write) or pre-fill (read) the recorded merged extents.
+
+    The replay only ever runs for a plan the cache agreed on
+    collectively, and never while a realm-mutating fault kind is armed
+    (PlanCache bypasses those), so the recorded schedule is exact."""
+    comm, cost = env.comm, env.cost
+    mode = _exchange_mode(env)
+    # Data-path fault kinds (delays, flips, OST outages) key their event
+    # windows on the collective-call ordinal; keep it advancing even
+    # though no planning happens.
+    inj = env.ctx.shared.get(FAULTS_KEY)
+    call_index = inj.begin_collective(comm.rank) if inj is not None else 0
+    liv = env.ctx.shared.get(LIVENESS_KEY)
+    rank = comm.rank
+    service = 0.0
+    env.stats.last_realm_bytes = list(entry.realm_bytes)
+
+    def run_rounds() -> None:
+        nonlocal service
+        for r, rp in enumerate(entry.rounds):
+            env.stats.rounds += 1
+            if write:
+                cbuf = (
+                    np.zeros(rp.window.total_bytes, dtype=np.uint8)
+                    if rp.window is not None
+                    else None
+                )
+                if liv is not None:
+                    liv.set_phase(rank, f"exchange[{r}]")
+                with env.ctx.trace("tp:exchange", round=r):
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, mode, buf, rp.send, cbuf, rp.recv,
+                        skip=frozenset(), topology=entry.topology,
+                    )
+                if liv is not None:
+                    liv.set_phase(rank, f"io[{r}]")
+                with env.ctx.trace("tp:io", round=r):
+                    if rp.window is not None and cbuf is not None:
+                        t0 = env.ctx.now
+                        _flush_merged(env, entry.ft_extent, rp.window, rp.merged, cbuf)
+                        service += env.ctx.now - t0
+            else:
+                if liv is not None:
+                    liv.set_phase(rank, f"io[{r}]")
+                with env.ctx.trace("tp:io", round=r):
+                    if rp.window is not None:
+                        t0 = env.ctx.now
+                        cbuf = _fill_merged(env, entry.ft_extent, rp.window, rp.merged)
+                        service += env.ctx.now - t0
+                    else:
+                        cbuf = None
+                if liv is not None:
+                    liv.set_phase(rank, f"exchange[{r}]")
+                with env.ctx.trace("tp:exchange", round=r):
+                    # Aggregator -> client, exactly like read_all_new:
+                    # recorded receive layouts become send batches.
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, mode, cbuf, rp.recv, buf, rp.send,
+                        skip=frozenset(), topology=entry.topology,
+                    )
+
+    if liv is not None:
+        liv.begin_call(rank, env.ctx.now)
+    try:
+        if write and env.hints["journal_writes"]:
+            local = env.adio.local
+            local.fs.txn_begin(local.path, call_index)
+            with env.adio.journaled():
+                run_rounds()
+            # Barrier — committer publishes — barrier, as in
+            # _journal_commit; with no realm-mutating faults armed the
+            # committer is simply the first recorded aggregator.
+            comm.barrier()
+            committer = entry.aggs[0] if entry.aggs else 0
+            if comm.rank == committer:
+                env.adio.retry.run(
+                    env.ctx,
+                    lambda: local.fs.txn_commit(
+                        env.ctx, local.client.client_id, local.path
+                    ),
+                )
+            comm.barrier()
+        else:
+            run_rounds()
+    finally:
+        if liv is not None:
+            liv.end_call(rank)
+    if write:
+        env.stats.collective_writes += 1
+    else:
+        env.stats.collective_reads += 1
+    env.stats.agg_service_seconds += service
+    env.stats.last_agg_service_seconds = service
 
 
 def write_all_new(
@@ -801,6 +901,14 @@ def write_all_new(
     """Collective write of ``total_bytes`` from ``buf`` (laid out by
     ``memflat``) through the rank's file view, starting at data-stream
     position ``data_lo`` (the individual file pointer)."""
+    cache = env.plancache
+    if cache is not None:
+        entry = cache.begin(env, memflat, total_bytes, data_lo, "new")
+        if entry is not None:
+            with env.ctx.trace("plan:replay", key=entry.key_id, impl="new"):
+                _replay(env, entry, buf, write=True)
+            return
+    rec = cache.recording("new") if cache is not None else None
     with env.ctx.trace("tp:plan"):
         plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
@@ -814,6 +922,8 @@ def write_all_new(
         r = 0
         while r < plan.nrounds:
             if plan.maybe_failover(r):
+                if rec is not None:
+                    rec.mark_dirty()
                 if plan.i_am_suspect:
                     plan.run_suspect_tail(buf, write=True)
                     return
@@ -833,6 +943,8 @@ def write_all_new(
                     if window is not None
                     else None
                 )
+            if rec is not None:
+                rec.add_round(send_plan, window, recv_plan, merged)
             if liv is not None:
                 liv.set_phase(rank, f"exchange[{r}]")
             with env.ctx.trace("tp:exchange", round=r):
@@ -848,7 +960,7 @@ def write_all_new(
                 plan.crash_point("flush")
                 if window is not None and cbuf is not None:
                     t0 = env.ctx.now
-                    _flush_merged(env, plan, window, merged, cbuf)
+                    _flush_merged(env, plan.ft_extent, window, merged, cbuf)
                     plan.service_seconds += env.ctx.now - t0
             plan.commit_epoch(r)
             r += 1
@@ -870,6 +982,16 @@ def write_all_new(
     finally:
         if liv is not None:
             liv.end_call(rank)
+    if rec is not None:
+        with env.ctx.trace("plan:store", key=rec.key_id, impl="new"):
+            cache.commit(
+                rec,
+                nrounds=plan.nrounds,
+                aggs=plan.aggs,
+                ft_extent=plan.ft_extent,
+                topology=plan.topology,
+                realm_bytes=env.stats.last_realm_bytes,
+            )
     env.stats.collective_writes += 1
     env.stats.agg_service_seconds += plan.service_seconds
     env.stats.last_agg_service_seconds = plan.service_seconds
@@ -884,6 +1006,14 @@ def read_all_new(
 ) -> None:
     """Collective read into ``buf`` through the rank's file view,
     starting at data-stream position ``data_lo``."""
+    cache = env.plancache
+    if cache is not None:
+        entry = cache.begin(env, memflat, total_bytes, data_lo, "new")
+        if entry is not None:
+            with env.ctx.trace("plan:replay", key=entry.key_id, impl="new"):
+                _replay(env, entry, buf, write=False)
+            return
+    rec = cache.recording("new") if cache is not None else None
     with env.ctx.trace("tp:plan"):
         plan = _Plan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
@@ -896,6 +1026,8 @@ def read_all_new(
         r = 0
         while r < plan.nrounds:
             if plan.maybe_failover(r):
+                if rec is not None:
+                    rec.mark_dirty()
                 if plan.i_am_suspect:
                     plan.run_suspect_tail(buf, write=False)
                     break
@@ -913,13 +1045,18 @@ def read_all_new(
                 window, send_plan, merged = plan.agg_recv_layout(r)
                 if window is not None:
                     plan.service_seconds += env.ctx.now - t0
+            if rec is not None:
+                # Recorded direction-independently: client memory batches
+                # as ``send``, aggregator layouts as ``recv`` (the write
+                # orientation); a replay re-swaps for reads.
+                rec.add_round(recv_plan, window, send_plan, merged)
             if liv is not None:
                 liv.set_phase(rank, f"io[{r}]")
             with env.ctx.trace("tp:io", round=r):
                 plan.crash_point("flush")
                 if window is not None and not plan.dying:
                     t0 = env.ctx.now
-                    cbuf = _fill_merged(env, plan, window, merged)
+                    cbuf = _fill_merged(env, plan.ft_extent, window, merged)
                     plan.service_seconds += env.ctx.now - t0
                 else:
                     cbuf = None
@@ -936,6 +1073,16 @@ def read_all_new(
     finally:
         if liv is not None:
             liv.end_call(rank)
+    if rec is not None:
+        with env.ctx.trace("plan:store", key=rec.key_id, impl="new"):
+            cache.commit(
+                rec,
+                nrounds=plan.nrounds,
+                aggs=plan.aggs,
+                ft_extent=plan.ft_extent,
+                topology=plan.topology,
+                realm_bytes=env.stats.last_realm_bytes,
+            )
     env.stats.collective_reads += 1
     env.stats.agg_service_seconds += plan.service_seconds
     env.stats.last_agg_service_seconds = plan.service_seconds

@@ -365,6 +365,65 @@ def _agg_layout(plan: _OldPlan, r: int):
     return (w_lo, w_hi), per_client, merged
 
 
+def _replay_old(env: CollEnv, entry, buf: np.ndarray, *, write: bool) -> None:
+    """Replay a cached old-implementation plan: the integrated-sieving
+    data path with all flattening, wire alltoall, and window clipping
+    elided (zero offset/length pairs evaluated).  Only runs for a
+    collectively-agreed cache hit with no realm-mutating fault armed."""
+    comm, cost = env.comm, env.cost
+    # Keep data-path fault ordinals advancing across replayed calls.
+    inj = env.ctx.shared.get(FAULTS_KEY)
+    if inj is not None:
+        inj.begin_collective(comm.rank)
+    for r, rp in enumerate(entry.rounds):
+        env.stats.rounds += 1
+        span = rp.window
+        m_offs, m_lens = rp.merged
+        if write:
+            cbuf = None
+            span_lo = span_hi = 0
+            with env.ctx.trace("tp:io", round=r):
+                if span is not None and m_offs is not None and m_offs.size:
+                    span_lo = int(m_offs[0])
+                    span_hi = int((m_offs + m_lens).max())
+                    covered = int(m_lens.sum())
+                    cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                    if covered < span_hi - span_lo:
+                        pre = env.adio.read_contig(span_lo, span_hi - span_lo)
+                        cbuf[span_lo - span[0] : span_hi - span[0]] = pre
+            with env.ctx.trace("tp:exchange", round=r):
+                env.stats.bytes_exchanged += exchange_data(
+                    comm, cost, "nonblocking", buf, rp.send, cbuf, rp.recv,
+                    skip=frozenset(),
+                )
+            with env.ctx.trace("tp:io", round=r):
+                if cbuf is not None:
+                    env.stats.note_flush("datasieve-integrated")
+                    env.adio.write_contig(
+                        span_lo, cbuf[span_lo - span[0] : span_hi - span[0]]
+                    )
+        else:
+            cbuf = None
+            with env.ctx.trace("tp:io", round=r):
+                if span is not None and m_offs is not None and m_offs.size:
+                    span_lo = int(m_offs[0])
+                    span_hi = int((m_offs + m_lens).max())
+                    cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                    env.stats.note_flush("datasieve-integrated")
+                    cbuf[span_lo - span[0] : span_hi - span[0]] = (
+                        env.adio.read_contig(span_lo, span_hi - span_lo)
+                    )
+            with env.ctx.trace("tp:exchange", round=r):
+                env.stats.bytes_exchanged += exchange_data(
+                    comm, cost, "nonblocking", cbuf, rp.recv, buf, rp.send,
+                    skip=frozenset(),
+                )
+    if write:
+        env.stats.collective_writes += 1
+    else:
+        env.stats.collective_reads += 1
+
+
 def write_all_old(
     env: CollEnv,
     buf: np.ndarray,
@@ -373,6 +432,14 @@ def write_all_old(
     data_lo: int = 0,
 ) -> None:
     """Collective write, original implementation."""
+    cache = env.plancache
+    if cache is not None:
+        entry = cache.begin(env, memflat, total_bytes, data_lo, "old")
+        if entry is not None:
+            with env.ctx.trace("plan:replay", key=entry.key_id, impl="old"):
+                _replay_old(env, entry, buf, write=True)
+            return
+    rec = cache.recording("old") if cache is not None else None
     with env.ctx.trace("tp:plan"):
         plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
@@ -380,6 +447,8 @@ def write_all_old(
     while r < plan.nrounds:
         replacement = _check_boundary(plan, r)
         if replacement is not None:
+            if rec is not None:
+                rec.mark_dirty()
             plan = replacement
             r = 0
             continue
@@ -387,6 +456,8 @@ def write_all_old(
         with env.ctx.trace("tp:route", round=r):
             send_plan = _client_plan(plan, r)
             span, recv_plan, (m_offs, m_lens) = _agg_layout(plan, r)
+        if rec is not None:
+            rec.add_round(send_plan, span, recv_plan, (m_offs, m_lens))
         cbuf = None
         span_lo = span_hi = 0
         with env.ctx.trace("tp:io", round=r):
@@ -421,6 +492,9 @@ def write_all_old(
                     # as covered).
                     env.adio.retry.run(env.ctx, env.adio.local.sync)
         r += 1
+    if rec is not None:
+        with env.ctx.trace("plan:store", key=rec.key_id, impl="old"):
+            cache.commit(rec, nrounds=plan.nrounds, aggs=plan.aggs)
     env.stats.collective_writes += 1
 
 
@@ -433,6 +507,14 @@ def read_all_old(
 ) -> None:
     """Collective read, original implementation (integrated read sieve:
     the aggregator reads its whole window span once, then distributes)."""
+    cache = env.plancache
+    if cache is not None:
+        entry = cache.begin(env, memflat, total_bytes, data_lo, "old")
+        if entry is not None:
+            with env.ctx.trace("plan:replay", key=entry.key_id, impl="old"):
+                _replay_old(env, entry, buf, write=False)
+            return
+    rec = cache.recording("old") if cache is not None else None
     with env.ctx.trace("tp:plan"):
         plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
@@ -440,6 +522,8 @@ def read_all_old(
     while r < plan.nrounds:
         replacement = _check_boundary(plan, r)
         if replacement is not None:
+            if rec is not None:
+                rec.mark_dirty()
             plan = replacement
             r = 0
             continue
@@ -447,6 +531,10 @@ def read_all_old(
         with env.ctx.trace("tp:route", round=r):
             recv_plan = _client_plan(plan, r)
             span, send_plan, (m_offs, m_lens) = _agg_layout(plan, r)
+        if rec is not None:
+            # Write orientation (client batches as ``send``); the replay
+            # re-swaps for reads, mirroring the cold driver.
+            rec.add_round(recv_plan, span, send_plan, (m_offs, m_lens))
         cbuf = None
         with env.ctx.trace("tp:io", round=r):
             plan.crash_point("flush")
@@ -466,4 +554,7 @@ def read_all_old(
                     skip=plan.skip,
                 )
         r += 1
+    if rec is not None:
+        with env.ctx.trace("plan:store", key=rec.key_id, impl="old"):
+            cache.commit(rec, nrounds=plan.nrounds, aggs=plan.aggs)
     env.stats.collective_reads += 1

@@ -72,6 +72,10 @@ _SPEC: Dict[str, tuple] = {
     "realm_strategy": (_choice("even", "aligned", "balanced"), "even"),
     "realm_alignment": (_non_negative_int, 0),  # bytes; 0 = unaligned
     "persistent_file_realms": (_boolean, False),
+    # Persistent collective plans (docs/plan_cache.md): cache the full
+    # per-round schedule across identical calls and replay it with zero
+    # datatype processing.  Off = bit-identical to the uncached path.
+    "plan_cache": (_boolean, False),
     # Independent-I/O method used to flush the collective buffer.
     "io_method": (_choice("datasieve", "naive", "listio", "conditional"), "datasieve"),
     "ds_buffer_size": (_positive_int, 512 * 1024),

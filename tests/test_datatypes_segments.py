@@ -10,7 +10,8 @@ from hypothesis import strategies as st
 
 from repro.datatypes import BYTE, contiguous, hindexed, resized, vector
 from repro.datatypes.flatten import FlatType
-from repro.datatypes.segments import FlatCursor, data_to_file_segments
+from repro.datatypes.packing import gather_segments
+from repro.datatypes.segments import FlatCursor, SegmentBatch, data_to_file_segments
 from repro.errors import DatatypeError
 
 
@@ -213,6 +214,108 @@ class TestDataToFileSegments:
             for b in range(ln):
                 got[do + b] = fo + b
         assert got == {0: 6, 1: 7, 2: 0, 3: 1}
+
+
+def _arr(*vals):
+    return np.array(vals, dtype=np.int64)
+
+
+class TestSegmentBatchCoalesce:
+    """Edge cases of the exchange layer's run-merging — the batches the
+    plan cache stores and replays verbatim."""
+
+    def test_singleton_batch_is_identity(self):
+        b = SegmentBatch(_arr(5), _arr(4), _arr(0), pairs_evaluated=7)
+        assert b.coalesce() is b
+
+    def test_empty_batch_is_identity(self):
+        b = SegmentBatch.empty_batch(pairs_evaluated=3, tiles_skipped=1)
+        assert b.coalesce() is b
+        assert b.coalesce().pairs_evaluated == 3
+
+    def test_unsorted_data_offsets_reordered_not_merged(self):
+        # File-contiguous but data-reversed: must sort by data offsets
+        # and must NOT merge (the runs do not continue in data space).
+        b = SegmentBatch(_arr(0, 4), _arr(4, 4), _arr(4, 0))
+        c = b.coalesce()
+        assert c.num_segments == 2
+        assert c.data_offsets.tolist() == [0, 4]
+        assert c.file_offsets.tolist() == [4, 0]
+        image = np.arange(8, dtype=np.uint8)
+        assert np.array_equal(gather_segments(image, c), gather_segments(image, b))
+
+    def test_merge_requires_contiguity_in_both_spaces(self):
+        # Data-contiguous with a file gap: stays split.
+        split = SegmentBatch(_arr(0, 8), _arr(4, 4), _arr(0, 4)).coalesce()
+        assert split.num_segments == 2
+        # Contiguous in both spaces: collapses to one run.
+        merged = SegmentBatch(_arr(0, 4), _arr(4, 4), _arr(0, 4)).coalesce()
+        assert merged.num_segments == 1
+        assert merged.file_offsets.tolist() == [0]
+        assert merged.lengths.tolist() == [8]
+
+    def test_unsorted_input_merges_after_reorder(self):
+        # Given out of data order, the two halves are one run once sorted.
+        b = SegmentBatch(_arr(4, 0), _arr(4, 4), _arr(4, 0))
+        c = b.coalesce()
+        assert c.num_segments == 1
+        assert c.file_offsets.tolist() == [0] and c.lengths.tolist() == [8]
+
+    def test_zero_length_segments_preserve_stream(self):
+        # A zero-length segment sandwiched between two real runs: the
+        # packed byte stream must be unchanged by coalescing.
+        b = SegmentBatch(_arr(0, 20, 4), _arr(4, 0, 4), _arr(0, 2, 4))
+        c = b.coalesce()
+        image = np.arange(32, dtype=np.uint8)
+        assert np.array_equal(gather_segments(image, c), gather_segments(image, b))
+        assert c.total_bytes == b.total_bytes == 8
+
+    def test_counters_carry_over(self):
+        b = SegmentBatch(_arr(0, 4, 12), _arr(4, 4, 2), _arr(0, 4, 8),
+                         pairs_evaluated=11, tiles_skipped=5)
+        c = b.coalesce()
+        assert c.num_segments == 2  # first two merge, third is apart
+        assert (c.pairs_evaluated, c.tiles_skipped) == (11, 5)
+
+
+class TestCursorCounterCarryOver:
+    """FlatCursor charges each batch only for work done *since the last
+    query*: the counters partition across a monotone query sequence."""
+
+    def test_single_tile_pairs_partition(self):
+        t = vector(8, 1, 3, BYTE)
+        total_pairs = 8
+        cur = FlatCursor(t.flatten(), 0, 8)
+        charged = 0
+        for lo in range(0, 24, 6):
+            charged += cur.intersect(lo, lo + 6).pairs_evaluated
+        # Cumulative charge equals one full scan — no pair is ever
+        # re-charged, none is dropped.
+        assert charged == total_pairs
+
+    def test_multi_tile_skips_partition(self):
+        flat = resized(contiguous(2, BYTE), 0, 10).flatten()
+        cur = FlatCursor(flat, 0, 16)  # 8 tiles
+        first = cur.intersect(40, 42)   # steps over tiles 0..3
+        again = cur.intersect(60, 62)   # only tile 5 stepped over now
+        assert first.tiles_skipped == 4
+        assert again.tiles_skipped == 1
+
+    def test_reset_clears_carry(self):
+        flat = resized(contiguous(2, BYTE), 0, 10).flatten()
+        cur = FlatCursor(flat, 0, 12)
+        a = cur.intersect(40, 42)
+        cur.reset()
+        b = cur.intersect(40, 42)
+        assert (a.pairs_evaluated, a.tiles_skipped) == (
+            b.pairs_evaluated, b.tiles_skipped
+        )
+
+    def test_zero_length_total_charges_nothing(self):
+        cur = FlatCursor(contiguous(8, BYTE).flatten(), 0, 0)
+        batch = cur.intersect(0, 64)
+        assert batch.empty
+        assert batch.pairs_evaluated == 0 and batch.tiles_skipped == 0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,287 @@
+"""Cache-correctness differential harness for persistent plans.
+
+One seeded random access pattern → a multi-step checkpoint loop
+(write, read back, repeat with fresh payloads) run twice per mode:
+once with ``plan_cache`` on (first call plans, later calls replay) and
+once with it off (every call plans cold).  For all four exchange
+backends and both implementations the two runs must produce the
+byte-identical file image and byte-perfect read-backs — and the hot
+run must actually have replayed (hits > 0), otherwise the property
+silently degenerates to cold-vs-cold.
+
+A second block re-runs a fixed case under data-path fault plans
+(transient I/O errors, network bit flips, a replicated OST crash):
+those kinds leave the cache active, so the differential proves replay
+correctness *under* faults.  Realm-mutating kinds stand the cache down
+entirely (see tests/test_plan_cache.py for the bypass/invalidations
+matrix).
+
+The 200-case sweep is marked ``slow`` (dedicated CI job); a small
+unmarked draw keeps the property in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CostModel
+from repro.core import CollectiveFile
+from repro.datatypes.base import RawFlatType
+from repro.datatypes.flatten import FlatType
+from repro.datatypes.packing import scatter_segments
+from repro.datatypes.segments import FlatCursor
+from repro.faults import FaultPlan
+from repro.fs import SimFileSystem
+from repro.mpi import Communicator, Hints
+from repro.sim import Simulator
+
+COST = CostModel(page_size=64, stripe_size=256, num_osts=2)
+PATH = "/plans"
+STEPS = 3
+
+MODES = (
+    ("new+two_layer", "new", "two_layer"),
+    ("new+alltoallw", "new", "alltoallw"),
+    ("new+nonblocking", "new", "nonblocking"),
+    ("old", "old", None),
+)
+
+_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def cases(draw):
+    nprocs = draw(st.integers(min_value=2, max_value=5))
+    slot = draw(st.integers(min_value=8, max_value=24))
+    seg_lo = draw(st.integers(min_value=0, max_value=slot - 1))
+    seg_len = draw(st.integers(min_value=1, max_value=slot - seg_lo))
+    tiles = draw(st.integers(min_value=1, max_value=6))
+    strategy = draw(st.sampled_from(("even", "aligned", "balanced")))
+    return dict(
+        nprocs=nprocs,
+        slot=slot,
+        seg_lo=seg_lo,
+        seg_len=seg_len,
+        tiles=tiles,
+        ppn=draw(st.integers(min_value=1, max_value=nprocs)),
+        cb=draw(st.sampled_from((96, 160, 256))),
+        cb_nodes=draw(st.integers(min_value=0, max_value=3)),
+        strategy=strategy,
+        alignment=draw(st.sampled_from((32, 64))) if strategy == "aligned" else 0,
+        io_method=draw(st.sampled_from(("datasieve", "naive"))),
+        empty_last=draw(st.booleans()),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+
+
+def _build_view(rank, case):
+    flat = FlatType(
+        np.array([case["seg_lo"]], dtype=np.int64),
+        np.array([case["seg_len"]], dtype=np.int64),
+        case["slot"] * case["nprocs"],
+    )
+    return rank * case["slot"], RawFlatType(flat, name=f"r{rank}")
+
+
+def _totals(case):
+    total = case["seg_len"] * case["tiles"]
+    totals = [total] * case["nprocs"]
+    if case["empty_last"] and case["nprocs"] > 2:
+        totals[-1] = 0
+    return totals
+
+
+def _step_payloads(case):
+    """Per-step, per-rank payloads: same geometry, fresh bytes each
+    step — exactly the shape a cache hit must replay correctly."""
+    rng = np.random.default_rng(case["seed"])
+    totals = _totals(case)
+    return [
+        [rng.integers(1, 255, size=n, dtype=np.uint8) for n in totals]
+        for _ in range(STEPS)
+    ]
+
+
+def _reference(case, payloads):
+    """Direct-scatter image after the last step (each step overwrites)."""
+    size = case["slot"] * case["nprocs"] * (case["tiles"] + 2)
+    out = np.zeros(size, dtype=np.uint8)
+    for step in range(STEPS):
+        for rank, payload in enumerate(payloads[step]):
+            if payload.size == 0:
+                continue
+            disp, ft = _build_view(rank, case)
+            batch = FlatCursor(ft.flatten(), disp, payload.size).all_segments()
+            scatter_segments(out, batch, payload)
+    return out
+
+
+def _hints(case, impl, exchange, plan_cache):
+    values = dict(
+        coll_impl=impl,
+        cb_nodes=case["cb_nodes"],
+        cb_buffer_size=case["cb"],
+        realm_strategy=case["strategy"],
+        realm_alignment=case["alignment"],
+        io_method=case["io_method"],
+        plan_cache=plan_cache,
+    )
+    if exchange is not None:
+        values["exchange"] = exchange
+    if exchange == "two_layer":
+        values["procs_per_node"] = case["ppn"]
+    return Hints(values)
+
+
+def _checkpoint_loop(
+    case, impl, exchange, payloads, image_size, plan_cache, *,
+    plan=None, replication=1,
+):
+    """STEPS× (write_at_all(0), read_at_all(0)) with a fixed view.
+
+    Returns (file image, per-rank read-backs of the last step, per-rank
+    (hits, misses) counter pairs — (0, 0) when the cache is off)."""
+    fs = SimFileSystem(COST)
+    hints = _hints(case, impl, exchange, plan_cache)
+    if replication > 1:
+        hints = hints.replace(replication_factor=replication)
+
+    def main(ctx):
+        comm = Communicator(ctx, COST)
+        f = CollectiveFile(ctx, comm, fs, PATH, hints=hints, cost=COST)
+        disp, ft = _build_view(comm.rank, case)
+        f.set_view(disp=disp, filetype=ft)
+        out = None
+        for step in range(STEPS):
+            payload = payloads[step][comm.rank]
+            f.write_at_all(0, payload.copy())
+            out = np.zeros(payload.size, dtype=np.uint8)
+            f.read_at_all(0, out)
+            assert np.array_equal(out, payload), (step, comm.rank)
+        pc = f.plancache
+        counters = (pc.hits, pc.misses) if pc is not None else (0, 0)
+        f.close()
+        return out, counters
+
+    sim = Simulator(case["nprocs"])
+    if plan is not None:
+        plan.install(sim)
+    results = sim.run(main)
+    readbacks = [r[0] for r in results]
+    counters = [r[1] for r in results]
+    return fs.raw_bytes(PATH, 0, image_size), readbacks, counters
+
+
+def _check_case(case, *, plan_factory=None, replication=1):
+    payloads = _step_payloads(case)
+    ref = _reference(case, payloads)
+    for label, impl, exchange in MODES:
+        plan = plan_factory() if plan_factory is not None else None
+        hot, hot_back, counters = _checkpoint_loop(
+            case, impl, exchange, payloads, ref.size, True,
+            plan=plan, replication=replication,
+        )
+        plan = plan_factory() if plan_factory is not None else None
+        cold, cold_back, _ = _checkpoint_loop(
+            case, impl, exchange, payloads, ref.size, False,
+            plan=plan, replication=replication,
+        )
+        assert np.array_equal(hot, cold), (label, case)
+        assert np.array_equal(hot, ref), (label, case)
+        for rank in range(case["nprocs"]):
+            assert np.array_equal(hot_back[rank], cold_back[rank]), (label, rank)
+            assert np.array_equal(
+                hot_back[rank], payloads[-1][rank]
+            ), (label, rank, case)
+        # The property must not degenerate to cold-vs-cold: one miss
+        # builds the plan, every later identical call replays it.
+        for rank, (hits, misses) in enumerate(counters):
+            assert misses == 1, (label, rank, counters)
+            assert hits == 2 * STEPS - 1, (label, rank, counters)
+
+
+@given(case=cases())
+@settings(max_examples=20, **_SETTINGS)
+def test_cached_vs_cold_byte_identical_quick(case):
+    """Tier-1 slice of the cached-vs-cold differential property."""
+    _check_case(case)
+
+
+@pytest.mark.slow
+@given(case=cases())
+@settings(max_examples=200, **_SETTINGS)
+def test_cached_vs_cold_byte_identical_sweep(case):
+    """The full ≥200-case drawn sweep (dedicated CI job)."""
+    _check_case(case)
+
+
+#: Fixed case for the under-faults differentials: big enough to span
+#: both of COST's OSTs and produce multi-round schedules.
+_FAULT_CASE = {
+    "nprocs": 4, "slot": 20, "seg_lo": 3, "seg_len": 9, "tiles": 5,
+    "ppn": 2, "cb": 160, "cb_nodes": 2, "strategy": "even",
+    "alignment": 0, "io_method": "datasieve", "empty_last": False,
+    "seed": 11,
+}
+
+
+@pytest.mark.parametrize("label,impl,exchange", MODES)
+def test_cached_vs_cold_under_transient_io(label, impl, exchange):
+    """Transient I/O faults are data-path only: the cache stays active
+    and replayed calls must retry through them byte-identically."""
+    _check_case(
+        _FAULT_CASE,
+        plan_factory=lambda: FaultPlan(42).transient_io(0.2),
+    )
+
+
+@pytest.mark.parametrize("label,impl,exchange", MODES)
+def test_cached_vs_cold_under_net_flips(label, impl, exchange):
+    """Network bit flips with frame checksums armed: detected and
+    re-requested on cold and replayed exchanges alike."""
+    case = dict(_FAULT_CASE)
+    payloads = _step_payloads(case)
+    ref = _reference(case, payloads)
+    for plan_cache in (True, False):
+        fs = SimFileSystem(COST)
+        hints = _hints(case, impl, exchange, plan_cache).replace(
+            integrity_network=True
+        )
+
+        def main(ctx):
+            comm = Communicator(ctx, COST)
+            f = CollectiveFile(ctx, comm, fs, PATH, hints=hints, cost=COST)
+            disp, ft = _build_view(comm.rank, case)
+            f.set_view(disp=disp, filetype=ft)
+            for step in range(STEPS):
+                payload = payloads[step][comm.rank]
+                f.write_at_all(0, payload.copy())
+                out = np.zeros(payload.size, dtype=np.uint8)
+                f.read_at_all(0, out)
+                assert np.array_equal(out, payload), (step, comm.rank)
+            f.close()
+
+        sim = Simulator(case["nprocs"])
+        FaultPlan(7).net_bitflip(0.05).install(sim)
+        sim.run(main)
+        assert np.array_equal(fs.raw_bytes(PATH, 0, ref.size), ref), (
+            label, plan_cache,
+        )
+
+
+@pytest.mark.parametrize("label,impl,exchange", MODES)
+def test_cached_vs_cold_under_replicated_ost_crash(label, impl, exchange):
+    """A mid-run OST crash with replication_factor=2: the storage fault
+    domain must stay invisible to replayed schedules too."""
+    _check_case(
+        _FAULT_CASE,
+        plan_factory=lambda: FaultPlan(3).ost_crash([0], start=1e-3, end=8e-3),
+        replication=2,
+    )
