@@ -44,6 +44,13 @@ collective call three times: the first call must build (a miss), every
 identical later call must replay (hits), and the read-backs must stay
 byte-perfect — the cache-correctness smoke CI runs on every push.
 
+``--async`` (selfcheck, chaos) issues every collective through the
+nonblocking surface (``iwrite_all``/``iread_all`` +
+``Request.wait()``, docs/async_io.md) instead of the blocking calls;
+``--pipeline D`` arms ``pipeline_depth=D`` (double-buffered rounds).
+Both are held to the same byte-perfect contract and compose with
+``--integrity``/``--ppn``.
+
 ``--replicate R`` (selfcheck, chaos) arms ``replication_factor=R``:
 every stripe's pages land on R distinct OSTs, writes commit on a
 majority quorum, reads fail over to surviving replicas.  Pair with
@@ -69,6 +76,8 @@ def selfcheck(
     ppn: int = 0,
     replicate: int = 1,
     plan_cache: bool = False,
+    async_io: bool = False,
+    pipeline: int = 0,
 ) -> int:
     from repro import (
         BYTE,
@@ -80,6 +89,7 @@ def selfcheck(
         contiguous,
         resized,
     )
+    from repro.core.file_handle import sanctioned_construction
     from repro.faults import FaultStats, load_scenario
 
     plan = load_scenario(fault_spec) if fault_spec else None
@@ -120,21 +130,34 @@ def selfcheck(
                 )
             if plan_cache:
                 hints = hints.replace(plan_cache=True)
+            if pipeline > 0:
+                # Double-buffered rounds (docs/async_io.md) ride both
+                # implementations; byte-identity is exactly what this
+                # check verifies.
+                hints = hints.replace(pipeline_depth=pipeline)
             reps = 3 if plan_cache else 1
 
             def main(ctx):
                 comm = Communicator(ctx)
-                f = CollectiveFile(ctx, comm, fs, "/check", hints=hints)
+                with sanctioned_construction():
+                    f = CollectiveFile(ctx, comm, fs, "/check", hints=hints)
                 tile = resized(contiguous(region, BYTE), 0, region * nprocs)
                 f.set_view(disp=comm.rank * region, filetype=tile)
                 data = (np.arange(region * count, dtype=np.int64) * (comm.rank + 1) % 251).astype(np.uint8)
                 ok = True
                 for _ in range(reps):
                     f.seek(0)
-                    f.write_all(data)
-                    f.seek(0)
                     out = np.zeros_like(data)
-                    f.read_all(out)
+                    if async_io:
+                        # Nonblocking surface: same collectives, issued
+                        # split-phase and completed at wait().
+                        f.iwrite_all(data).wait()
+                        f.seek(0)
+                        f.iread_all(out).wait()
+                    else:
+                        f.write_all(data)
+                        f.seek(0)
+                        f.read_all(out)
                     ok = ok and bool(np.array_equal(out, data))
                 pc = f.plancache
                 hits, misses = (pc.hits, pc.misses) if pc is not None else (0, 0)
@@ -245,6 +268,7 @@ def chaos(
     liveness: bool = False,
     ppn: int = 0,
     replicate: int = 1,
+    async_io: bool = False,
 ) -> int:
     from repro.bench import ChaosHarness
     from repro.mpi import Hints
@@ -260,6 +284,7 @@ def chaos(
         liveness=liveness,
         hints=hints,
         replication=replicate,
+        async_io=async_io,
     )
     report = harness.sweep()
     print(report.format())
@@ -287,6 +312,7 @@ def fsck(
         contiguous,
         resized,
     )
+    from repro.core.file_handle import sanctioned_construction
     from repro.integrity import fsck as run_fsck
 
     nprocs, region, count = 4, 64, 64
@@ -296,7 +322,8 @@ def fsck(
 
     def main(ctx):
         comm = Communicator(ctx)
-        f = CollectiveFile(ctx, comm, fs, path, hints=hints)
+        with sanctioned_construction():
+            f = CollectiveFile(ctx, comm, fs, path, hints=hints)
         tile = resized(contiguous(region, BYTE), 0, region * nprocs)
         f.set_view(disp=comm.rank * region, filetype=tile)
         data = (
@@ -664,6 +691,24 @@ def main(argv: list[str]) -> int:
     plan_cache = "--plan-cache" in args
     if plan_cache:
         args.remove("--plan-cache")
+    async_io = "--async" in args
+    if async_io:
+        args.remove("--async")
+    pipeline = 0
+    if "--pipeline" in args:
+        i = args.index("--pipeline")
+        if i + 1 >= len(args):
+            print("--pipeline requires a depth (rounds in flight)")
+            return 2
+        try:
+            pipeline = int(args[i + 1])
+        except ValueError:
+            print(f"--pipeline requires an integer, got {args[i + 1]!r}")
+            return 2
+        if pipeline < 0:
+            print(f"--pipeline must be >= 0, got {pipeline}")
+            return 2
+        del args[i : i + 2]
     as_json = "--json" in args
     if as_json:
         args.remove("--json")
@@ -681,7 +726,7 @@ def main(argv: list[str]) -> int:
         print(
             f"usage: python -m repro [{'|'.join(commands)}] "
             "[--faults NAME[:SEED]] [--integrity] [--liveness] [--ppn N] "
-            "[--replicate R] [--plan-cache]\n"
+            "[--replicate R] [--plan-cache] [--async] [--pipeline D]\n"
             "       python -m repro selfcheck --crash RANK[:EPOCH]\n"
             "       python -m repro trace [OUT.json] [--ppn N] "
             "[--faults NAME[:SEED]]\n"
@@ -697,9 +742,12 @@ def main(argv: list[str]) -> int:
     if cmd == "selfcheck" and crash_spec is not None:
         return crash_check(crash_spec)
     if cmd == "selfcheck":
-        return selfcheck(fault_spec, integrity, liveness, ppn, replicate, plan_cache)
+        return selfcheck(
+            fault_spec, integrity, liveness, ppn, replicate, plan_cache,
+            async_io, pipeline,
+        )
     if cmd == "chaos":
-        return chaos(fault_spec, integrity, liveness, ppn, replicate)
+        return chaos(fault_spec, integrity, liveness, ppn, replicate, async_io)
     return commands[cmd](fault_spec, integrity, liveness, ppn)
 
 

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.config import CostModel, DEFAULT_COST_MODEL
 from repro.core import CollectiveFile
+from repro.core.file_handle import sanctioned_construction
 from repro.datatypes import BYTE, contiguous, resized
 from repro.datatypes.segments import FlatCursor
 from repro.datatypes.packing import scatter_segments
@@ -188,6 +189,7 @@ class ChaosHarness:
         replication: int = 1,
         queue_limit: Optional[float] = None,
         breaker: object = True,
+        async_io: bool = False,
     ) -> None:
         if isinstance(scenario, FaultPlan):
             self.plan = scenario
@@ -228,6 +230,13 @@ class ChaosHarness:
             self.hints = self.hints.replace(replication_factor=replication)
         self.queue_limit = queue_limit
         self.breaker = breaker
+        #: Issue the workload through the nonblocking surface
+        #: (``iwrite_all`` + ``Request.wait()``) instead of the blocking
+        #: ``write_all``.  The bounded-completion contract is identical:
+        #: ``wait()`` re-raises the operation's *original* typed
+        #: exception object, so the cause/context chain the classifier
+        #: whitelists is the same one the inline path produces.
+        self.async_io = async_io
         self.cost = cost
         self.total_bytes = nprocs * region * count
 
@@ -279,10 +288,17 @@ class ChaosHarness:
 
         def main(ctx):
             comm = Communicator(ctx, self.cost)
-            f = CollectiveFile(ctx, comm, fs, _PATH, hints=hints, cost=self.cost)
+            with sanctioned_construction():
+                f = CollectiveFile(ctx, comm, fs, _PATH, hints=hints, cost=self.cost)
             tile = resized(contiguous(region, BYTE), 0, region * nprocs)
             f.set_view(disp=comm.rank * region, filetype=tile)
-            f.write_all(self._rank_buffer(comm.rank))
+            if self.async_io:
+                # Split collective: any typed failure is captured by the
+                # coroutine's handle and re-raised here — same object,
+                # same chain, same classifier outcome as the inline path.
+                f.iwrite_all(self._rank_buffer(comm.rank)).wait()
+            else:
+                f.write_all(self._rank_buffer(comm.rank))
             f.close()
             return ctx.now
 

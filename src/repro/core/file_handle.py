@@ -22,7 +22,8 @@ steps are skipped.
 from __future__ import annotations
 
 import warnings
-from typing import Hashable, Optional
+from contextlib import contextmanager
+from typing import Hashable, List, Optional
 
 import numpy as np
 
@@ -31,11 +32,12 @@ from repro.core.env import CollEnv, CollStats
 from repro.core.file_view import FileView
 from repro.core.pfr import PFRState
 from repro.core.plancache import PlanCache
+from repro.core.request import Request
 from repro.core.two_phase_new import read_all_new, write_all_new
 from repro.core.two_phase_old import read_all_old, write_all_old
 from repro.datatypes.base import BYTE, Datatype
 from repro.datatypes.flatten import FlatType
-from repro.errors import CollectiveIOError
+from repro.errors import CollectiveIOError, RankCrashed
 from repro.fs.client import FSClient
 from repro.fs.filesystem import SimFileSystem
 from repro.integrity import IntegrityConfig, install_integrity
@@ -50,7 +52,27 @@ from repro.mpi.hints import Hints
 from repro.obs.metrics import MetricsView, metrics_registry
 from repro.sim.engine import RankContext
 
-__all__ = ["CollectiveFile", "CollStats"]
+__all__ = ["CollectiveFile", "CollStats", "sanctioned_construction"]
+
+#: Depth of active :func:`sanctioned_construction` scopes.  The engine
+#: runs one thread at a time, so a plain counter is race-free.
+_sanction_depth = 0
+
+
+@contextmanager
+def sanctioned_construction():
+    """Mark direct :class:`CollectiveFile` construction as intentional.
+
+    The documented way to open a file is :meth:`Session.open` +
+    :meth:`Session.run` (see ``docs/api.md``); internal plumbing that
+    still builds handles by hand wraps the construction in this scope
+    to keep the user-facing :class:`DeprecationWarning` quiet."""
+    global _sanction_depth
+    _sanction_depth += 1
+    try:
+        yield
+    finally:
+        _sanction_depth -= 1
 
 
 class CollectiveFile:
@@ -67,6 +89,14 @@ class CollectiveFile:
         client_id: Optional[Hashable] = None,
         resume_rank: Optional[int] = None,
     ) -> None:
+        if _sanction_depth == 0:
+            warnings.warn(
+                "Direct CollectiveFile construction is deprecated; open "
+                "files through repro.Session (Session.open(...).run(body) "
+                "hands each rank an open handle — see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.ctx = ctx
         self.comm = comm
         #: Rejoin replay mode (docs/crash_recovery.md): collective
@@ -150,6 +180,12 @@ class CollectiveFile:
         #: advanced by pointer-relative operations, reset by set_view).
         self._pointer = 0
         self._open = True
+        # Nonblocking surface (docs/async_io.md): outstanding requests
+        # and the tail of this rank's coroutine chain — each async op
+        # first joins its predecessor, so one rank's collectives issue
+        # in program order on the shared communicator queues.
+        self._requests: List[Request] = []
+        self._async_tail = None
         # Opening is collective in MPI; synchronize so later collective
         # calls start aligned (over the survivors once ranks have died
         # fail-stop — a corpse would deadlock the full barrier).
@@ -184,6 +220,7 @@ class CollectiveFile:
 
         Resets the individual file pointer to zero, per MPI."""
         self._require_open()
+        self._drain_async()
         self.view = FileView(disp, etype, filetype)
         self._pointer = 0
         if self.plancache is not None:
@@ -296,59 +333,67 @@ class CollectiveFile:
             and not self.hints["persistent_file_realms"]
         )
 
-    def _prologue(self) -> None:
+    def _prologue(self, adio: AdioFile) -> None:
         if self._needs_realm_coherence:
             # Realms may have moved since the last call: drop cached
             # pages so reads cannot see bytes another aggregator owns now.
-            self.local.invalidate()
+            adio.local.invalidate()
 
-    def _epilogue_write(self) -> None:
+    def _epilogue_write(self, ctx: RankContext, adio: AdioFile) -> None:
         if self._needs_realm_coherence:
             # Coherence flushes hit the server too; retry them under the
             # same policy as the data path or a transient fault here
             # would kill an otherwise-survivable collective call.
-            flushed = self.adio.retry.run(self.ctx, self.local.sync)
-            self.local.invalidate()
+            flushed = adio.retry.run(ctx, adio.local.sync)
+            adio.local.invalidate()
             self._stats.coherence_flush_pages += flushed
 
     # -- collective operations ---------------------------------------------------
-    def _collective_op(
+    def _run_body(
         self,
-        buf: np.ndarray,
-        memtype: Optional[Datatype],
-        count: int,
+        ctx: RankContext,
+        comm: Communicator,
+        adio: AdioFile,
+        view: FileView,
+        buf8: np.ndarray,
+        memflat: FlatType,
+        total: int,
+        start: int,
         *,
         write: bool,
-        data_lo: Optional[int] = None,
+        resume_call: Optional[int],
     ) -> None:
-        """Shared body of the *_all operations.
+        """The one collective body: prologue, driver, epilogue.
 
-        ``data_lo`` is the starting data-stream byte; ``None`` means the
-        individual file pointer (which then advances, per MPI)."""
-        self._require_open()
-        memflat, total = self._resolve_access(buf, memtype, count)
-        use_pointer = data_lo is None
-        start = self._pointer * self.view.etype.size if use_pointer else data_lo
-        self._prologue()
-        env = self._env()
-        buf8 = np.asarray(buf, dtype=np.uint8)
+        Blocking operations run it inline (``ctx``/``comm``/``adio``
+        are the handle's own); nonblocking operations run it in an
+        engine coroutine with the task's context, a communicator clone
+        on the same interned queues, and the adio view charging the
+        task's clock."""
+        self._prologue(adio)
+        env = CollEnv(
+            ctx=ctx,
+            comm=comm,
+            cost=self.cost,
+            hints=self.hints,
+            adio=adio,
+            view=view,
+            stats=self._stats,
+            pfr=self.pfr,
+            plancache=self.plancache,
+        )
         op_name = "write_all" if write else "read_all"
-        t_begin = self.ctx.now
-        with self.ctx.trace(op_name):
-            if self.resume_rank is not None:
+        t_begin = ctx.now
+        with ctx.trace(op_name):
+            if resume_call is not None:
                 # Rejoin replay (docs/crash_recovery.md): the Nth
                 # collective call of the replayed program is resumed
                 # against the Nth call's epoch records.
                 from repro.core.resume import resume_write
-                if not write:
-                    raise CollectiveIOError(
-                        "rejoin replay sessions support collective writes only"
-                    )
-                call = self._resume_calls
-                self._resume_calls += 1
+
                 rewritten, skipped = resume_write(
                     env, buf8, memflat, total, start,
-                    call_index=call, rank=self.resume_rank,
+                    call_index=resume_call, rank=self.resume_rank,
                 )
                 self.resume_rewritten += rewritten
                 self.resume_skipped += skipped
@@ -358,25 +403,140 @@ class CollectiveFile:
             else:
                 driver = read_all_old if self.hints["coll_impl"] == "old" else read_all_new
                 driver(env, buf8, memflat, total, start)
-        self._call_seconds.record(self.ctx.now - t_begin)
+        self._call_seconds.record(ctx.now - t_begin)
         if write:
-            self._epilogue_write()
+            self._epilogue_write(ctx, adio)
+
+    def _isubmit(
+        self,
+        buf: np.ndarray,
+        memtype: Optional[Datatype],
+        count: int,
+        *,
+        write: bool,
+        data_lo: Optional[int] = None,
+        sync: bool,
+    ) -> Request:
+        """Shared entry of all collective operations.
+
+        ``data_lo`` is the starting data-stream byte; ``None`` means
+        the individual file pointer.  ``sync=True`` runs the body
+        inline and returns an already-complete request (the blocking
+        operations are thin wrappers over this path); ``sync=False``
+        spawns the body as an engine coroutine and returns a pending
+        :class:`~repro.core.request.Request`.
+
+        Access resolution and pointer motion happen *at submit* in
+        both cases (MPI nonblocking semantics: the buffer extent and
+        offset are fixed when the operation starts), except that the
+        inline path defers the pointer advance until the body
+        succeeds, preserving the blocking surface's exact error
+        behaviour."""
+        self._require_open()
+        memflat, total = self._resolve_access(buf, memtype, count)
+        use_pointer = data_lo is None
+        start = self._pointer * self.view.etype.size if use_pointer else data_lo
+        buf8 = np.asarray(buf, dtype=np.uint8)
+        view = self.view
+        resume_call: Optional[int] = None
+        if self.resume_rank is not None:
+            if not write:
+                raise CollectiveIOError(
+                    "rejoin replay sessions support collective writes only"
+                )
+            resume_call = self._resume_calls
+            self._resume_calls += 1
+        op_name = ("iwrite_all" if write else "iread_all") if not sync else (
+            "write_all" if write else "read_all"
+        )
+        if sync:
+            # A blocking collective is ordered after everything already
+            # in flight on this rank — same rule real MPI imposes on
+            # mixing split and blocking collectives on one handle.
+            self._drain_async()
+            self._run_body(
+                self.ctx, self.comm, self.adio, view, buf8, memflat, total,
+                start, write=write, resume_call=resume_call,
+            )
+            if use_pointer:
+                self._pointer += total // self.view.etype.size
+            return Request.completed(op=op_name)
+        # Nonblocking: the pointer advances now (deterministically, in
+        # program order), the collective runs as a coroutine chained
+        # after this rank's previous async operation.
         if use_pointer:
             self._pointer += total // self.view.etype.size
+        prev = self._async_tail
+        comm_rank = self.comm.rank
+
+        def body(tctx: RankContext) -> None:
+            if prev is not None:
+                try:
+                    tctx.join(prev)
+                except Exception:  # noqa: BLE001 - that op reports at its wait()
+                    pass
+                # RankCrashed (a BaseException) falls through: once an
+                # earlier operation crashed this rank fail-stop, no
+                # later operation of its may run.
+            with tctx.trace(op_name):
+                comm = Communicator(
+                    tctx,
+                    self.cost,
+                    _comm_id=self.comm.comm_id,
+                    _rank=self.comm.rank,
+                    _members=self.comm.members,
+                )
+                self._run_body(
+                    tctx, comm, self.adio.rebound(tctx), view, buf8, memflat,
+                    total, start, write=write, resume_call=resume_call,
+                )
+
+        lane = self.ctx._sim.lane_for(
+            ("async", id(self.ctx.shared), comm_rank),
+            f"rank {comm_rank} async I/O",
+        )
+        handle = self.ctx.spawn(
+            body, label=f"{op_name}@r{comm_rank}", lane=lane
+        )
+        self._async_tail = handle
+        request = Request(self.ctx, handle, op=op_name)
+        self._requests = [r for r in self._requests if not r.done]
+        self._requests.append(request)
+        return request
+
+    def _drain_async(self) -> None:
+        """Settle every outstanding nonblocking operation.
+
+        Deferred errors stay parked on their requests (the caller may
+        still ``wait()``/``exception()`` them); a fail-stop
+        :class:`~repro.errors.RankCrashed` propagates immediately."""
+        for request in self._requests:
+            if not request.done:
+                try:
+                    request._settle()
+                except RankCrashed:
+                    self._requests = [r for r in self._requests if not r.done]
+                    raise
+        self._requests = [r for r in self._requests if not r.done]
+        self._async_tail = None
+
+    def outstanding(self) -> List[Request]:
+        """The still-pending nonblocking requests, oldest first."""
+        return [r for r in self._requests if not r.done]
 
     def write_all(
         self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1
     ) -> None:
         """Collective write at the individual file pointer
         (MPI_File_write_all); the pointer advances past the data."""
-        self._collective_op(buf, memtype, count, write=True)
+        self._isubmit(buf, memtype, count, write=True, sync=True).wait()
 
     def read_all(
         self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1
     ) -> None:
         """Collective read at the individual file pointer
         (MPI_File_read_all); the pointer advances past the data."""
-        self._collective_op(buf, memtype, count, write=False)
+        self._isubmit(buf, memtype, count, write=False, sync=True).wait()
 
     def write_at_all(
         self,
@@ -392,10 +552,10 @@ class CollectiveFile:
         individual file pointer does not move, per MPI."""
         if offset_etypes < 0:
             raise CollectiveIOError(f"offset must be non-negative, got {offset_etypes}")
-        self._collective_op(
+        self._isubmit(
             buf, memtype, count, write=True,
-            data_lo=offset_etypes * self.view.etype.size,
-        )
+            data_lo=offset_etypes * self.view.etype.size, sync=True,
+        ).wait()
 
     def read_at_all(
         self,
@@ -407,9 +567,60 @@ class CollectiveFile:
         """Collective read at an explicit offset (MPI_File_read_at_all)."""
         if offset_etypes < 0:
             raise CollectiveIOError(f"offset must be non-negative, got {offset_etypes}")
-        self._collective_op(
+        self._isubmit(
             buf, memtype, count, write=False,
-            data_lo=offset_etypes * self.view.etype.size,
+            data_lo=offset_etypes * self.view.etype.size, sync=True,
+        ).wait()
+
+    # -- nonblocking (split) collective operations -------------------------------
+    def iwrite_all(
+        self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1
+    ) -> Request:
+        """Nonblocking collective write (MPI_File_iwrite_all analogue).
+
+        The access is resolved and the individual file pointer advances
+        *now*; the two-phase collective itself runs as an engine
+        coroutine overlapping this rank's subsequent work.  Complete it
+        with :meth:`~repro.core.request.Request.wait` — typed failures
+        (``DeadlineExceeded``, ``RankCrashed``, storage errors) are
+        re-raised there, identical to the blocking path.  The caller
+        must not touch ``buf`` until the request completes."""
+        return self._isubmit(buf, memtype, count, write=True, sync=False)
+
+    def iread_all(
+        self, buf: np.ndarray, memtype: Optional[Datatype] = None, count: int = 1
+    ) -> Request:
+        """Nonblocking collective read; ``buf`` fills by completion."""
+        return self._isubmit(buf, memtype, count, write=False, sync=False)
+
+    def iwrite_at_all(
+        self,
+        offset_etypes: int,
+        buf: np.ndarray,
+        memtype: Optional[Datatype] = None,
+        count: int = 1,
+    ) -> Request:
+        """Nonblocking collective write at an explicit offset."""
+        if offset_etypes < 0:
+            raise CollectiveIOError(f"offset must be non-negative, got {offset_etypes}")
+        return self._isubmit(
+            buf, memtype, count, write=True,
+            data_lo=offset_etypes * self.view.etype.size, sync=False,
+        )
+
+    def iread_at_all(
+        self,
+        offset_etypes: int,
+        buf: np.ndarray,
+        memtype: Optional[Datatype] = None,
+        count: int = 1,
+    ) -> Request:
+        """Nonblocking collective read at an explicit offset."""
+        if offset_etypes < 0:
+            raise CollectiveIOError(f"offset must be non-negative, got {offset_etypes}")
+        return self._isubmit(
+            buf, memtype, count, write=False,
+            data_lo=offset_etypes * self.view.etype.size, sync=False,
         )
 
     # -- independent I/O ---------------------------------------------------------
@@ -431,6 +642,7 @@ class CollectiveFile:
         from repro.io.selection import choose_method
 
         self._require_open()
+        self._drain_async()
         memflat, total = self._resolve_access(buf, memtype, count)
         if total == 0:
             return
@@ -471,6 +683,7 @@ class CollectiveFile:
         self._require_open()
         if size < 0:
             raise CollectiveIOError(f"file size must be non-negative, got {size}")
+        self._drain_async()
         self.adio.retry.run(self.ctx, self.local.sync)
         self._alive_barrier()
         # The resizing rank is the first *survivor* — rank 0 may be dead.
@@ -489,6 +702,7 @@ class CollectiveFile:
     def sync(self) -> None:
         """Collective flush of client caches to the server."""
         self._require_open()
+        self._drain_async()
         self.adio.retry.run(self.ctx, self.local.sync)
         self._alive_barrier()
 
@@ -503,6 +717,13 @@ class CollectiveFile:
         if not self._open:
             return
         self._publish_retry_budget()
+        # Outstanding nonblocking operations must finish before the
+        # handle goes away; their deferred errors stay on the requests.
+        # This runs *before* the crash-dead check: a rank whose own
+        # coroutine crashed it fail-stop learns of its death here (the
+        # drain re-raises RankCrashed) instead of limping on as a
+        # zombie past its close.
+        self._drain_async()
         if self.comm.rank in self._crash_dead():
             self._open = False
             return

@@ -52,6 +52,7 @@ from repro.errors import (
     CollectiveIOError,
     RankCrashed,
 )
+from repro.core.pipeline import maybe_pipeline, task_env
 from repro.faults.plan import FAULTS_KEY
 from repro.io.selection import choose_method
 from repro.liveness import LIVENESS_KEY, install_crash_state
@@ -791,6 +792,38 @@ def _fill_merged(env: CollEnv, ft_extent: int, window, merged) -> Optional[np.nd
     return cbuf
 
 
+def _flush_task(env: CollEnv, ft_extent: int, window, merged, cbuf, r: int, svc: list):
+    """Coroutine body flushing round ``r``'s collective buffer.
+
+    Runs on the task's own clock via a context-rebound env; ``svc``
+    accumulates the aggregator service seconds the serialized path
+    would have charged inline."""
+
+    def run(tctx) -> None:
+        fenv = task_env(env, tctx)
+        with tctx.trace("round:flush", round=r):
+            t0 = tctx.now
+            _flush_merged(fenv, ft_extent, window, merged, cbuf)
+            svc.append(tctx.now - t0)
+
+    return run
+
+
+def _fill_task(env: CollEnv, ft_extent: int, window, merged, r: int, svc: list):
+    """Coroutine body pre-filling round ``r``'s collective buffer from
+    the file (the read-path prefetch); returns the buffer at join."""
+
+    def run(tctx):
+        fenv = task_env(env, tctx)
+        with tctx.trace("round:fill", round=r):
+            t0 = tctx.now
+            cbuf = _fill_merged(fenv, ft_extent, window, merged)
+            svc.append(tctx.now - t0)
+            return cbuf
+
+    return run
+
+
 def _replay(env: CollEnv, entry, buf: np.ndarray, *, write: bool) -> None:
     """Replay a cached plan: the data path of the cold drivers with the
     planning phase elided entirely — no flattening, no AAR allreduce,
@@ -812,50 +845,127 @@ def _replay(env: CollEnv, entry, buf: np.ndarray, *, write: bool) -> None:
     rank = comm.rank
     service = 0.0
     env.stats.last_realm_bytes = list(entry.realm_bytes)
+    # Replays pipeline too: the recorded schedule is immutable, so the
+    # flush/fill of round r overlaps neighbouring exchanges exactly as
+    # on the cold path.
+    pipe = maybe_pipeline(env)
+    svc: List[float] = []
 
     def run_rounds() -> None:
         nonlocal service
-        for r, rp in enumerate(entry.rounds):
-            env.stats.rounds += 1
+        try:
             if write:
-                cbuf = (
-                    np.zeros(rp.window.total_bytes, dtype=np.uint8)
-                    if rp.window is not None
-                    else None
-                )
-                if liv is not None:
-                    liv.set_phase(rank, f"exchange[{r}]")
-                with env.ctx.trace("tp:exchange", round=r):
-                    env.stats.bytes_exchanged += exchange_data(
-                        comm, cost, mode, buf, rp.send, cbuf, rp.recv,
-                        skip=frozenset(), topology=entry.topology,
+                for r, rp in enumerate(entry.rounds):
+                    env.stats.rounds += 1
+                    cbuf = (
+                        np.zeros(rp.window.total_bytes, dtype=np.uint8)
+                        if rp.window is not None
+                        else None
                     )
-                if liv is not None:
-                    liv.set_phase(rank, f"io[{r}]")
-                with env.ctx.trace("tp:io", round=r):
-                    if rp.window is not None and cbuf is not None:
-                        t0 = env.ctx.now
-                        _flush_merged(env, entry.ft_extent, rp.window, rp.merged, cbuf)
-                        service += env.ctx.now - t0
-            else:
-                if liv is not None:
-                    liv.set_phase(rank, f"io[{r}]")
-                with env.ctx.trace("tp:io", round=r):
-                    if rp.window is not None:
-                        t0 = env.ctx.now
-                        cbuf = _fill_merged(env, entry.ft_extent, rp.window, rp.merged)
-                        service += env.ctx.now - t0
+                    if liv is not None:
+                        liv.set_phase(rank, f"exchange[{r}]")
+                    with env.ctx.trace(
+                        "round:exchange" if pipe is not None else "tp:exchange",
+                        round=r,
+                    ):
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, mode, buf, rp.send, cbuf, rp.recv,
+                            skip=frozenset(), topology=entry.topology,
+                        )
+                    if pipe is not None:
+                        if rp.window is not None and cbuf is not None:
+                            pipe.submit(
+                                _flush_task(
+                                    env, entry.ft_extent, rp.window, rp.merged,
+                                    cbuf, r, svc,
+                                ),
+                                round_no=r,
+                                stage="round:flush",
+                            )
                     else:
-                        cbuf = None
-                if liv is not None:
-                    liv.set_phase(rank, f"exchange[{r}]")
-                with env.ctx.trace("tp:exchange", round=r):
-                    # Aggregator -> client, exactly like read_all_new:
-                    # recorded receive layouts become send batches.
-                    env.stats.bytes_exchanged += exchange_data(
-                        comm, cost, mode, cbuf, rp.recv, buf, rp.send,
-                        skip=frozenset(), topology=entry.topology,
-                    )
+                        if liv is not None:
+                            liv.set_phase(rank, f"io[{r}]")
+                        with env.ctx.trace("tp:io", round=r):
+                            if rp.window is not None and cbuf is not None:
+                                t0 = env.ctx.now
+                                _flush_merged(
+                                    env, entry.ft_extent, rp.window, rp.merged, cbuf
+                                )
+                                service += env.ctx.now - t0
+                if pipe is not None:
+                    pipe.drain()
+            elif pipe is None:
+                for r, rp in enumerate(entry.rounds):
+                    env.stats.rounds += 1
+                    if liv is not None:
+                        liv.set_phase(rank, f"io[{r}]")
+                    with env.ctx.trace("tp:io", round=r):
+                        if rp.window is not None:
+                            t0 = env.ctx.now
+                            cbuf = _fill_merged(
+                                env, entry.ft_extent, rp.window, rp.merged
+                            )
+                            service += env.ctx.now - t0
+                        else:
+                            cbuf = None
+                    if liv is not None:
+                        liv.set_phase(rank, f"exchange[{r}]")
+                    with env.ctx.trace("tp:exchange", round=r):
+                        # Aggregator -> client, exactly like read_all_new:
+                        # recorded receive layouts become send batches.
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, mode, cbuf, rp.recv, buf, rp.send,
+                            skip=frozenset(), topology=entry.topology,
+                        )
+            else:
+                # Pipelined replay read: prefetch fills ahead of the
+                # exchange, mirroring read_all_new's pipelined loop.
+                routed: List[tuple] = []
+                next_r = 0
+
+                def route_one(rr: int) -> None:
+                    rp = entry.rounds[rr]
+                    env.stats.rounds += 1
+                    handle = None
+                    if rp.window is not None:
+                        handle = pipe.submit(
+                            _fill_task(
+                                env, entry.ft_extent, rp.window, rp.merged, rr, svc
+                            ),
+                            round_no=rr,
+                            stage="round:fill",
+                        )
+                    routed.append((rr, rp, handle))
+
+                def prefetch() -> None:
+                    nonlocal next_r
+                    while next_r < len(entry.rounds) and (
+                        not routed
+                        or (pipe.free_slots > 0 and len(routed) <= pipe.depth)
+                    ):
+                        route_one(next_r)
+                        next_r += 1
+
+                prefetch()
+                while routed:
+                    rr, rp, handle = routed.pop(0)
+                    cbuf = pipe.join(handle) if handle is not None else None
+                    prefetch()
+                    if liv is not None:
+                        liv.set_phase(rank, f"exchange[{rr}]")
+                    with env.ctx.trace("round:exchange", round=rr):
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, mode, cbuf, rp.recv, buf, rp.send,
+                            skip=frozenset(), topology=entry.topology,
+                        )
+                pipe.drain()
+        except BaseException:
+            if pipe is not None:
+                pipe.drain(suppress=True)
+            raise
+        finally:
+            service += sum(svc)
+            svc.clear()
 
     if liv is not None:
         liv.begin_call(rank, env.ctx.now)
@@ -917,53 +1027,84 @@ def write_all_new(
     rank = comm.rank
     if liv is not None:
         liv.begin_call(rank, env.ctx.now)
+    # Round pipelining (docs/async_io.md): when armed, flushes run as
+    # engine coroutines so the exchange of round r+1 overlaps the flush
+    # of round r.  The pipeline stands down (None) whenever a
+    # realm-mutating fault kind is armed, so the failover / suspect /
+    # epoch machinery below only ever runs on the serialized path.
+    pipe = maybe_pipeline(env)
+    svc: List[float] = []
 
     def run_rounds() -> None:
-        r = 0
-        while r < plan.nrounds:
-            if plan.maybe_failover(r):
-                if rec is not None:
-                    rec.mark_dirty()
-                if plan.i_am_suspect:
-                    plan.run_suspect_tail(buf, write=True)
-                    return
-                r = 0
-                continue
-            env.stats.rounds += 1
-            if liv is not None:
-                liv.set_phase(rank, f"route[{r}]")
-            with env.ctx.trace("tp:route", round=r):
-                send_plan = plan.client_send_plan(r)
-                t0 = env.ctx.now
-                window, recv_plan, merged = plan.agg_recv_layout(r)
-                if window is not None:
-                    plan.service_seconds += env.ctx.now - t0
-                cbuf = (
-                    np.zeros(window.total_bytes, dtype=np.uint8)
-                    if window is not None
-                    else None
-                )
-            if rec is not None:
-                rec.add_round(send_plan, window, recv_plan, merged)
-            if liv is not None:
-                liv.set_phase(rank, f"exchange[{r}]")
-            with env.ctx.trace("tp:exchange", round=r):
-                plan.crash_point("exchange")
-                if not plan.dying:
-                    env.stats.bytes_exchanged += exchange_data(
-                        comm, cost, mode, buf, send_plan, cbuf, recv_plan,
-                        skip=plan.skip, topology=plan.topology,
-                    )
-            if liv is not None:
-                liv.set_phase(rank, f"io[{r}]")
-            with env.ctx.trace("tp:io", round=r):
-                plan.crash_point("flush")
-                if window is not None and cbuf is not None:
+        try:
+            r = 0
+            while r < plan.nrounds:
+                if plan.maybe_failover(r):
+                    if rec is not None:
+                        rec.mark_dirty()
+                    if plan.i_am_suspect:
+                        plan.run_suspect_tail(buf, write=True)
+                        return
+                    r = 0
+                    continue
+                env.stats.rounds += 1
+                if liv is not None:
+                    liv.set_phase(rank, f"route[{r}]")
+                with env.ctx.trace("tp:route", round=r):
+                    send_plan = plan.client_send_plan(r)
                     t0 = env.ctx.now
-                    _flush_merged(env, plan.ft_extent, window, merged, cbuf)
-                    plan.service_seconds += env.ctx.now - t0
-            plan.commit_epoch(r)
-            r += 1
+                    window, recv_plan, merged = plan.agg_recv_layout(r)
+                    if window is not None:
+                        plan.service_seconds += env.ctx.now - t0
+                    cbuf = (
+                        np.zeros(window.total_bytes, dtype=np.uint8)
+                        if window is not None
+                        else None
+                    )
+                if rec is not None:
+                    rec.add_round(send_plan, window, recv_plan, merged)
+                if liv is not None:
+                    liv.set_phase(rank, f"exchange[{r}]")
+                with env.ctx.trace(
+                    "round:exchange" if pipe is not None else "tp:exchange", round=r
+                ):
+                    plan.crash_point("exchange")
+                    if not plan.dying:
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, mode, buf, send_plan, cbuf, recv_plan,
+                            skip=plan.skip, topology=plan.topology,
+                        )
+                if pipe is not None:
+                    if window is not None and cbuf is not None:
+                        pipe.submit(
+                            _flush_task(
+                                env, plan.ft_extent, window, merged, cbuf, r, svc
+                            ),
+                            round_no=r,
+                            stage="round:flush",
+                        )
+                else:
+                    if liv is not None:
+                        liv.set_phase(rank, f"io[{r}]")
+                    with env.ctx.trace("tp:io", round=r):
+                        plan.crash_point("flush")
+                        if window is not None and cbuf is not None:
+                            t0 = env.ctx.now
+                            _flush_merged(env, plan.ft_extent, window, merged, cbuf)
+                            plan.service_seconds += env.ctx.now - t0
+                plan.commit_epoch(r)
+                r += 1
+            if pipe is not None:
+                pipe.drain()
+        except BaseException:
+            if pipe is not None:
+                # Never leave a flush coroutine running past its call;
+                # its own error must not mask the primary exception.
+                pipe.drain(suppress=True)
+            raise
+        finally:
+            plan.service_seconds += sum(svc)
+            svc.clear()
 
     try:
         if env.hints["journal_writes"]:
@@ -1022,55 +1163,117 @@ def read_all_new(
     rank = comm.rank
     if liv is not None:
         liv.begin_call(rank, env.ctx.now)
+    pipe = maybe_pipeline(env)
+    svc: List[float] = []
     try:
-        r = 0
-        while r < plan.nrounds:
-            if plan.maybe_failover(r):
-                if rec is not None:
-                    rec.mark_dirty()
-                if plan.i_am_suspect:
-                    plan.run_suspect_tail(buf, write=False)
-                    break
-                r = 0
-                continue
-            env.stats.rounds += 1
-            if liv is not None:
-                liv.set_phase(rank, f"route[{r}]")
-            with env.ctx.trace("tp:route", round=r):
-                # On reads, data flows aggregator -> client: the aggregator's
-                # per-client layouts become SEND batches, the client's
-                # memory batches become RECV batches.
-                recv_plan = plan.client_send_plan(r)
-                t0 = env.ctx.now
-                window, send_plan, merged = plan.agg_recv_layout(r)
-                if window is not None:
-                    plan.service_seconds += env.ctx.now - t0
-            if rec is not None:
-                # Recorded direction-independently: client memory batches
-                # as ``send``, aggregator layouts as ``recv`` (the write
-                # orientation); a replay re-swaps for reads.
-                rec.add_round(recv_plan, window, send_plan, merged)
-            if liv is not None:
-                liv.set_phase(rank, f"io[{r}]")
-            with env.ctx.trace("tp:io", round=r):
-                plan.crash_point("flush")
-                if window is not None and not plan.dying:
+        if pipe is None:
+            r = 0
+            while r < plan.nrounds:
+                if plan.maybe_failover(r):
+                    if rec is not None:
+                        rec.mark_dirty()
+                    if plan.i_am_suspect:
+                        plan.run_suspect_tail(buf, write=False)
+                        break
+                    r = 0
+                    continue
+                env.stats.rounds += 1
+                if liv is not None:
+                    liv.set_phase(rank, f"route[{r}]")
+                with env.ctx.trace("tp:route", round=r):
+                    # On reads, data flows aggregator -> client: the aggregator's
+                    # per-client layouts become SEND batches, the client's
+                    # memory batches become RECV batches.
+                    recv_plan = plan.client_send_plan(r)
                     t0 = env.ctx.now
-                    cbuf = _fill_merged(env, plan.ft_extent, window, merged)
-                    plan.service_seconds += env.ctx.now - t0
-                else:
-                    cbuf = None
-            if liv is not None:
-                liv.set_phase(rank, f"exchange[{r}]")
-            with env.ctx.trace("tp:exchange", round=r):
-                plan.crash_point("exchange")
-                if not plan.dying:
-                    env.stats.bytes_exchanged += exchange_data(
-                        comm, cost, mode, cbuf, send_plan, buf, recv_plan,
-                        skip=plan.skip, topology=plan.topology,
+                    window, send_plan, merged = plan.agg_recv_layout(r)
+                    if window is not None:
+                        plan.service_seconds += env.ctx.now - t0
+                if rec is not None:
+                    # Recorded direction-independently: client memory batches
+                    # as ``send``, aggregator layouts as ``recv`` (the write
+                    # orientation); a replay re-swaps for reads.
+                    rec.add_round(recv_plan, window, send_plan, merged)
+                if liv is not None:
+                    liv.set_phase(rank, f"io[{r}]")
+                with env.ctx.trace("tp:io", round=r):
+                    plan.crash_point("flush")
+                    if window is not None and not plan.dying:
+                        t0 = env.ctx.now
+                        cbuf = _fill_merged(env, plan.ft_extent, window, merged)
+                        plan.service_seconds += env.ctx.now - t0
+                    else:
+                        cbuf = None
+                if liv is not None:
+                    liv.set_phase(rank, f"exchange[{r}]")
+                with env.ctx.trace("tp:exchange", round=r):
+                    plan.crash_point("exchange")
+                    if not plan.dying:
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, mode, cbuf, send_plan, buf, recv_plan,
+                            skip=plan.skip, topology=plan.topology,
+                        )
+                r += 1
+        else:
+            # Pipelined read: route rounds ahead and launch their fills
+            # as coroutines, so the fill of round r+1 prefetches from the
+            # file while round r's exchange distributes data.  The
+            # pipeline never coexists with the failover machinery
+            # (maybe_pipeline stands down when those kinds are armed).
+            routed: List[tuple] = []
+            next_r = 0
+
+            def route_one(rr: int) -> None:
+                env.stats.rounds += 1
+                if liv is not None:
+                    liv.set_phase(rank, f"route[{rr}]")
+                with env.ctx.trace("tp:route", round=rr):
+                    recv_plan = plan.client_send_plan(rr)
+                    t0 = env.ctx.now
+                    window, send_plan, merged = plan.agg_recv_layout(rr)
+                    if window is not None:
+                        plan.service_seconds += env.ctx.now - t0
+                if rec is not None:
+                    rec.add_round(recv_plan, window, send_plan, merged)
+                handle = None
+                if window is not None:
+                    handle = pipe.submit(
+                        _fill_task(env, plan.ft_extent, window, merged, rr, svc),
+                        round_no=rr,
+                        stage="round:fill",
                     )
-            r += 1
+                routed.append((rr, send_plan, recv_plan, handle))
+
+            def prefetch() -> None:
+                nonlocal next_r
+                while next_r < plan.nrounds and (
+                    not routed
+                    or (pipe.free_slots > 0 and len(routed) <= pipe.depth)
+                ):
+                    route_one(next_r)
+                    next_r += 1
+
+            try:
+                prefetch()
+                while routed:
+                    rr, send_plan, recv_plan, handle = routed.pop(0)
+                    cbuf = pipe.join(handle) if handle is not None else None
+                    # A slot just freed: launch the next fill before the
+                    # exchange blocks on remote ranks.
+                    prefetch()
+                    if liv is not None:
+                        liv.set_phase(rank, f"exchange[{rr}]")
+                    with env.ctx.trace("round:exchange", round=rr):
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, mode, cbuf, send_plan, buf, recv_plan,
+                            skip=plan.skip, topology=plan.topology,
+                        )
+                pipe.drain()
+            except BaseException:
+                pipe.drain(suppress=True)
+                raise
     finally:
+        plan.service_seconds += sum(svc)
         if liv is not None:
             liv.end_call(rank)
     if rec is not None:

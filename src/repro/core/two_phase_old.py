@@ -32,6 +32,7 @@ from repro.core.plan import (
     merge_extents,
     subtract_intervals,
 )
+from repro.core.pipeline import maybe_pipeline, task_env
 from repro.core.realms import EvenPartition
 from repro.datatypes.flatten import FlatType
 from repro.datatypes.segments import SegmentBatch
@@ -365,6 +366,38 @@ def _agg_layout(plan: _OldPlan, r: int):
     return (w_lo, w_hi), per_client, merged
 
 
+def _old_flush_task(env: CollEnv, span_lo: int, data: np.ndarray, r: int):
+    """Coroutine body writing back round ``r``'s sieve-buffer span
+    (the integrated data sieve's RMW write leg)."""
+
+    def run(tctx) -> None:
+        fenv = task_env(env, tctx)
+        with tctx.trace("round:flush", round=r):
+            fenv.stats.note_flush("datasieve-integrated")
+            fenv.adio.write_contig(span_lo, data)
+
+    return run
+
+
+def _old_fill_task(env: CollEnv, span, m_offs, m_lens, r: int):
+    """Coroutine body pre-reading round ``r``'s window span into a
+    fresh sieve buffer (the read path's prefetch); returns it at join."""
+
+    def run(tctx):
+        fenv = task_env(env, tctx)
+        with tctx.trace("round:fill", round=r):
+            span_lo = int(m_offs[0])
+            span_hi = int((m_offs + m_lens).max())
+            cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+            fenv.stats.note_flush("datasieve-integrated")
+            cbuf[span_lo - span[0] : span_hi - span[0]] = fenv.adio.read_contig(
+                span_lo, span_hi - span_lo
+            )
+            return cbuf
+
+    return run
+
+
 def _replay_old(env: CollEnv, entry, buf: np.ndarray, *, write: bool) -> None:
     """Replay a cached old-implementation plan: the integrated-sieving
     data path with all flattening, wire alltoall, and window clipping
@@ -375,49 +408,114 @@ def _replay_old(env: CollEnv, entry, buf: np.ndarray, *, write: bool) -> None:
     inj = env.ctx.shared.get(FAULTS_KEY)
     if inj is not None:
         inj.begin_collective(comm.rank)
-    for r, rp in enumerate(entry.rounds):
-        env.stats.rounds += 1
-        span = rp.window
-        m_offs, m_lens = rp.merged
-        if write:
-            cbuf = None
-            span_lo = span_hi = 0
-            with env.ctx.trace("tp:io", round=r):
-                if span is not None and m_offs is not None and m_offs.size:
-                    span_lo = int(m_offs[0])
-                    span_hi = int((m_offs + m_lens).max())
-                    covered = int(m_lens.sum())
-                    cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
-                    if covered < span_hi - span_lo:
-                        pre = env.adio.read_contig(span_lo, span_hi - span_lo)
-                        cbuf[span_lo - span[0] : span_hi - span[0]] = pre
-            with env.ctx.trace("tp:exchange", round=r):
-                env.stats.bytes_exchanged += exchange_data(
-                    comm, cost, "nonblocking", buf, rp.send, cbuf, rp.recv,
-                    skip=frozenset(),
-                )
-            with env.ctx.trace("tp:io", round=r):
-                if cbuf is not None:
-                    env.stats.note_flush("datasieve-integrated")
-                    env.adio.write_contig(
-                        span_lo, cbuf[span_lo - span[0] : span_hi - span[0]]
-                    )
+    pipe = maybe_pipeline(env)
+    try:
+        if write or pipe is None:
+            for r, rp in enumerate(entry.rounds):
+                env.stats.rounds += 1
+                span = rp.window
+                m_offs, m_lens = rp.merged
+                if write:
+                    cbuf = None
+                    span_lo = span_hi = 0
+                    with env.ctx.trace("tp:io", round=r):
+                        if span is not None and m_offs is not None and m_offs.size:
+                            span_lo = int(m_offs[0])
+                            span_hi = int((m_offs + m_lens).max())
+                            covered = int(m_lens.sum())
+                            cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                            if covered < span_hi - span_lo:
+                                pre = env.adio.read_contig(span_lo, span_hi - span_lo)
+                                cbuf[span_lo - span[0] : span_hi - span[0]] = pre
+                    with env.ctx.trace(
+                        "round:exchange" if pipe is not None else "tp:exchange",
+                        round=r,
+                    ):
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, "nonblocking", buf, rp.send, cbuf, rp.recv,
+                            skip=frozenset(),
+                        )
+                    if pipe is not None:
+                        if cbuf is not None:
+                            pipe.submit(
+                                _old_flush_task(
+                                    env,
+                                    span_lo,
+                                    cbuf[span_lo - span[0] : span_hi - span[0]],
+                                    r,
+                                ),
+                                round_no=r,
+                                stage="round:flush",
+                            )
+                    else:
+                        with env.ctx.trace("tp:io", round=r):
+                            if cbuf is not None:
+                                env.stats.note_flush("datasieve-integrated")
+                                env.adio.write_contig(
+                                    span_lo,
+                                    cbuf[span_lo - span[0] : span_hi - span[0]],
+                                )
+                else:
+                    cbuf = None
+                    with env.ctx.trace("tp:io", round=r):
+                        if span is not None and m_offs is not None and m_offs.size:
+                            span_lo = int(m_offs[0])
+                            span_hi = int((m_offs + m_lens).max())
+                            cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                            env.stats.note_flush("datasieve-integrated")
+                            cbuf[span_lo - span[0] : span_hi - span[0]] = (
+                                env.adio.read_contig(span_lo, span_hi - span_lo)
+                            )
+                    with env.ctx.trace("tp:exchange", round=r):
+                        env.stats.bytes_exchanged += exchange_data(
+                            comm, cost, "nonblocking", cbuf, rp.recv, buf, rp.send,
+                            skip=frozenset(),
+                        )
+            if pipe is not None:
+                pipe.drain()
         else:
-            cbuf = None
-            with env.ctx.trace("tp:io", round=r):
-                if span is not None and m_offs is not None and m_offs.size:
-                    span_lo = int(m_offs[0])
-                    span_hi = int((m_offs + m_lens).max())
-                    cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
-                    env.stats.note_flush("datasieve-integrated")
-                    cbuf[span_lo - span[0] : span_hi - span[0]] = (
-                        env.adio.read_contig(span_lo, span_hi - span_lo)
+            # Pipelined replay read: prefetch span reads ahead of the
+            # exchange, mirroring read_all_old's pipelined loop.
+            routed: List[tuple] = []
+            next_r = 0
+
+            def route_one(rr: int) -> None:
+                rp = entry.rounds[rr]
+                env.stats.rounds += 1
+                m_offs, m_lens = rp.merged
+                handle = None
+                if rp.window is not None and m_offs is not None and m_offs.size:
+                    handle = pipe.submit(
+                        _old_fill_task(env, rp.window, m_offs, m_lens, rr),
+                        round_no=rr,
+                        stage="round:fill",
                     )
-            with env.ctx.trace("tp:exchange", round=r):
-                env.stats.bytes_exchanged += exchange_data(
-                    comm, cost, "nonblocking", cbuf, rp.recv, buf, rp.send,
-                    skip=frozenset(),
-                )
+                routed.append((rr, rp, handle))
+
+            def prefetch() -> None:
+                nonlocal next_r
+                while next_r < len(entry.rounds) and (
+                    not routed
+                    or (pipe.free_slots > 0 and len(routed) <= pipe.depth)
+                ):
+                    route_one(next_r)
+                    next_r += 1
+
+            prefetch()
+            while routed:
+                rr, rp, handle = routed.pop(0)
+                cbuf = pipe.join(handle) if handle is not None else None
+                prefetch()
+                with env.ctx.trace("round:exchange", round=rr):
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, "nonblocking", cbuf, rp.recv, buf, rp.send,
+                        skip=frozenset(),
+                    )
+            pipe.drain()
+    except BaseException:
+        if pipe is not None:
+            pipe.drain(suppress=True)
+        raise
     if write:
         env.stats.collective_writes += 1
     else:
@@ -443,55 +541,82 @@ def write_all_old(
     with env.ctx.trace("tp:plan"):
         plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
-    r = 0
-    while r < plan.nrounds:
-        replacement = _check_boundary(plan, r)
-        if replacement is not None:
+    # Round pipelining (docs/async_io.md): the span write-back of round
+    # r runs as a coroutine while round r+1 routes, pre-reads, and
+    # exchanges.  Stands down (None) while realm-mutating faults are
+    # armed, so the crash machinery only runs on the serialized path.
+    pipe = maybe_pipeline(env)
+    try:
+        r = 0
+        while r < plan.nrounds:
+            replacement = _check_boundary(plan, r)
+            if replacement is not None:
+                if rec is not None:
+                    rec.mark_dirty()
+                plan = replacement
+                r = 0
+                continue
+            env.stats.rounds += 1
+            with env.ctx.trace("tp:route", round=r):
+                send_plan = _client_plan(plan, r)
+                span, recv_plan, (m_offs, m_lens) = _agg_layout(plan, r)
             if rec is not None:
-                rec.mark_dirty()
-            plan = replacement
-            r = 0
-            continue
-        env.stats.rounds += 1
-        with env.ctx.trace("tp:route", round=r):
-            send_plan = _client_plan(plan, r)
-            span, recv_plan, (m_offs, m_lens) = _agg_layout(plan, r)
-        if rec is not None:
-            rec.add_round(send_plan, span, recv_plan, (m_offs, m_lens))
-        cbuf = None
-        span_lo = span_hi = 0
-        with env.ctx.trace("tp:io", round=r):
-            if span is not None and m_offs is not None and m_offs.size:
-                span_lo = int(m_offs[0])
-                span_hi = int((m_offs + m_lens).max())
-                covered = int(m_lens.sum())
-                cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
-                if covered < span_hi - span_lo:
-                    # Holes: pre-read so the span write-back preserves
-                    # the gap bytes (integrated data sieving's RMW).
-                    pre = env.adio.read_contig(span_lo, span_hi - span_lo)
-                    cbuf[span_lo - span[0] : span_hi - span[0]] = pre
-        with env.ctx.trace("tp:exchange", round=r):
-            plan.crash_point("exchange")
-            if not plan.dying:
-                env.stats.bytes_exchanged += exchange_data(
-                    comm, cost, "nonblocking", buf, send_plan, cbuf, recv_plan,
-                    skip=plan.skip,
-                )
-        with env.ctx.trace("tp:io", round=r):
-            plan.crash_point("flush")
-            if cbuf is not None:
-                env.stats.note_flush("datasieve-integrated")
-                env.adio.write_contig(
-                    span_lo, cbuf[span_lo - span[0] : span_hi - span[0]]
-                )
-                if plan._crash is not None:
-                    # Crash-armed runs make each round durable: a later
-                    # death must not take already-written rounds down
-                    # with the corpse's cache (the re-plan treats them
-                    # as covered).
-                    env.adio.retry.run(env.ctx, env.adio.local.sync)
-        r += 1
+                rec.add_round(send_plan, span, recv_plan, (m_offs, m_lens))
+            cbuf = None
+            span_lo = span_hi = 0
+            with env.ctx.trace("tp:io", round=r):
+                if span is not None and m_offs is not None and m_offs.size:
+                    span_lo = int(m_offs[0])
+                    span_hi = int((m_offs + m_lens).max())
+                    covered = int(m_lens.sum())
+                    cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                    if covered < span_hi - span_lo:
+                        # Holes: pre-read so the span write-back preserves
+                        # the gap bytes (integrated data sieving's RMW).
+                        pre = env.adio.read_contig(span_lo, span_hi - span_lo)
+                        cbuf[span_lo - span[0] : span_hi - span[0]] = pre
+            with env.ctx.trace(
+                "round:exchange" if pipe is not None else "tp:exchange", round=r
+            ):
+                plan.crash_point("exchange")
+                if not plan.dying:
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, "nonblocking", buf, send_plan, cbuf, recv_plan,
+                        skip=plan.skip,
+                    )
+            if pipe is not None:
+                if cbuf is not None:
+                    pipe.submit(
+                        _old_flush_task(
+                            env,
+                            span_lo,
+                            cbuf[span_lo - span[0] : span_hi - span[0]],
+                            r,
+                        ),
+                        round_no=r,
+                        stage="round:flush",
+                    )
+            else:
+                with env.ctx.trace("tp:io", round=r):
+                    plan.crash_point("flush")
+                    if cbuf is not None:
+                        env.stats.note_flush("datasieve-integrated")
+                        env.adio.write_contig(
+                            span_lo, cbuf[span_lo - span[0] : span_hi - span[0]]
+                        )
+                        if plan._crash is not None:
+                            # Crash-armed runs make each round durable: a later
+                            # death must not take already-written rounds down
+                            # with the corpse's cache (the re-plan treats them
+                            # as covered).
+                            env.adio.retry.run(env.ctx, env.adio.local.sync)
+            r += 1
+        if pipe is not None:
+            pipe.drain()
+    except BaseException:
+        if pipe is not None:
+            pipe.drain(suppress=True)
+        raise
     if rec is not None:
         with env.ctx.trace("plan:store", key=rec.key_id, impl="old"):
             cache.commit(rec, nrounds=plan.nrounds, aggs=plan.aggs)
@@ -518,42 +643,90 @@ def read_all_old(
     with env.ctx.trace("tp:plan"):
         plan = _OldPlan(env, memflat, total_bytes, data_lo)
     comm, cost = env.comm, env.cost
-    r = 0
-    while r < plan.nrounds:
-        replacement = _check_boundary(plan, r)
-        if replacement is not None:
+    pipe = maybe_pipeline(env)
+    if pipe is None:
+        r = 0
+        while r < plan.nrounds:
+            replacement = _check_boundary(plan, r)
+            if replacement is not None:
+                if rec is not None:
+                    rec.mark_dirty()
+                plan = replacement
+                r = 0
+                continue
+            env.stats.rounds += 1
+            with env.ctx.trace("tp:route", round=r):
+                recv_plan = _client_plan(plan, r)
+                span, send_plan, (m_offs, m_lens) = _agg_layout(plan, r)
             if rec is not None:
-                rec.mark_dirty()
-            plan = replacement
-            r = 0
-            continue
-        env.stats.rounds += 1
-        with env.ctx.trace("tp:route", round=r):
-            recv_plan = _client_plan(plan, r)
-            span, send_plan, (m_offs, m_lens) = _agg_layout(plan, r)
-        if rec is not None:
-            # Write orientation (client batches as ``send``); the replay
-            # re-swaps for reads, mirroring the cold driver.
-            rec.add_round(recv_plan, span, send_plan, (m_offs, m_lens))
-        cbuf = None
-        with env.ctx.trace("tp:io", round=r):
-            plan.crash_point("flush")
+                # Write orientation (client batches as ``send``); the replay
+                # re-swaps for reads, mirroring the cold driver.
+                rec.add_round(recv_plan, span, send_plan, (m_offs, m_lens))
+            cbuf = None
+            with env.ctx.trace("tp:io", round=r):
+                plan.crash_point("flush")
+                if span is not None and m_offs is not None and m_offs.size:
+                    span_lo = int(m_offs[0])
+                    span_hi = int((m_offs + m_lens).max())
+                    cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
+                    env.stats.note_flush("datasieve-integrated")
+                    cbuf[span_lo - span[0] : span_hi - span[0]] = env.adio.read_contig(
+                        span_lo, span_hi - span_lo
+                    )
+            with env.ctx.trace("tp:exchange", round=r):
+                plan.crash_point("exchange")
+                if not plan.dying:
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, "nonblocking", cbuf, send_plan, buf, recv_plan,
+                        skip=plan.skip,
+                    )
+            r += 1
+    else:
+        # Pipelined read: the span pre-read of round r+1 prefetches as a
+        # coroutine while round r's exchange distributes.  Never active
+        # with the crash machinery (maybe_pipeline stands down).
+        routed: List[tuple] = []
+        next_r = 0
+
+        def route_one(rr: int) -> None:
+            env.stats.rounds += 1
+            with env.ctx.trace("tp:route", round=rr):
+                recv_plan = _client_plan(plan, rr)
+                span, send_plan, (m_offs, m_lens) = _agg_layout(plan, rr)
+            if rec is not None:
+                rec.add_round(recv_plan, span, send_plan, (m_offs, m_lens))
+            handle = None
             if span is not None and m_offs is not None and m_offs.size:
-                span_lo = int(m_offs[0])
-                span_hi = int((m_offs + m_lens).max())
-                cbuf = np.zeros(span[1] - span[0], dtype=np.uint8)
-                env.stats.note_flush("datasieve-integrated")
-                cbuf[span_lo - span[0] : span_hi - span[0]] = env.adio.read_contig(
-                    span_lo, span_hi - span_lo
+                handle = pipe.submit(
+                    _old_fill_task(env, span, m_offs, m_lens, rr),
+                    round_no=rr,
+                    stage="round:fill",
                 )
-        with env.ctx.trace("tp:exchange", round=r):
-            plan.crash_point("exchange")
-            if not plan.dying:
-                env.stats.bytes_exchanged += exchange_data(
-                    comm, cost, "nonblocking", cbuf, send_plan, buf, recv_plan,
-                    skip=plan.skip,
-                )
-        r += 1
+            routed.append((rr, send_plan, recv_plan, handle))
+
+        def prefetch() -> None:
+            nonlocal next_r
+            while next_r < plan.nrounds and (
+                not routed or (pipe.free_slots > 0 and len(routed) <= pipe.depth)
+            ):
+                route_one(next_r)
+                next_r += 1
+
+        try:
+            prefetch()
+            while routed:
+                rr, send_plan, recv_plan, handle = routed.pop(0)
+                cbuf = pipe.join(handle) if handle is not None else None
+                prefetch()
+                with env.ctx.trace("round:exchange", round=rr):
+                    env.stats.bytes_exchanged += exchange_data(
+                        comm, cost, "nonblocking", cbuf, send_plan, buf, recv_plan,
+                        skip=plan.skip,
+                    )
+            pipe.drain()
+        except BaseException:
+            pipe.drain(suppress=True)
+            raise
     if rec is not None:
         with env.ctx.trace("plan:store", key=rec.key_id, impl="old"):
             cache.commit(rec, nrounds=plan.nrounds, aggs=plan.aggs)

@@ -229,6 +229,24 @@ class CollectiveIOError(ReproError):
     collective calls, unknown hint values, ...)."""
 
 
+class WaitTimeout(CollectiveIOError):
+    """A :meth:`repro.core.request.Request.wait` with a ``timeout``
+    expired before the nonblocking collective completed.
+
+    The operation itself keeps running — the request stays pending and
+    a later ``wait()``/``test()`` can still complete it.  ``seconds``
+    is the budget that ran out, ``op`` the operation's label."""
+
+    def __init__(self, op: str, rank: int, seconds: float) -> None:
+        super().__init__(
+            f"wait on {op or 'request'} (rank {rank}) timed out "
+            f"after {seconds:g}s; the operation is still in flight"
+        )
+        self.op = op
+        self.rank = rank
+        self.seconds = seconds
+
+
 class AggregatorLost(CollectiveIOError):
     """An aggregator died during a collective call and could not be
     survived (failover disabled, or no aggregator left alive)."""

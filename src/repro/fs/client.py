@@ -180,8 +180,51 @@ class LocalFile:
         """Server-visible file size (cached dirty data may exceed it)."""
         return self.fs.file_size(self.path)
 
+    def rebound(self, ctx: RankContext) -> "LocalFile":
+        """A view of this open file that charges time to ``ctx``.
+
+        Engine coroutines (pipelined flushes, nonblocking collectives)
+        run file I/O on their own virtual clock; the view shares the
+        page cache, journal-mode flag, and open state with the base
+        handle — only the context differs, so a journal toggle or close
+        on either side is visible through both."""
+        return _LocalFileView(self, ctx)
+
     def __enter__(self) -> "LocalFile":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class _LocalFileView(LocalFile):
+    """Context-rebound view over a base :class:`LocalFile`.
+
+    All state is the base's (the mutable ``_open``/``_journal_mode``
+    flags delegate through properties); only ``ctx`` is the view's own,
+    so every cache/server call made through the view charges the
+    coroutine's clock instead of the opener's."""
+
+    def __init__(self, base: LocalFile, ctx: RankContext) -> None:
+        self._base = base
+        self.client = base.client
+        self.fs = base.fs
+        self.ctx = ctx
+        self.path = base.path
+        self.cache = base.cache
+
+    @property
+    def _open(self) -> bool:
+        return self._base._open
+
+    @_open.setter
+    def _open(self, value: bool) -> None:
+        self._base._open = value
+
+    @property
+    def _journal_mode(self) -> bool:
+        return self._base._journal_mode
+
+    @_journal_mode.setter
+    def _journal_mode(self, value: bool) -> None:
+        self._base._journal_mode = value

@@ -58,6 +58,21 @@ class AdioFile:
         duration of the context."""
         return self.local.journaled()
 
+    def rebound(self, ctx) -> "AdioFile":
+        """A view of this dispatcher charging time to ``ctx``.
+
+        Shares the retry policy (so cross-operation budgets stay one
+        pool) and the method counters with the base; the underlying
+        :class:`LocalFile` is rebound the same way, so coroutine I/O
+        advances the coroutine's clock."""
+        view = AdioFile(
+            self.local.rebound(ctx),
+            ds_buffer_size=self.ds_buffer_size,
+            retry=self.retry,
+        )
+        view.method_counts = self.method_counts
+        return view
+
     # -- contiguous ---------------------------------------------------------
     def write_contig(self, offset: int, data: np.ndarray) -> None:
         self._count("contig")

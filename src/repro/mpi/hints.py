@@ -76,6 +76,13 @@ _SPEC: Dict[str, tuple] = {
     # per-round schedule across identical calls and replay it with zero
     # datatype processing.  Off = bit-identical to the uncached path.
     "plan_cache": (_boolean, False),
+    # Round-level pipelining (docs/async_io.md): number of collective
+    # buffers per aggregator, so the flush of round k overlaps the
+    # exchange of round k+1 as engine coroutines.  0 (default) =
+    # serialized rounds, bit-identical to the unpipelined path; 1 =
+    # pipelined with a single in-flight flush; >=2 = deeper overlap
+    # with back-pressure when the pool is exhausted.
+    "pipeline_depth": (_non_negative_int, 0),
     # Independent-I/O method used to flush the collective buffer.
     "io_method": (_choice("datasieve", "naive", "listio", "conditional"), "datasieve"),
     "ds_buffer_size": (_positive_int, 512 * 1024),

@@ -175,7 +175,7 @@ class Session:
         the post-open barrier to the slowest rank's close, so deferred
         cache flushes are charged to the run that deferred them.
         Returns the per-rank ``body`` results."""
-        from repro.core.file_handle import CollectiveFile
+        from repro.core.file_handle import CollectiveFile, sanctioned_construction
         from repro.mpi.comm import Communicator
 
         from repro.liveness import find_crash_state
@@ -183,9 +183,10 @@ class Session:
 
         def main(ctx):
             comm = Communicator(ctx, self.cost)
-            f = CollectiveFile(
-                ctx, comm, self.fs, self.path, hints=self.hints, cost=self.cost
-            )
+            with sanctioned_construction():
+                f = CollectiveFile(
+                    ctx, comm, self.fs, self.path, hints=self.hints, cost=self.cost
+                )
             t0 = comm.allreduce(ctx.now, op=max)
             try:
                 out = body(ctx, comm, f)
@@ -211,6 +212,25 @@ class Session:
             self._t1 = finished[0][2]
         return [r[0] if r is not None else None for r in results]
 
+    def run_async(self, body: Callable[..., Any]) -> list:
+        """Like :meth:`run`, for bodies that use the nonblocking surface.
+
+        ``body(ctx, comm, f)`` may leave ``iwrite_all``/``iread_all``
+        requests in flight when it returns; this wrapper completes them
+        with :func:`repro.core.request.waitall` before the collective
+        close, so the first deferred typed error (``DeadlineExceeded``,
+        storage faults, ...) re-raises on the issuing rank exactly as
+        the blocking path would have raised it inline.  Returns the
+        per-rank ``body`` results."""
+        from repro.core.request import waitall
+
+        def wrapped(ctx, comm, f):
+            out = body(ctx, comm, f)
+            waitall(f.outstanding())
+            return out
+
+        return self.run(wrapped)
+
     def rejoin(self, rank: int, body: Callable[..., Any]) -> Dict[str, Any]:
         """Restart a crashed ``rank`` and replay ``body`` to completion.
 
@@ -224,7 +244,7 @@ class Session:
         survivor committed on the rank's behalf.  Returns a dict with
         the rank's ``result`` plus ``rewritten``/``skipped`` byte
         totals.  See ``docs/crash_recovery.md``."""
-        from repro.core.file_handle import CollectiveFile
+        from repro.core.file_handle import CollectiveFile, sanctioned_construction
         from repro.core.resume import ResumeComm
         from repro.sim.engine import Simulator
 
@@ -238,16 +258,17 @@ class Session:
 
         def replay(ctx):
             comm = ResumeComm(ctx, self.cost, rank, self.nprocs)
-            f = CollectiveFile(
-                ctx,
-                comm,
-                self.fs,
-                self.path,
-                hints=self.hints,
-                cost=self.cost,
-                client_id=("rejoin", rank),
-                resume_rank=rank,
-            )
+            with sanctioned_construction():
+                f = CollectiveFile(
+                    ctx,
+                    comm,
+                    self.fs,
+                    self.path,
+                    hints=self.hints,
+                    cost=self.cost,
+                    client_id=("rejoin", rank),
+                    resume_rank=rank,
+                )
             try:
                 out = body(ctx, comm, f)
             finally:

@@ -38,7 +38,14 @@ from repro.errors import RankCrashed, RankFailed, SimDeadlock, SimHang, Simulati
 from repro.sim.clock import VirtualClock
 from repro.sim.trace import Tracer
 
-__all__ = ["Simulator", "RankContext", "ScopedContext", "Watchdog", "BLOCK_TIMEOUT"]
+__all__ = [
+    "Simulator",
+    "RankContext",
+    "ScopedContext",
+    "TaskHandle",
+    "Watchdog",
+    "BLOCK_TIMEOUT",
+]
 
 # Rank thread states.
 _READY = "ready"
@@ -47,6 +54,11 @@ _BLOCKED = "blocked"
 _DONE = "done"
 
 _JOIN_TIMEOUT = 600.0  # wall-clock safety net for runaway simulations
+
+#: First trace lane (Chrome tid) handed out for coroutine spans — far
+#: above any realistic rank count so task lanes never collide with the
+#: per-rank rows.
+_LANE_BASE = 4096
 
 
 class _BlockTimeout:
@@ -104,6 +116,30 @@ class _Proc:
         self.result: Any = None
         #: Set exactly when this rank is dispatched to run.
         self.event = threading.Event()
+
+
+class TaskHandle:
+    """Completion handle for an engine coroutine (see
+    :meth:`RankContext.spawn`).
+
+    ``done`` flips exactly once, under the engine's single-thread
+    invariant; ``value`` or ``error`` is set before it does.  ``t_start``
+    / ``t_end`` bracket the task in virtual time so a joiner can charge
+    its clock forward to the task's completion."""
+
+    __slots__ = ("label", "done", "value", "error", "t_start", "t_end")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.done = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.t_start = 0.0
+        self.t_end = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else "running"
+        return f"TaskHandle({self.label!r}, {state})"
 
 
 class RankContext:
@@ -203,6 +239,29 @@ class RankContext:
         """Context manager recording an MPE-style state interval."""
         return self.tracer.interval(self.rank, state, self._proc.clock, **info)
 
+    # -- coroutines ------------------------------------------------------
+    def spawn(
+        self,
+        fn: Callable[["RankContext"], Any],
+        *,
+        label: str = "",
+        lane: Optional[int] = None,
+    ) -> "TaskHandle":
+        """Launch ``fn(task_ctx)`` as an engine coroutine.
+
+        The task gets its own scheduling identity (its clock starts at
+        this context's ``now``) but keeps this context's logical
+        ``rank`` and ``shared`` dict, so metrics, faults, and liveness
+        attribute to the spawning rank.  ``lane`` picks the trace lane
+        (tid) its spans record under — see :meth:`Simulator.lane_for`.
+        Join with :meth:`join`."""
+        return self._sim.spawn(self, fn, label=label, lane=lane)
+
+    def join(self, handle: "TaskHandle") -> Any:
+        """Block until ``handle`` completes; charge this clock to the
+        task's finish time; return its value or re-raise its error."""
+        return self._sim.join(self, handle)
+
 
 class ScopedContext(RankContext):
     """A rank context whose ``shared`` dict is an overlay.
@@ -225,6 +284,37 @@ class ScopedContext(RankContext):
     def shared(self) -> MutableMapping:
         """The tenant-scoped overlay (reads fall through to the sim)."""
         return self._overlay
+
+
+class _TaskContext(RankContext):
+    """The context an engine coroutine runs under.
+
+    Scheduling identity (``_proc``) is the task's own, so it competes
+    in the dispatch order like any rank; *naming* is the parent's —
+    ``rank``/``nprocs``/``shared`` all delegate to the spawning
+    context, so metrics, fault evaluation, deadline lookups, and
+    tenancy overlays resolve exactly as they would inline.  Trace
+    spans record under the task's ``lane`` (a distinct tid), keeping
+    the tracer's per-key stack discipline while the parent's own spans
+    continue on the rank's lane."""
+
+    __slots__ = ("_parent", "lane")
+
+    def __init__(
+        self, sim: "Simulator", proc: _Proc, parent: RankContext, lane: int
+    ) -> None:
+        super().__init__(sim, proc)
+        self._parent = parent
+        self.rank = parent.rank
+        self.nprocs = parent.nprocs
+        self.lane = lane
+
+    @property
+    def shared(self) -> MutableMapping:
+        return self._parent.shared
+
+    def trace(self, state: str, **info: Any):
+        return self.tracer.interval(self.lane, state, self._proc.clock, **info)
 
 
 class Watchdog:
@@ -302,6 +392,14 @@ class Simulator:
         self._mu = threading.Lock()
         self._done_event = threading.Event()
         self._procs: list[_Proc] = []
+        #: Engine coroutines (see :meth:`spawn`) — scheduled alongside
+        #: the rank procs but excluded from ``times``/``makespan`` and
+        #: the watchdog, which reason about *ranks*.
+        self._tasks: list[_Proc] = []
+        self._next_task_id = nprocs
+        #: Interned trace lanes: stable key -> tid (see :meth:`lane_for`).
+        self._lanes: dict = {}
+        self._next_lane = _LANE_BASE
         self._fatal: Optional[BaseException] = None
         self._started = False
 
@@ -344,7 +442,9 @@ class Simulator:
         with self._mu:
             self._dispatch_next()
         while not self._done_event.wait(timeout=self.join_timeout):
-            if self._fatal is not None or all(p.state == _DONE for p in self._procs):
+            if self._fatal is not None or all(
+                p.state == _DONE for p in self._everyone()
+            ):
                 break  # pragma: no cover - safety net
             # Wall-clock hang: some rank thread is stuck outside the
             # engine's control.  Diagnose it instead of spinning.
@@ -374,15 +474,20 @@ class Simulator:
             raise self._fatal
         return [p.result for p in self._procs]
 
+    def _everyone(self) -> list[_Proc]:
+        """Rank procs plus any spawned coroutine procs."""
+        return self._procs + self._tasks if self._tasks else self._procs
+
     def _hang_dump(self) -> str:
         """Per-rank diagnosis for a wall-clock hang: state, blocked-on
         reason, clock, watchdog suspicion, and last trace event."""
         suspects = set(self.watchdog.suspects())
         parts = []
-        for p in self._procs:
+        for p in self._everyone():
             if p.state == _DONE:
                 continue
-            line = f"rank {p.rank}: {p.state}"
+            kind = "rank" if p.rank < self.nprocs else "task"
+            line = f"{kind} {p.rank}: {p.state}"
             if p.state == _BLOCKED and p.blocked_on:
                 line += f" on {p.blocked_on}"
             line += f" at t={p.clock.now:.6f}"
@@ -420,7 +525,7 @@ class Simulator:
         best_key = None
         timed: Optional[_Proc] = None
         timed_key = None
-        for p in self._procs:
+        for p in self._everyone():
             if p.state == _BLOCKED:
                 value = p.check() if p.check is not None else None
                 if value is not None:
@@ -456,15 +561,15 @@ class Simulator:
             nxt.last_progress = nxt.clock.now
             nxt.event.set()
             return
-        if all(p.state == _DONE for p in self._procs):
+        if all(p.state == _DONE for p in self._everyone()):
             self._done_event.set()
             return
         # No runnable rank, some blocked: deadlock.
         dump = "; ".join(
-            f"rank {p.rank}: {p.state}"
+            f"{'rank' if p.rank < self.nprocs else 'task'} {p.rank}: {p.state}"
             + (f" on {p.blocked_on}" if p.state == _BLOCKED and p.blocked_on else "")
             + f" at t={p.clock.now:.6f}"
-            for p in self._procs
+            for p in self._everyone()
             if p.state != _DONE
         )
         self._fatal = SimDeadlock(f"all live ranks are blocked: {dump}")
@@ -472,7 +577,7 @@ class Simulator:
 
     def _abort_all(self) -> None:
         """Wake everything so threads can unwind; requires _mu held."""
-        for p in self._procs:
+        for p in self._everyone():
             p.event.set()
         self._done_event.set()
 
@@ -510,6 +615,113 @@ class Simulator:
         proc.blocked_on = ""
         value, proc.wake_value = proc.wake_value, None
         return value
+
+    # -- coroutines ----------------------------------------------------------
+    def lane_for(self, key: Any, label: str) -> int:
+        """Intern a stable trace lane (Chrome tid) for ``key``.
+
+        Lanes are how overlapping coroutine spans coexist with the
+        rank's own spans: the tracer keeps one open-span stack per tid,
+        so each concurrently-active task needs its own lane.  Callers
+        reuse a lane only for one task at a time (e.g. per buffer-pool
+        slot), which preserves the stack discipline across reuse."""
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._next_lane
+            self._next_lane += 1
+            self._lanes[key] = lane
+        self.tracer.thread_labels[lane] = label
+        return lane
+
+    def spawn(
+        self,
+        parent: RankContext,
+        fn: Callable[[RankContext], Any],
+        *,
+        label: str = "",
+        lane: Optional[int] = None,
+    ) -> TaskHandle:
+        """Launch ``fn(task_ctx)`` as an engine coroutine (see
+        :meth:`RankContext.spawn`).  Must be called from a running
+        rank/task thread — the engine's single-thread invariant makes
+        the bookkeeping here race free."""
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        handle = TaskHandle(label or f"task-{task_id}")
+        proc = _Proc(task_id)
+        proc.clock.advance_to(parent.now)
+        proc.last_progress = parent.now
+        handle.t_start = parent.now
+        ctx = _TaskContext(self, proc, parent, lane if lane is not None else task_id)
+        t = threading.Thread(
+            target=self._task_main,
+            args=(proc, handle, ctx, fn),
+            name=f"sim-task-{task_id}",
+            daemon=True,
+        )
+        proc.thread = t
+        with self._mu:
+            self._tasks.append(proc)
+        t.start()
+        return handle
+
+    def join(self, ctx: RankContext, handle: TaskHandle) -> Any:
+        """Block ``ctx`` until ``handle`` completes; charge the joiner's
+        clock to the task's end time; return its value or re-raise the
+        captured error (the original exception object, so typed payloads
+        and cause chains survive the join unchanged)."""
+        if not handle.done:
+            ctx.block(
+                lambda: True if handle.done else None,
+                reason=f"join:{handle.label}",
+            )
+        ctx.charge_to(handle.t_end)
+        if handle.error is not None:
+            raise handle.error
+        return handle.value
+
+    def _task_main(
+        self, proc: _Proc, handle: TaskHandle, ctx: "_TaskContext", fn: Callable
+    ) -> None:
+        try:
+            self._park(proc)
+            handle.t_start = proc.clock.now
+            handle.value = fn(ctx)
+            handle.t_end = proc.clock.now
+            handle.done = True
+            with self._mu:
+                proc.state = _DONE
+                self._dispatch_next()
+        except _SimAborted:
+            handle.t_end = proc.clock.now
+            handle.done = True
+            with self._mu:
+                proc.state = _DONE
+                self._done_event.set()
+        except (Exception, RankCrashed) as exc:  # noqa: BLE001 - delivered at join
+            # Typed failures (RankCrashed, DeadlineExceeded, storage
+            # errors, ...) are *captured*, not fatal: the joining rank
+            # re-raises the same object and its own handling applies.
+            # RankCrashed is a BaseException so no handler between the
+            # crash site and here can swallow it — but a *task's* death
+            # belongs to the rank that joins it, not to the engine.
+            handle.error = exc
+            handle.t_end = proc.clock.now
+            handle.done = True
+            with self._mu:
+                proc.state = _DONE
+                self._dispatch_next()
+        except BaseException as exc:  # noqa: BLE001 - report any task failure
+            failure = RankFailed(ctx.rank, repr(exc))
+            failure.__cause__ = exc
+            handle.error = failure
+            handle.t_end = proc.clock.now
+            handle.done = True
+            with self._mu:
+                if self._fatal is None:
+                    self._fatal = failure
+                proc.state = _DONE
+                self._abort_all()
 
     # -- rank thread ---------------------------------------------------------
     def _thread_main(self, proc: _Proc, main: Callable[..., Any], args: tuple) -> None:

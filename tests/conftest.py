@@ -1,0 +1,28 @@
+"""Shared pytest configuration for the test suite."""
+
+import warnings
+
+import pytest
+
+
+@pytest.hookimpl(wrapper=True, trylast=True)
+def pytest_runtest_protocol(item, nextitem):
+    # The tests construct CollectiveFile directly on purpose — they
+    # exercise the handle below the Session façade — so the migration
+    # DeprecationWarning (docs/api.md) is sanctioned suite-wide.  A
+    # trylast hook wrapper runs *inside* pytest's per-item warning
+    # context, after the CLI/ini filters are applied, so the
+    # front-of-list insert outranks CI's ``-W error::DeprecationWarning``
+    # gate for this one message while the gate stays strict for every
+    # other deprecation — and unlike an autouse fixture it is in place
+    # before higher-scoped workload fixtures (module "baseline" runs,
+    # etc.) instantiate.  No teardown is needed: pytest restores the
+    # global filter list when the item's warning context exits.
+    # test_obs_legacy.py asserts the warning itself still fires
+    # (pytest.warns resets filters inside its own scope).
+    warnings.filterwarnings(
+        "ignore",
+        message="Direct CollectiveFile construction is deprecated",
+        category=DeprecationWarning,
+    )
+    return (yield)

@@ -96,3 +96,40 @@ class TestCacheStats:
             assert r["hits"] == r["reg_hits"]
             assert r["misses"] == r["reg_misses"]
             assert r["flushed"] == r["reg_flushed"]
+
+
+class TestDirectConstruction:
+    def test_direct_construction_warns_and_still_works(self):
+        """Hand-built CollectiveFile handles warn (docs/api.md migration)
+        but keep working until removal."""
+        from repro import Communicator, SimFileSystem, Simulator
+        from repro.core.file_handle import CollectiveFile
+
+        fs = SimFileSystem()
+
+        def main(ctx):
+            comm = Communicator(ctx)
+            with pytest.warns(
+                DeprecationWarning,
+                match="Direct CollectiveFile construction is deprecated",
+            ):
+                f = CollectiveFile(ctx, comm, fs, "/legacy-direct")
+            f.write_all(np.full(32, comm.rank + 1, dtype=np.uint8))
+            f.close()
+            return True
+
+        assert all(Simulator(2).run(main))
+
+    def test_session_open_path_does_not_warn(self):
+        """The documented Session surface never triggers the migration
+        warning."""
+        import warnings
+
+        session = Session("/legacy-clean", nprocs=2)
+
+        def body(ctx, comm, f):
+            f.write_all(np.zeros(16, dtype=np.uint8))
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session.run(body)
